@@ -1,0 +1,448 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure:
+//
+//	BenchmarkContains / BenchmarkInfer / BenchmarkProduce
+//	    — the O(1) claims for the hot ADT operations (§5.6), with the
+//	      Ω(n) Simmen baseline alongside for contrast.
+//	BenchmarkPrepQ8
+//	    — the §6.2 preparation table (with/without pruning).
+//	BenchmarkPlanGenQ8
+//	    — the §7 TPC-R Q8 table (both algorithms inside the same plan
+//	      generator; #plans and memory reported as metrics).
+//	BenchmarkFigure13 / BenchmarkFigure14
+//	    — the join-graph sweep (time/#plans and memory; sizes kept
+//	      moderate here, cmd/experiments runs the full sweep).
+//	BenchmarkAblation*
+//	    — design-choice ablations called out in DESIGN.md.
+package orderopt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"orderopt"
+	"orderopt/internal/catalog"
+	"orderopt/internal/experiments"
+	"orderopt/internal/optimizer"
+	"orderopt/internal/order"
+	"orderopt/internal/query"
+	"orderopt/internal/querygen"
+	"orderopt/internal/simmen"
+	"orderopt/internal/tpcr"
+)
+
+// q8Framework prepares the framework and baseline on the Q8 input.
+func q8Framework(b *testing.B) (*query.Analysis, *orderopt.Framework) {
+	b.Helper()
+	_, g, err := tpcr.Query8Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw, err := a.Prepare(orderopt.PlannerOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, fw
+}
+
+// BenchmarkContains measures the O(1) membership test on the Q8 machine.
+func BenchmarkContains(b *testing.B) {
+	a, fw := q8Framework(b)
+	ord := a.EdgeOrders[0][0][0]
+	s := fw.Infer(fw.Produce(ord), a.EdgeFD[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !fw.Contains(s, ord) {
+			b.Fatal("unexpected contains result")
+		}
+	}
+}
+
+// BenchmarkInfer measures the O(1) inferNewLogicalOrderings transition.
+func BenchmarkInfer(b *testing.B) {
+	a, fw := q8Framework(b)
+	s := fw.Produce(a.EdgeOrders[0][0][0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = int32(fw.Infer(s, a.EdgeFD[i%len(a.EdgeFD)]))
+	}
+}
+
+// BenchmarkProduce measures the O(1) ADT constructor.
+func BenchmarkProduce(b *testing.B) {
+	a, fw := q8Framework(b)
+	ord := a.EdgeOrders[0][0][0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = int32(fw.Produce(ord))
+	}
+}
+
+var sink int32
+
+// BenchmarkSimmenContains measures the baseline's reduce-based contains
+// (Ω(n) in the number of dependencies; cache disabled to expose it).
+func BenchmarkSimmenContains(b *testing.B) {
+	for _, cached := range []bool{false, true} {
+		b.Run(fmt.Sprintf("cache=%v", cached), func(b *testing.B) {
+			_, g, err := tpcr.Query8Graph()
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim := simmen.New(a.Builder.Interner(), a.Builder.Registry(), cached)
+			ord := a.EdgeOrders[0][0][0]
+			ann := sim.Produce(ord)
+			for _, set := range a.Sets {
+				ann = sim.Infer(ann, set)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !sim.Contains(ann, ord) {
+					b.Fatal("unexpected contains result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimmenInfer measures the baseline's FD-set accumulation.
+func BenchmarkSimmenInfer(b *testing.B) {
+	_, g, err := tpcr.Query8Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := simmen.New(a.Builder.Interner(), a.Builder.Registry(), true)
+	ann := sim.Produce(a.EdgeOrders[0][0][0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Infer(ann, a.Sets[i%len(a.Sets)])
+	}
+}
+
+// BenchmarkPrepQ8 regenerates the §6.2 preparation table; each variant
+// is timed in isolation.
+func BenchmarkPrepQ8(b *testing.B) {
+	for _, pruning := range []bool{false, true} {
+		b.Run(fmt.Sprintf("pruning=%v", pruning), func(b *testing.B) {
+			var last experiments.PrepRow
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.PrepQ8Variant(pruning, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row
+			}
+			b.ReportMetric(float64(last.NFSMSize), "nfsm-nodes")
+			b.ReportMetric(float64(last.DFSMSize), "dfsm-nodes")
+			b.ReportMetric(float64(last.Bytes), "precomputed-bytes")
+		})
+	}
+}
+
+// BenchmarkPlanGenQ8 regenerates the §7 Q8 table.
+func BenchmarkPlanGenQ8(b *testing.B) {
+	for _, mode := range []optimizer.Mode{optimizer.ModeSimmen, optimizer.ModeDFSM} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var plans int64
+			var mem int64
+			for i := 0; i < b.N; i++ {
+				_, g, err := tpcr.Query8Graph()
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := optimizer.Optimize(a, optimizer.DefaultConfig(mode))
+				if err != nil {
+					b.Fatal(err)
+				}
+				plans = res.PlansGenerated
+				mem = res.OrderMemBytes
+			}
+			b.ReportMetric(float64(plans), "plans")
+			b.ReportMetric(float64(mem)/1024, "order-mem-KB")
+		})
+	}
+}
+
+// BenchmarkFigure13 regenerates the plan-generation sweep (moderate
+// sizes; cmd/experiments runs n up to 10).
+func BenchmarkFigure13(b *testing.B) {
+	for _, mode := range []optimizer.Mode{optimizer.ModeSimmen, optimizer.ModeDFSM} {
+		for _, n := range []int{5, 7, 9} {
+			for _, extra := range []int{0, 2} {
+				b.Run(fmt.Sprintf("%s/n=%d/edges=%s", mode, n, edgeName(extra)), func(b *testing.B) {
+					var plans int64
+					for i := 0; i < b.N; i++ {
+						_, g, err := querygen.Generate(querygen.Spec{
+							Relations: n, ExtraEdges: extra, Seed: 7,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+						if err != nil {
+							b.Fatal(err)
+						}
+						res, err := optimizer.Optimize(a, optimizer.DefaultConfig(mode))
+						if err != nil {
+							b.Fatal(err)
+						}
+						plans = res.PlansGenerated
+					}
+					b.ReportMetric(float64(plans), "plans")
+				})
+			}
+		}
+	}
+}
+
+func edgeName(extra int) string {
+	switch extra {
+	case 0:
+		return "n-1"
+	case 1:
+		return "n"
+	default:
+		return fmt.Sprintf("n+%d", extra-1)
+	}
+}
+
+// BenchmarkFigure14 regenerates the memory-consumption comparison.
+func BenchmarkFigure14(b *testing.B) {
+	for _, mode := range []optimizer.Mode{optimizer.ModeSimmen, optimizer.ModeDFSM} {
+		for _, n := range []int{6, 9} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				var mem, dfsm int64
+				for i := 0; i < b.N; i++ {
+					_, g, err := querygen.Generate(querygen.Spec{Relations: n, ExtraEdges: 1, Seed: 3})
+					if err != nil {
+						b.Fatal(err)
+					}
+					a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := optimizer.Optimize(a, optimizer.DefaultConfig(mode))
+					if err != nil {
+						b.Fatal(err)
+					}
+					mem = res.OrderMemBytes
+					dfsm = res.DFSMBytes
+				}
+				b.ReportMetric(float64(mem)/1024, "order-mem-KB")
+				if mode == optimizer.ModeDFSM {
+					b.ReportMetric(float64(dfsm)/1024, "dfsm-KB")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPruning isolates each §5.7 reduction technique: the
+// Q8 preparation with exactly one technique disabled.
+func BenchmarkAblationPruning(b *testing.B) {
+	type variant struct {
+		name string
+		mod  func(*orderopt.PruningOptions)
+	}
+	variants := []variant{
+		{"all", func(*orderopt.PruningOptions) {}},
+		{"none", func(o *orderopt.PruningOptions) { *o = orderopt.NoPruning() }},
+		{"no-fd-pruning", func(o *orderopt.PruningOptions) { o.PruneFDs = false }},
+		{"no-merge", func(o *orderopt.PruningOptions) { o.MergeArtificial = false }},
+		{"no-node-pruning", func(o *orderopt.PruningOptions) { o.PruneArtificial = false }},
+		{"no-length-cutoff", func(o *orderopt.PruningOptions) { o.LengthCutoff = false }},
+		{"no-prefix-viability", func(o *orderopt.PruningOptions) { o.PrefixViability = false }},
+		{"no-inert-drop", func(o *orderopt.PruningOptions) { o.DropInertSymbols = false }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				_, g, err := tpcr.Query8Graph()
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := query.Analyze(g, query.AnalyzeOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt := orderopt.DefaultOptions()
+				v.mod(&opt.Pruning)
+				fw, err := a.Prepare(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = fw.Stats().DFSMStates
+			}
+			b.ReportMetric(float64(states), "dfsm-nodes")
+		})
+	}
+}
+
+// BenchmarkAblationDominance compares full simulation-preorder dominance
+// against identity-only dominance (search-space effect of the dominance
+// design choice).
+func BenchmarkAblationDominance(b *testing.B) {
+	for _, simStates := range []int{512, 1} { // 1 → identity dominance only
+		name := "simulation"
+		if simStates == 1 {
+			name = "identity"
+		}
+		b.Run(name, func(b *testing.B) {
+			var plans int64
+			for i := 0; i < b.N; i++ {
+				_, g, err := querygen.Generate(querygen.Spec{Relations: 7, ExtraEdges: 1, Seed: 11})
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := optimizer.DefaultConfig(optimizer.ModeDFSM)
+				cfg.CoreOptions.MaxSimulationStates = simStates
+				res, err := optimizer.Optimize(a, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				plans = res.PlansGenerated
+			}
+			b.ReportMetric(float64(plans), "plans")
+		})
+	}
+}
+
+// BenchmarkAblationSimmenCache shows the effect of the reduce cache the
+// paper added when tuning the baseline.
+func BenchmarkAblationSimmenCache(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		b.Run(fmt.Sprintf("cache=%v", cached), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, g, err := querygen.Generate(querygen.Spec{Relations: 6, ExtraEdges: 1, Seed: 5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := optimizer.DefaultConfig(optimizer.ModeSimmen)
+				cfg.SimmenCache = cached
+				if _, err := optimizer.Optimize(a, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGroupings compares the three ways to plan GROUP BY
+// (a, b) over an input ordered on a permutation of the grouping columns:
+// plain (sort), permutation enumeration (n! interesting orders), and the
+// grouping extension (one grouping node).
+func BenchmarkAblationGroupings(b *testing.B) {
+	variants := []struct {
+		name string
+		opt  query.AnalyzeOptions
+	}{
+		{"plain", query.AnalyzeOptions{UseIndexes: true}},
+		{"permutations", query.AnalyzeOptions{UseIndexes: true, GroupByPermutations: true}},
+		{"groupings", query.AnalyzeOptions{UseIndexes: true, TrackGroupings: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var cost float64
+			var states int
+			for i := 0; i < b.N; i++ {
+				g := permutedGroupByGraph(b)
+				a, err := query.Analyze(g, v.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := optimizer.Optimize(a, optimizer.DefaultConfig(optimizer.ModeDFSM))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Best.Cost
+				states = res.Stats.DFSMStates
+			}
+			b.ReportMetric(cost, "plan-cost")
+			b.ReportMetric(float64(states), "dfsm-nodes")
+		})
+	}
+}
+
+// permutedGroupByGraph: GROUP BY (a, b) over a table whose clustered
+// index delivers (b, a) — the permutation/grouping variants can exploit
+// the index order, the plain variant must sort.
+func permutedGroupByGraph(b *testing.B) *query.Graph {
+	b.Helper()
+	c := catalog.New()
+	c.MustAdd(&catalog.Table{
+		Name: "t1",
+		Columns: []catalog.Column{
+			{Name: "a", Type: catalog.Int, Distinct: 100},
+			{Name: "b", Type: catalog.Int, Distinct: 100},
+			{Name: "j", Type: catalog.Int, Distinct: 1000},
+		},
+		Rows: 100000,
+		Indexes: []catalog.Index{
+			{Name: "t1_ba", Columns: []string{"b", "a"}, Clustered: true},
+		},
+	})
+	c.MustAdd(&catalog.Table{
+		Name:    "t2",
+		Columns: []catalog.Column{{Name: "j", Type: catalog.Int, Distinct: 1000}},
+		Rows:    1000,
+	})
+	t1, _ := c.Table("t1")
+	t2, _ := c.Table("t2")
+	g := &query.Graph{}
+	r1 := g.AddRelation("t1", t1)
+	r2 := g.AddRelation("t2", t2)
+	if err := g.AddJoin(query.ColumnRef{Rel: r1, Col: 2}, query.ColumnRef{Rel: r2, Col: 0}); err != nil {
+		b.Fatal(err)
+	}
+	g.GroupBy = []query.ColumnRef{{Rel: r1, Col: 0}, {Rel: r1, Col: 1}}
+	return g
+}
+
+// BenchmarkNaiveClosure contrasts the naive explicit-set representation
+// (§2's "intuitive approach") against the DFSM: the cost of one closure
+// recomputation vs one table lookup.
+func BenchmarkNaiveClosure(b *testing.B) {
+	_, g, err := tpcr.Query8Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ord := a.EdgeOrders[0][0][0]
+	var fds []order.FD
+	for _, s := range a.Sets {
+		fds = append(fds, s.FDs...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !order.NaiveContains(a.Builder.Interner(), ord, fds, ord, 100000) {
+			b.Fatal("unexpected result")
+		}
+	}
+}

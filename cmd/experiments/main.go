@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures:
+//
+//	experiments -table prep    # §6.2: preparation on TPC-R Q8
+//	experiments -table q8      # §7:   plan generation for Q8
+//	experiments -table fig13   # Fig. 13: join-graph sweep (time/#plans)
+//	experiments -table fig14   # Fig. 14: memory consumption
+//	experiments -table all     # everything
+//
+// The sweep is configurable: -sizes 5,6,7,8,9,10 -extras 0,1,2 -seeds 5.
+// Absolute numbers depend on the machine; the shape (who wins, by what
+// factor, how factors grow with query size) is what reproduces the
+// paper. Results are deterministic per seed set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"orderopt/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "prep, q8, fig13, fig14 or all")
+	sizes := flag.String("sizes", "5,6,7,8,9,10", "relation counts for the sweep")
+	extras := flag.String("extras", "0,1,2", "extra edges beyond the chain (0→n-1 edges, 1→n, 2→n+1)")
+	seeds := flag.Int("seeds", 5, "queries averaged per configuration")
+	tested := flag.Bool("tested-selections", false, "add the optional O_T selection orders to the Q8 prep input")
+	flag.Parse()
+
+	runPrep := *table == "prep" || *table == "all"
+	runQ8 := *table == "q8" || *table == "all"
+	runSweep := *table == "fig13" || *table == "fig14" || *table == "all"
+
+	if runPrep {
+		rows, err := experiments.PrepQ8(*tested)
+		die(err)
+		fmt.Println("=== §6.2: preparation step on TPC-R Query 8 ===")
+		fmt.Print(experiments.FormatPrep(rows))
+		fmt.Println()
+	}
+	if runQ8 {
+		rows, err := experiments.Q8()
+		die(err)
+		fmt.Println("=== §7: plan generation for TPC-R Query 8 ===")
+		fmt.Print(experiments.FormatQ8(rows))
+		fmt.Println()
+	}
+	if runSweep {
+		spec := experiments.SweepSpec{
+			Sizes:  parseInts(*sizes),
+			Extras: parseInts(*extras),
+			Seeds:  *seeds,
+		}
+		rows, err := experiments.Sweep(spec)
+		die(err)
+		if *table == "fig13" || *table == "all" {
+			fmt.Println("=== Figure 13: plan generation for different join graphs ===")
+			fmt.Print(experiments.FormatFigure13(rows))
+			fmt.Println()
+		}
+		if *table == "fig14" || *table == "all" {
+			fmt.Println("=== Figure 14: memory consumption ===")
+			fmt.Print(experiments.FormatFigure14(rows))
+		}
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		die(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+// Command orderopt inspects the order-optimization state machines: it
+// builds the NFSM and DFSM for one of the paper's worked examples or for
+// a SQL query against the TPC-R schema, and prints them in the style of
+// the paper's figures (optionally as Graphviz DOT).
+//
+// Usage:
+//
+//	orderopt -example intro      # Figures 1–2
+//	orderopt -example running    # Figures 4–10 (§5's running example)
+//	orderopt -example simple     # Figures 11–12 (§6.1 persons/jobs)
+//	orderopt -example q8         # §6.2 TPC-R Query 8
+//	orderopt -sql 'select ...'   # any SQL against the TPC-R schema
+//	orderopt -example simple -pruning       # apply §5.7 pruning
+//	orderopt -example running -dot          # DOT output (NFSM)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orderopt/internal/core"
+	"orderopt/internal/nfsm"
+	"orderopt/internal/order"
+	"orderopt/internal/query"
+	"orderopt/internal/sqlparse"
+	"orderopt/internal/tpcr"
+)
+
+func main() {
+	example := flag.String("example", "", "worked example: intro, running, simple, q8")
+	sql := flag.String("sql", "", "SQL query against the TPC-R schema")
+	pruning := flag.Bool("pruning", false, "apply the §5.7 pruning techniques")
+	dot := flag.Bool("dot", false, "emit the NFSM as Graphviz DOT")
+	flag.Parse()
+
+	b, err := buildInput(*example, *sql)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orderopt:", err)
+		os.Exit(1)
+	}
+
+	opt := core.Options{Pruning: nfsm.NoPruning()}
+	if *pruning {
+		opt.Pruning = nfsm.AllPruning()
+	}
+	fw, err := b.Prepare(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orderopt:", err)
+		os.Exit(1)
+	}
+
+	if *dot {
+		fmt.Print(fw.NFSM().DOT())
+		return
+	}
+	st := fw.Stats()
+	fmt.Printf("preparation: NFSM %d states, DFSM %d states, %d B precomputed, %v\n\n",
+		st.NFSMStates, st.DFSMStates, st.PrecomputedBytes, st.PrepTime)
+	fmt.Print(fw.NFSM().Dump())
+	fmt.Println()
+	fmt.Print(fw.DFSM().Dump())
+}
+
+func buildInput(example, sql string) (*core.Builder, error) {
+	switch {
+	case sql != "":
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		bq, err := sqlparse.Bind(stmt, tpcr.Schema())
+		if err != nil {
+			return nil, err
+		}
+		a, err := query.Analyze(bq.Graph, query.AnalyzeOptions{UseIndexes: true})
+		if err != nil {
+			return nil, err
+		}
+		return a.Builder, nil
+
+	case example == "intro":
+		b := core.NewBuilder()
+		bb, d := b.Attr("b"), b.Attr("d")
+		b.AddProduced(b.OrderingOf("a", "b", "c"))
+		b.AddFDSet(order.NewFDSet(order.NewFD(d, bb)))
+		return b, nil
+
+	case example == "running":
+		b := core.NewBuilder()
+		bb, c, d := b.Attr("b"), b.Attr("c"), b.Attr("d")
+		b.AddProduced(b.OrderingOf("b"))
+		b.AddProduced(b.OrderingOf("a", "b"))
+		b.AddTested(b.OrderingOf("a", "b", "c"))
+		b.AddFDSet(order.NewFDSet(order.NewFD(c, bb)))
+		b.AddFDSet(order.NewFDSet(order.NewFD(d, bb)))
+		return b, nil
+
+	case example == "simple":
+		b := core.NewBuilder()
+		id, jobid := b.Attr("id"), b.Attr("jobid")
+		b.AddProduced(b.OrderingOf("id"))
+		b.AddProduced(b.OrderingOf("jobid"))
+		b.AddProduced(b.OrderingOf("id", "name"))
+		b.AddTested(b.OrderingOf("salary"))
+		b.AddFDSet(order.NewFDSet(order.NewEquation(id, jobid)))
+		return b, nil
+
+	case example == "q8":
+		_, g, err := tpcr.Query8Graph()
+		if err != nil {
+			return nil, err
+		}
+		a, err := query.Analyze(g, query.AnalyzeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return a.Builder, nil
+	}
+	return nil, fmt.Errorf("need -example {intro|running|simple|q8} or -sql (see -h)")
+}

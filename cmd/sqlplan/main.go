@@ -1,0 +1,74 @@
+// Command sqlplan optimizes a SQL query against the TPC-R schema with
+// both order-optimization components and prints the chosen plan and the
+// plan-generation statistics:
+//
+//	sqlplan 'select * from orders, lineitem where o_orderkey = l_orderkey order by o_orderkey'
+//	sqlplan -f query.sql
+//	sqlplan -q8            # the paper's TPC-R Query 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orderopt/internal/optimizer"
+	"orderopt/internal/query"
+	"orderopt/internal/sqlparse"
+	"orderopt/internal/tpcr"
+)
+
+func main() {
+	file := flag.String("f", "", "read the query from a file")
+	q8 := flag.Bool("q8", false, "use the paper's TPC-R Query 8")
+	flag.Parse()
+
+	var sql string
+	switch {
+	case *q8:
+		sql = tpcr.Query8SQL
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		die(err)
+		sql = string(data)
+	case flag.NArg() == 1:
+		sql = flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: sqlplan [-f file | -q8 | 'select ...']")
+		os.Exit(2)
+	}
+
+	stmt, err := sqlparse.Parse(sql)
+	die(err)
+	bq, err := sqlparse.Bind(stmt, tpcr.Schema())
+	die(err)
+	if len(bq.Residual) > 0 {
+		fmt.Printf("note: %d predicate(s) planned as generic filters:\n", len(bq.Residual))
+		for _, e := range bq.Residual {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+
+	for _, mode := range []optimizer.Mode{optimizer.ModeDFSM, optimizer.ModeSimmen} {
+		a, err := query.Analyze(bq.Graph, query.AnalyzeOptions{UseIndexes: true})
+		die(err)
+		res, err := optimizer.Optimize(a, optimizer.DefaultConfig(mode))
+		die(err)
+		fmt.Printf("\n=== %s ===\n", mode)
+		fmt.Printf("prep %v, plan %v, %d plans generated, %d retained, %.1f KB order memory\n",
+			res.PrepTime, res.PlanTime, res.PlansGenerated, res.PlansRetained,
+			float64(res.OrderMemBytes)/1024)
+		if res.Stats != nil {
+			fmt.Printf("DFSM: %d NFSM states → %d DFSM states, %d B precomputed\n",
+				res.Stats.NFSMStates, res.Stats.DFSMStates, res.Stats.PrecomputedBytes)
+		}
+		fmt.Printf("best plan (cost %.1f):\n%s", res.Best.Cost, res.Best)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlplan:", err)
+		os.Exit(1)
+	}
+}

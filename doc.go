@@ -1,0 +1,48 @@
+// Package orderopt implements Neumann & Moerkotte's framework for order
+// optimization (ICDE 2004): reasoning about interesting orders during
+// query optimization in O(1) time and O(1) space per plan node.
+//
+// During plan generation an optimizer asks two questions millions of
+// times: does a subplan's tuple stream satisfy an ordering some operator
+// wants (contains), and how does the set of satisfied logical orderings
+// change when an operator introduces functional dependencies
+// (inferNewLogicalOrderings)? The framework answers both with a single
+// table lookup after a one-time preparation step that compiles the
+// query's interesting orders and FD sets into a deterministic finite
+// state machine whose states stand for sets of logical orderings. A plan
+// node then carries one int32.
+//
+// Usage follows the paper's two phases. First collect the preparation
+// input and prepare:
+//
+//	b := orderopt.NewBuilder()
+//	attrB, attrC := b.Attr("b"), b.Attr("c")
+//	ordB := b.OrderingOf("b")
+//	ordAB := b.OrderingOf("a", "b")
+//	b.AddProduced(ordB)                      // O_P: some operator emits it
+//	b.AddProduced(ordAB)
+//	b.AddTested(b.OrderingOf("a", "b", "c")) // O_T: only required
+//	h := b.AddFDSet(orderopt.NewFDSet(orderopt.NewFD(attrC, attrB)))
+//	fw, err := b.Prepare(orderopt.DefaultOptions())
+//
+// Then, during plan generation, every operation is a constant-time
+// lookup:
+//
+//	s := fw.Produce(ordAB)      // ADT constructor (sort/index scan)
+//	s = fw.Infer(s, h)          // operator introducing b → c applied
+//	fw.Contains(s, ordABC)      // does the stream satisfy (a,b,c)? → true
+//
+// Beyond the paper, the machine also tracks groupings (the authors'
+// follow-up extension): Builder.AddTestedGrouping registers an attribute
+// set, every ordering ε-implies the grouping over its attributes, and
+// Framework.ContainsGrouping answers "is the stream clustered by these
+// attributes?" in O(1) — all a group-by operator needs, subsuming all
+// n! permutations of the grouping columns with a single state.
+//
+// The subpackages build a complete test bed around the framework: a
+// bottom-up dynamic-programming plan generator with a pluggable order
+// component, a reimplementation of the Simmen/Shekita/Malkemus baseline,
+// a SQL front end, an executor used to validate ordering claims on real
+// tuple streams, and an experiment harness regenerating every table and
+// figure of the paper's evaluation.
+package orderopt

@@ -1,0 +1,59 @@
+// Quickstart: the paper's running example (§5–§6) through the public
+// API. A stream is sorted by (a, b); a selection introduces b → c; the
+// framework answers in O(1) that (a, b, c) is now satisfied — so a merge
+// join or ORDER BY on (a, b, c) needs no extra sort.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"orderopt"
+)
+
+func main() {
+	// Phase 1: preparation (once per query, before plan generation).
+	b := orderopt.NewBuilder()
+	attrB := b.Attr("b")
+	attrC := b.Attr("c")
+
+	ordB := b.OrderingOf("b")
+	ordAB := b.OrderingOf("a", "b")
+	ordABC := b.OrderingOf("a", "b", "c")
+
+	b.AddProduced(ordB)  // an index can emit (b)
+	b.AddProduced(ordAB) // a sort can emit (a, b)
+	b.AddTested(ordABC)  // some operator would like (a, b, c)
+
+	// One operator (e.g. a selection b = c) introduces b → c.
+	selectFD := b.AddFDSet(orderopt.NewFDSet(orderopt.NewFD(attrC, attrB)))
+
+	fw, err := b.Prepare(orderopt.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	st := fw.Stats()
+	fmt.Printf("prepared in %v: NFSM %d states → DFSM %d states, %d B precomputed\n\n",
+		st.PrepTime, st.NFSMStates, st.DFSMStates, st.PrecomputedBytes)
+
+	// Phase 2: plan generation. Each plan node carries one int32.
+	s := fw.Produce(ordAB) // subplan: Sort(a, b)
+	fmt.Println("after Sort(a,b):")
+	report(fw, b, s)
+
+	s = fw.Infer(s, selectFD) // subplan: Select[b=c](Sort(a,b))
+	fmt.Println("\nafter the operator introducing b → c:")
+	report(fw, b, s)
+
+	// A sort in a context where b → c already holds (§5.6).
+	s2 := fw.Sort(ordAB, []orderopt.FDHandle{selectFD})
+	fmt.Println("\nSort(a,b) with b → c already holding:")
+	report(fw, b, s2)
+}
+
+func report(fw *orderopt.Framework, b *orderopt.Builder, s orderopt.State) {
+	for _, names := range [][]string{{"a"}, {"b"}, {"a", "b"}, {"a", "b", "c"}} {
+		o := b.OrderingOf(names...)
+		fmt.Printf("  contains (%-7s) = %v\n", strings.Join(names, ", "), fw.Contains(s, o))
+	}
+}

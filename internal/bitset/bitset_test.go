@@ -1,0 +1,240 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatalf("zero value not empty: %v", &s)
+	}
+	if s.Contains(0) || s.Contains(1000) {
+		t.Fatal("zero value contains elements")
+	}
+	s.Add(130)
+	if !s.Contains(130) || s.Len() != 1 {
+		t.Fatalf("after Add(130): %v", &s)
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(0)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false after Add", i)
+		}
+	}
+	if got := s.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) after Remove")
+	}
+	s.Remove(99999) // no-op beyond capacity
+	if got := s.Len(); got != 7 {
+		t.Fatalf("Len = %d, want 7", got)
+	}
+}
+
+func TestNegativeIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	New(0).Add(-1)
+}
+
+func TestContainsNegative(t *testing.T) {
+	if FromInts(1, 2).Contains(-3) {
+		t.Fatal("Contains(-3) = true")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromInts(1, 5, 70)
+	b := FromInts(5, 6, 200)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got, want := u.Elems(), []int{1, 5, 6, 70, 200}; !reflect.DeepEqual(got, want) {
+		t.Errorf("union = %v, want %v", got, want)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got, want := i.Elems(), []int{5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("intersection = %v, want %v", got, want)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got, want := d.Elems(), []int{1, 70}; !reflect.DeepEqual(got, want) {
+		t.Errorf("difference = %v, want %v", got, want)
+	}
+
+	if !i.SubsetOf(a) || !i.SubsetOf(b) {
+		t.Error("intersection not subset of operands")
+	}
+	if a.SubsetOf(b) {
+		t.Error("a ⊆ b should be false")
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(FromInts(999)) {
+		t.Error("a should not intersect {999}")
+	}
+}
+
+func TestEqualIgnoresCapacity(t *testing.T) {
+	a := New(1024)
+	a.Add(3)
+	b := FromInts(3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("sets with different capacity but same elements must be Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("Key mismatch: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestMin(t *testing.T) {
+	if _, ok := New(0).Min(); ok {
+		t.Error("Min of empty set reported ok")
+	}
+	if m, ok := FromInts(130, 7, 500).Min(); !ok || m != 7 {
+		t.Errorf("Min = %d,%v, want 7,true", m, ok)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromInts(1, 2, 3, 4)
+	n := 0
+	s.ForEach(func(int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("visited %d elements, want 2", n)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromInts(2, 9).String(); got != "{2, 9}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(0).String(); got != "{}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	s := New(0)
+	s.Add(128)
+	if got := s.Bytes(); got != 24 {
+		t.Errorf("Bytes = %d, want 24", got)
+	}
+}
+
+// fromElems builds a Set from a random element list (property helper).
+func fromElems(xs []uint16) *Set {
+	s := &Set{}
+	for _, x := range xs {
+		s.Add(int(x) % 512)
+	}
+	return s
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := fromElems(xs), fromElems(ys)
+		u1 := a.Clone()
+		u1.UnionWith(b)
+		u2 := b.Clone()
+		u2.UnionWith(a)
+		return u1.Equal(u2) && u1.Key() == u2.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |A ∪ B| = |A| + |B| - |A ∩ B|
+	f := func(xs, ys []uint16) bool {
+		a, b := fromElems(xs), fromElems(ys)
+		u := a.Clone()
+		u.UnionWith(b)
+		i := a.Clone()
+		i.IntersectWith(b)
+		return u.Len() == a.Len()+b.Len()-i.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDifferenceDisjoint(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := fromElems(xs), fromElems(ys)
+		d := a.Clone()
+		d.DifferenceWith(b)
+		return !d.Intersects(b) && d.SubsetOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickElemsSortedUnique(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := fromElems(xs)
+		es := s.Elems()
+		if !sort.IntsAreSorted(es) {
+			return false
+		}
+		for i := 1; i < len(es); i++ {
+			if es[i] == es[i-1] {
+				return false
+			}
+		}
+		return len(es) == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	// Model-based: the Set must agree with a map[int]bool model under a
+	// random operation sequence.
+	rng := rand.New(rand.NewSource(42))
+	s := &Set{}
+	model := map[int]bool{}
+	for step := 0; step < 20000; step++ {
+		x := rng.Intn(300)
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(x)
+			model[x] = true
+		case 1:
+			s.Remove(x)
+			delete(model, x)
+		case 2:
+			if s.Contains(x) != model[x] {
+				t.Fatalf("step %d: Contains(%d) = %v, model %v", step, x, s.Contains(x), model[x])
+			}
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+	}
+}

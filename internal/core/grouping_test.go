@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"orderopt/internal/order"
+)
+
+// groupingFramework: produced ordering (a, b); tested groupings {a},
+// {a,b}, {a,b,c}; one operator inducing b → c.
+func groupingFramework(t *testing.T) (*Framework, *Builder, FDHandle) {
+	t.Helper()
+	b := NewBuilder()
+	a := b.Attr("a")
+	bb := b.Attr("b")
+	c := b.Attr("c")
+	b.AddProduced(b.Ordering(a, bb))
+	b.AddTestedGrouping(b.Grouping(a))
+	b.AddTestedGrouping(b.Grouping(a, bb))
+	b.AddTestedGrouping(b.Grouping(a, bb, c))
+	b.AddProducedGrouping(b.Grouping(a, bb))
+	h := b.AddFDSet(order.NewFDSet(order.NewFD(c, bb)))
+	fw, err := b.Prepare(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, b, h
+}
+
+// An ordering implies the groupings of all its prefixes.
+func TestOrderingImpliesGroupings(t *testing.T) {
+	fw, b, h := groupingFramework(t)
+	a, bb, c := b.Attr("a"), b.Attr("b"), b.Attr("c")
+
+	s := fw.Produce(b.Ordering(a, bb))
+	if !fw.ContainsGrouping(s, b.Grouping(a, bb)) {
+		t.Error("sorted (a,b) must be clustered by {a,b}")
+	}
+	if !fw.ContainsGrouping(s, b.Grouping(a)) {
+		t.Error("sorted (a,b) must be clustered by {a}")
+	}
+	if fw.ContainsGrouping(s, b.Grouping(a, bb, c)) {
+		t.Error("{a,b,c} must not hold before b → c")
+	}
+
+	s = fw.Infer(s, h)
+	if !fw.ContainsGrouping(s, b.Grouping(a, bb, c)) {
+		t.Error("{a,b,c} must hold after b → c (c constant within groups)")
+	}
+}
+
+// A produced grouping does not imply any ordering.
+func TestGroupingDoesNotImplyOrdering(t *testing.T) {
+	fw, b, _ := groupingFramework(t)
+	a, bb := b.Attr("a"), b.Attr("b")
+
+	s := fw.ProduceGrouping(b.Grouping(a, bb))
+	if s == StartState {
+		t.Fatal("produced grouping must have an entry state")
+	}
+	if !fw.ContainsGrouping(s, b.Grouping(a, bb)) {
+		t.Error("produced grouping must contain itself")
+	}
+	if fw.Contains(s, b.Ordering(a, bb)) || fw.Contains(s, b.Ordering(a)) {
+		t.Error("clustering must not imply sortedness")
+	}
+	// And no subset rule: {a,b} does not imply {a}.
+	if fw.ContainsGrouping(s, b.Grouping(a)) {
+		t.Error("clustered {a,b} must not imply clustered {a}")
+	}
+}
+
+// Groupings survive equations: clustered by {a} + a = k implies
+// clustered by {k} and {a,k}.
+func TestGroupingEquation(t *testing.T) {
+	b := NewBuilder()
+	a := b.Attr("a")
+	k := b.Attr("k")
+	b.AddProducedGrouping(b.Grouping(a))
+	b.AddTestedGrouping(b.Grouping(k))
+	b.AddTestedGrouping(b.Grouping(a, k))
+	h := b.AddFDSet(order.NewFDSet(order.NewEquation(a, k)))
+	fw, err := b.Prepare(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fw.Infer(fw.ProduceGrouping(b.Grouping(a)), h)
+	if !fw.ContainsGrouping(s, b.Grouping(k)) {
+		t.Error("{k} must hold after a = k")
+	}
+	if !fw.ContainsGrouping(s, b.Grouping(a, k)) {
+		t.Error("{a,k} must hold after a = k")
+	}
+}
+
+// Groupings-only preparation works (no interesting orders at all).
+func TestGroupingsOnlyFramework(t *testing.T) {
+	b := NewBuilder()
+	g := b.Grouping(b.Attr("x"), b.Attr("y"))
+	b.AddProducedGrouping(g)
+	fw, err := b.Prepare(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fw.ContainsGrouping(fw.ProduceGrouping(g), g) {
+		t.Error("grouping-only framework broken")
+	}
+	if fw.Stats().DFSMStates < 2 {
+		t.Error("expected at least start + one grouping state")
+	}
+}
+
+// naiveGroupingContains is the reference semantics for the grouping
+// extension: starting from a produced ordering or grouping, apply each
+// operator's FD set sequentially — orderings close under the §2 rules,
+// groupings close under the set rules, and after every step each
+// ordering contributes the groupings of its prefixes.
+func naiveGroupingContains(in *order.Interner, prodOrd, prodGroup order.ID,
+	sets []order.FDSet, required order.ID) bool {
+
+	ords := map[order.ID]bool{}
+	groups := map[order.ID]bool{}
+	if prodOrd != order.EmptyID {
+		for o := range order.NaiveOmega(in, []order.ID{prodOrd}, nil, 100000) {
+			ords[o] = true
+		}
+	}
+	if prodGroup != order.EmptyID {
+		groups[prodGroup] = true
+	}
+	gd := &order.GroupDeriver{In: in}
+	sync := func() {
+		for o := range ords {
+			groups[order.GroupingOf(in, in.Seq(o))] = true
+		}
+	}
+	sync()
+	for _, s := range sets {
+		oSeed := make([]order.ID, 0, len(ords))
+		for o := range ords {
+			oSeed = append(oSeed, o)
+		}
+		ords = order.NaiveOmega(in, oSeed, s.FDs, 100000)
+		sync()
+		gSeed := make([]order.ID, 0, len(groups))
+		for g := range groups {
+			gSeed = append(gSeed, g)
+		}
+		groups = map[order.ID]bool{}
+		for _, g := range gd.Closure(gSeed, s.FDs) {
+			groups[g] = true
+		}
+	}
+	sync()
+	return groups[required]
+}
+
+// Randomized cross-validation of the grouping pipeline against the
+// naive oracle, over produced orderings and produced groupings.
+func TestRandomizedGroupingOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	names := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 100; trial++ {
+		b := NewBuilder()
+		attrs := make([]order.Attr, len(names))
+		for i, n := range names {
+			attrs[i] = b.Attr(n)
+		}
+		// One produced ordering, one produced grouping, several tested
+		// groupings.
+		perm := rng.Perm(len(attrs))
+		k := 1 + rng.Intn(2)
+		seq := make([]order.Attr, 0, k)
+		for _, p := range perm[:k] {
+			seq = append(seq, attrs[p])
+		}
+		prodOrd := b.Ordering(seq...)
+		b.AddProduced(prodOrd)
+
+		perm = rng.Perm(len(attrs))
+		gAttrs := make([]order.Attr, 0, 2)
+		for _, p := range perm[:1+rng.Intn(2)] {
+			gAttrs = append(gAttrs, attrs[p])
+		}
+		prodGroup := b.Grouping(gAttrs...)
+		b.AddProducedGrouping(prodGroup)
+
+		var testedGroups []order.ID
+		for i := 0; i < 3; i++ {
+			perm = rng.Perm(len(attrs))
+			ga := make([]order.Attr, 0, 3)
+			for _, p := range perm[:1+rng.Intn(3)] {
+				ga = append(ga, attrs[p])
+			}
+			g := b.Grouping(ga...)
+			b.AddTestedGrouping(g)
+			testedGroups = append(testedGroups, g)
+		}
+
+		var handles []FDHandle
+		var allSets []order.FDSet
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			var fds []order.FD
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				x, y := attrs[rng.Intn(len(attrs))], attrs[rng.Intn(len(attrs))]
+				switch rng.Intn(3) {
+				case 0:
+					if x != y {
+						fds = append(fds, order.NewFD(y, x))
+					}
+				case 1:
+					if x != y {
+						fds = append(fds, order.NewEquation(x, y))
+					}
+				default:
+					fds = append(fds, order.NewConstant(x))
+				}
+			}
+			if len(fds) == 0 {
+				fds = append(fds, order.NewConstant(attrs[0]))
+			}
+			set := order.NewFDSet(fds...)
+			handles = append(handles, b.AddFDSet(set))
+			allSets = append(allSets, set)
+		}
+		fw, err := b.Prepare(DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		for _, start := range []struct {
+			ord, group order.ID
+			state      State
+		}{
+			{prodOrd, order.EmptyID, fw.Produce(prodOrd)},
+			{order.EmptyID, prodGroup, fw.ProduceGrouping(prodGroup)},
+		} {
+			s := start.state
+			var applied []order.FDSet
+			steps := rng.Intn(3)
+			for k := 0; k < steps; k++ {
+				i := rng.Intn(len(handles))
+				s = fw.Infer(s, handles[i])
+				applied = append(applied, allSets[i])
+			}
+			for _, g := range testedGroups {
+				got := fw.ContainsGrouping(s, g)
+				want := naiveGroupingContains(b.Interner(), start.ord, start.group, applied, g)
+				if got != want {
+					t.Fatalf("trial %d: ContainsGrouping(%s) after %d sets = %v, oracle %v",
+						trial, b.Interner().Format(b.Registry(), g), steps, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Unknown groupings are never contained and cannot be produced.
+func TestUnknownGrouping(t *testing.T) {
+	fw, b, _ := groupingFramework(t)
+	z := b.Grouping(b.Attr("z"))
+	if fw.ContainsGrouping(StartState, z) {
+		t.Error("unknown grouping contained")
+	}
+	if fw.ProduceGrouping(z) != StartState {
+		t.Error("unknown grouping producible")
+	}
+}

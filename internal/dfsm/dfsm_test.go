@@ -1,0 +1,401 @@
+package dfsm
+
+import (
+	"strings"
+	"testing"
+
+	"orderopt/internal/nfsm"
+	"orderopt/internal/order"
+)
+
+type fixture struct {
+	reg *order.Registry
+	in  *order.Interner
+}
+
+func newFixture() *fixture {
+	return &fixture{reg: order.NewRegistry(), in: order.NewInterner()}
+}
+
+func (f *fixture) ord(names ...string) order.ID {
+	return f.in.Intern(f.reg.Attrs(names...))
+}
+
+func (f *fixture) build(t *testing.T, input nfsm.Input, opt nfsm.Options) *Machine {
+	t.Helper()
+	n, err := nfsm.Build(input, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Convert(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func (f *fixture) setStrings(m *Machine, s StateID) map[string]bool {
+	out := map[string]bool{}
+	for _, ns := range m.Sets[s] {
+		if ns == nfsm.StartState {
+			out["q0"] = true
+			continue
+		}
+		out[f.in.Format(f.reg, m.N.States[ns].Ord)] = true
+	}
+	return out
+}
+
+func (f *fixture) runningExample() nfsm.Input {
+	b := f.reg.Attr("b")
+	c := f.reg.Attr("c")
+	d := f.reg.Attr("d")
+	return nfsm.Input{
+		Reg:      f.reg,
+		In:       f.in,
+		Produced: []order.ID{f.ord("b"), f.ord("a", "b")},
+		Tested:   []order.ID{f.ord("a", "b", "c")},
+		FDSets: []order.FDSet{
+			order.NewFDSet(order.NewFD(c, b)),
+			order.NewFDSet(order.NewFD(d, b)),
+		},
+	}
+}
+
+// Figure 8: the DFSM of the running example has the four states
+// * , 1:{(b)}, 2:{(a),(a,b)}, 3:{(a),(a,b),(a,b,c)}.
+func TestFigure8(t *testing.T) {
+	f := newFixture()
+	m := f.build(t, f.runningExample(), nfsm.AllPruning())
+	if m.NumStates() != 4 {
+		t.Fatalf("DFSM states = %d, want 4\n%s", m.NumStates(), m.Dump())
+	}
+	wantSets := []map[string]bool{
+		{"q0": true},
+		{"(b)": true},
+		{"(a)": true, "(a, b)": true},
+		{"(a)": true, "(a, b)": true, "(a, b, c)": true},
+	}
+	for i, want := range wantSets {
+		got := f.setStrings(m, StateID(i))
+		if len(got) != len(want) {
+			t.Errorf("state %d = %v, want %v", i, got, want)
+			continue
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("state %d missing %s", i, k)
+			}
+		}
+	}
+}
+
+// Figure 9: the precomputed contains matrix.
+func TestFigure9(t *testing.T) {
+	f := newFixture()
+	m := f.build(t, f.runningExample(), nfsm.AllPruning())
+	type row struct {
+		state StateID
+		avail map[string]bool
+	}
+	rows := []row{
+		{1, map[string]bool{"(a)": false, "(a, b)": false, "(a, b, c)": false, "(b)": true}},
+		{2, map[string]bool{"(a)": true, "(a, b)": true, "(a, b, c)": false, "(b)": false}},
+		{3, map[string]bool{"(a)": true, "(a, b)": true, "(a, b, c)": true, "(b)": false}},
+	}
+	ords := map[string]order.ID{
+		"(a)":       f.ord("a"),
+		"(b)":       f.ord("b"),
+		"(a, b)":    f.ord("a", "b"),
+		"(a, b, c)": f.ord("a", "b", "c"),
+	}
+	for _, r := range rows {
+		for name, want := range r.avail {
+			if got := m.Contains(r.state, ords[name]); got != want {
+				t.Errorf("Contains(%d, %s) = %v, want %v", r.state, name, got, want)
+			}
+		}
+	}
+}
+
+// Figure 10: the precomputed transition table. Rows *,1,2,3 and columns
+// {b→c}, (b), (a,b) — note the machine orders produced symbols (b) first
+// because it is shorter.
+func TestFigure10(t *testing.T) {
+	f := newFixture()
+	m := f.build(t, f.runningExample(), nfsm.AllPruning())
+	symFD := 0
+	symB := m.N.ProducedSymbol(f.ord("b"))
+	symAB := m.N.ProducedSymbol(f.ord("a", "b"))
+	if symB < 0 || symAB < 0 {
+		t.Fatal("missing produced symbols")
+	}
+	want := map[StateID][3]StateID{
+		Start: {Start, 1, 2}, // {b→c}→*, (b)→1, (a,b)→2
+		1:     {1, 1, 1},
+		2:     {3, 2, 2},
+		3:     {3, 3, 3},
+	}
+	for s, w := range want {
+		if got := m.Step(s, symFD); got != w[0] {
+			t.Errorf("Step(%d, {b→c}) = %d, want %d", s, got, w[0])
+		}
+		if got := m.Step(s, symB); got != w[1] {
+			t.Errorf("Step(%d, (b)) = %d, want %d", s, got, w[1])
+		}
+		if got := m.Step(s, symAB); got != w[2] {
+			t.Errorf("Step(%d, (a,b)) = %d, want %d", s, got, w[2])
+		}
+	}
+}
+
+// §5.6's walkthrough: sort by (a,b) → state 2 (satisfies (a) and (a,b));
+// apply the operator inducing b→c → state 3 (satisfies (a,b,c) too).
+func TestSection56Walkthrough(t *testing.T) {
+	f := newFixture()
+	m := f.build(t, f.runningExample(), nfsm.AllPruning())
+	s := m.ProduceState(f.ord("a", "b"))
+	if !m.Contains(s, f.ord("a")) || !m.Contains(s, f.ord("a", "b")) {
+		t.Fatal("state after producing (a,b) must contain (a) and (a,b)")
+	}
+	if m.Contains(s, f.ord("a", "b", "c")) {
+		t.Fatal("(a,b,c) must not be available before b→c")
+	}
+	s = m.Step(s, 0) // FD symbol {b→c}
+	if !m.Contains(s, f.ord("a", "b", "c")) {
+		t.Fatal("(a,b,c) must be available after b→c")
+	}
+}
+
+// Figures 1 and 2: the intro example (a,b,c) with {b→d}, no pruning.
+func TestFigure1And2(t *testing.T) {
+	f := newFixture()
+	b := f.reg.Attr("b")
+	d := f.reg.Attr("d")
+	input := nfsm.Input{
+		Reg:      f.reg,
+		In:       f.in,
+		Produced: []order.ID{f.ord("a", "b", "c")},
+		FDSets:   []order.FDSet{order.NewFDSet(order.NewFD(d, b))},
+	}
+	m := f.build(t, input, nfsm.NoPruning())
+	// NFSM: q0 + 6 ordering nodes (a),(a,b),(a,b,c),(a,b,d),(a,b,c,d),(a,b,d,c).
+	if got := m.N.NumStates(); got != 7 {
+		t.Fatalf("NFSM states = %d, want 7\n%s", got, m.N.Dump())
+	}
+	// DFSM: *, {a,ab,abc}, {a,ab,abc,abd,abcd,abdc} (Figure 2).
+	if m.NumStates() != 3 {
+		t.Fatalf("DFSM states = %d, want 3\n%s", m.NumStates(), m.Dump())
+	}
+	s1 := m.ProduceState(f.ord("a", "b", "c"))
+	got1 := f.setStrings(m, s1)
+	if len(got1) != 3 || !got1["(a)"] || !got1["(a, b)"] || !got1["(a, b, c)"] {
+		t.Errorf("state after producing (a,b,c) = %v", got1)
+	}
+	s2 := m.Step(s1, 0)
+	got2 := f.setStrings(m, s2)
+	if len(got2) != 6 || !got2["(a, b, d, c)"] || !got2["(a, b, c, d)"] || !got2["(a, b, d)"] {
+		t.Errorf("state after {b→d} = %v", got2)
+	}
+	if m.Step(s2, 0) != s2 {
+		t.Error("{b→d} must be a fixpoint on the expanded state")
+	}
+}
+
+// Figure 12: the DFSM of the §6.1 query (built without pruning so the
+// NFSM matches Figure 11 exactly).
+func TestFigure12(t *testing.T) {
+	f := newFixture()
+	id := f.reg.Attr("id")
+	jobid := f.reg.Attr("jobid")
+	input := nfsm.Input{
+		Reg:      f.reg,
+		In:       f.in,
+		Produced: []order.ID{f.ord("id"), f.ord("jobid"), f.ord("id", "name")},
+		Tested:   []order.ID{f.ord("salary")},
+		FDSets:   []order.FDSet{order.NewFDSet(order.NewEquation(id, jobid))},
+	}
+	m := f.build(t, input, nfsm.NoPruning())
+	// States: *, {(id)}, {(jobid)}, {(id),(id,name)}, the 4-ordering
+	// equation state and the 10-ordering equation state.
+	if m.NumStates() != 6 {
+		t.Fatalf("DFSM states = %d, want 6\n%s", m.NumStates(), m.Dump())
+	}
+	sID := m.ProduceState(f.ord("id"))
+	sJob := m.ProduceState(f.ord("jobid"))
+	sIDName := m.ProduceState(f.ord("id", "name"))
+
+	eq := 0 // only FD symbol
+	small := m.Step(sID, eq)
+	if m.Step(sJob, eq) != small {
+		t.Error("(id) and (jobid) must reach the same equation state")
+	}
+	got := f.setStrings(m, small)
+	for _, w := range []string{"(id)", "(jobid)", "(jobid, id)", "(id, jobid)"} {
+		if !got[w] {
+			t.Errorf("small equation state missing %s: %v", w, got)
+		}
+	}
+	if len(got) != 4 {
+		t.Errorf("small equation state = %v, want 4 members", got)
+	}
+
+	big := m.Step(sIDName, eq)
+	gb := f.setStrings(m, big)
+	if len(gb) != 10 {
+		t.Errorf("big equation state has %d members, want 10: %v", len(gb), gb)
+	}
+	if gb["(salary)"] {
+		t.Error("(salary) must not be reachable (Figure 12: the node does not appear)")
+	}
+	// The paper's point: after producing (id,name) and applying
+	// id = jobid, the stream satisfies the ORDER BY (jobid, name).
+	if !m.Contains(big, f.ord("jobid", "name")) {
+		// (jobid,name) is an artificial node, not in the contains matrix
+		// by default — but (id,name) and (jobid) are.
+		t.Log("contains matrix only answers interesting orders; checking those instead")
+	}
+	if !m.Contains(big, f.ord("id", "name")) || !m.Contains(big, f.ord("jobid")) {
+		t.Error("big equation state must contain (id,name) and (jobid)")
+	}
+}
+
+func TestSubsetOfAndRow(t *testing.T) {
+	f := newFixture()
+	m := f.build(t, f.runningExample(), nfsm.AllPruning())
+	s2 := m.ProduceState(f.ord("a", "b"))
+	s3 := m.Step(s2, 0)
+	if !m.SubsetOf(s2, s3) {
+		t.Error("state 2 ⊆ state 3 expected")
+	}
+	if m.SubsetOf(s3, s2) {
+		t.Error("state 3 ⊄ state 2 expected")
+	}
+	s1 := m.ProduceState(f.ord("b"))
+	if m.SubsetOf(s1, s2) || m.SubsetOf(s2, s1) {
+		t.Error("states 1 and 2 must be incomparable")
+	}
+	if m.Row(s3).Len() != 3 {
+		t.Errorf("Row(3) has %d bits, want 3", m.Row(s3).Len())
+	}
+}
+
+func TestColumnLookups(t *testing.T) {
+	f := newFixture()
+	m := f.build(t, f.runningExample(), nfsm.AllPruning())
+	col := m.Column(f.ord("a", "b"))
+	if col < 0 {
+		t.Fatal("Column((a,b)) missing")
+	}
+	s2 := m.ProduceState(f.ord("a", "b"))
+	if !m.ContainsColumn(s2, col) {
+		t.Error("ContainsColumn broken")
+	}
+	if m.Column(f.ord("z", "q")) != -1 {
+		t.Error("unknown ordering must map to column -1")
+	}
+	if m.Contains(s2, f.ord("z", "q")) {
+		t.Error("unknown ordering can never be contained")
+	}
+}
+
+func TestProduceStateUnknown(t *testing.T) {
+	f := newFixture()
+	m := f.build(t, f.runningExample(), nfsm.AllPruning())
+	if got := m.ProduceState(f.ord("q")); got != Start {
+		t.Errorf("ProduceState(unknown) = %d, want Start", got)
+	}
+	// Tested-only orders cannot be produced either.
+	if got := m.ProduceState(f.ord("a", "b", "c")); got != Start {
+		t.Errorf("ProduceState(tested-only) = %d, want Start", got)
+	}
+}
+
+func TestPrecomputedBytesPositive(t *testing.T) {
+	f := newFixture()
+	m := f.build(t, f.runningExample(), nfsm.AllPruning())
+	if m.PrecomputedBytes() <= 0 {
+		t.Error("PrecomputedBytes must be positive")
+	}
+	// 4 states × 3 symbols × 4 bytes = 48 bytes of transitions plus 4
+	// contains rows of one word each.
+	if got := m.PrecomputedBytes(); got != 48+4*8 {
+		t.Errorf("PrecomputedBytes = %d, want 80", got)
+	}
+}
+
+func TestMaxStatesLimit(t *testing.T) {
+	f := newFixture()
+	n, err := nfsm.Build(f.runningExample(), nfsm.AllPruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Convert(n, Options{MaxStates: 2}); err == nil {
+		t.Error("Convert with MaxStates=2 should fail for a 4-state DFSM")
+	}
+}
+
+func TestDumpMentionsEverything(t *testing.T) {
+	f := newFixture()
+	m := f.build(t, f.runningExample(), nfsm.AllPruning())
+	d := m.Dump()
+	for _, want := range []string{"DFSM: 4 states", "contains matrix", "transition table", "{b → c}"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Dump missing %q", want)
+		}
+	}
+}
+
+// Pruning must never change observable behaviour: for the running
+// example, contains answers on interesting orders must be identical with
+// and without pruning, for every reachable state along every FD path.
+func TestPruningPreservesSemantics(t *testing.T) {
+	f := newFixture()
+	pruned := f.build(t, f.runningExample(), nfsm.AllPruning())
+
+	f2 := newFixture()
+	unpruned := f2.build(t, f2.runningExample(), nfsm.NoPruning())
+
+	interesting := [][]string{{"b"}, {"a", "b"}, {"a", "b", "c"}, {"a"}}
+	produced := [][]string{{"b"}, {"a", "b"}}
+
+	for _, p := range produced {
+		sp := pruned.ProduceState(f.ord(p...))
+		su := unpruned.ProduceState(f2.ord(p...))
+		// Apply every FD-symbol sequence up to length 2 in the unpruned
+		// machine and the corresponding pruned symbol.
+		type pair struct {
+			sp StateID
+			su StateID
+		}
+		frontier := []pair{{sp, su}}
+		for depth := 0; depth < 2; depth++ {
+			var next []pair
+			for _, pr := range frontier {
+				for origSym := range f2.runningExample().FDSets {
+					puSym := unpruned.N.FDSymbol[origSym]
+					ppSym := pruned.N.FDSymbol[origSym]
+					nu := pr.su
+					if puSym >= 0 {
+						nu = unpruned.Step(pr.su, puSym)
+					}
+					np := pr.sp
+					if ppSym >= 0 {
+						np = pruned.Step(pr.sp, ppSym)
+					}
+					next = append(next, pair{np, nu})
+				}
+			}
+			frontier = next
+			for _, pr := range frontier {
+				for _, io := range interesting {
+					got := pruned.Contains(pr.sp, f.ord(io...))
+					want := unpruned.Contains(pr.su, f2.ord(io...))
+					if got != want {
+						t.Fatalf("pruning changed Contains(%v) after path: got %v want %v", io, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,686 @@
+// Package exec is a small Volcano-style execution engine over in-memory
+// tables: scans, filters, sorts, merge/hash/nested-loop joins and
+// grouping. Its role in this reproduction is validation — the property
+// tests run real tuple streams through operator pipelines and check that
+// every logical ordering the DFSM framework claims (and every functional
+// dependency it consumed) physically holds on the stream.
+package exec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Row is one tuple; values are int64 (strings are dictionary-coded by
+// the data generators, dates are day numbers).
+type Row []int64
+
+// Iterator is the Volcano operator interface.
+type Iterator interface {
+	// Open prepares the iterator; it must be called before Next.
+	Open() error
+	// Next returns the next row, or ok=false at end of stream.
+	Next() (row Row, ok bool, err error)
+	// Close releases resources. Close after Open is mandatory.
+	Close() error
+}
+
+// Collect drains it and returns all rows.
+func Collect(it Iterator) ([]Row, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// Scan yields the given rows.
+type Scan struct {
+	Rows []Row
+	pos  int
+}
+
+// NewScan returns a scan over rows.
+func NewScan(rows []Row) *Scan { return &Scan{Rows: rows} }
+
+// Open implements Iterator.
+func (s *Scan) Open() error { s.pos = 0; return nil }
+
+// Next implements Iterator.
+func (s *Scan) Next() (Row, bool, error) {
+	if s.pos >= len(s.Rows) {
+		return nil, false, nil
+	}
+	r := s.Rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements Iterator.
+func (s *Scan) Close() error { return nil }
+
+// Filter yields input rows satisfying Pred.
+type Filter struct {
+	In   Iterator
+	Pred func(Row) bool
+}
+
+// Open implements Iterator.
+func (f *Filter) Open() error { return f.In.Open() }
+
+// Next implements Iterator.
+func (f *Filter) Next() (Row, bool, error) {
+	for {
+		row, ok, err := f.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.Pred(row) {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (f *Filter) Close() error { return f.In.Close() }
+
+// Project maps each input row through Cols.
+type Project struct {
+	In   Iterator
+	Cols []int
+}
+
+// Open implements Iterator.
+func (p *Project) Open() error { return p.In.Open() }
+
+// Next implements Iterator.
+func (p *Project) Next() (Row, bool, error) {
+	row, ok, err := p.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(Row, len(p.Cols))
+	for i, c := range p.Cols {
+		out[i] = row[c]
+	}
+	return out, true, nil
+}
+
+// Close implements Iterator.
+func (p *Project) Close() error { return p.In.Close() }
+
+// Sort materializes its input and yields it ordered by Keys (ascending,
+// stable).
+type Sort struct {
+	In   Iterator
+	Keys []int
+
+	rows []Row
+	pos  int
+}
+
+// Open implements Iterator.
+func (s *Sort) Open() error {
+	rows, err := Collect(s.In)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return lessByKeys(rows[i], rows[j], s.Keys)
+	})
+	s.rows = rows
+	s.pos = 0
+	return nil
+}
+
+// Next implements Iterator.
+func (s *Sort) Next() (Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements Iterator.
+func (s *Sort) Close() error { s.rows = nil; return nil }
+
+func lessByKeys(a, b Row, keys []int) bool {
+	for _, k := range keys {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// MergeJoin equi-joins two inputs sorted on their key columns; output
+// rows are left ++ right. Duplicate key groups produce the full cross
+// product with the outer (left) order preserved — the ordering behaviour
+// the plan generator relies on.
+type MergeJoin struct {
+	Left, Right Iterator
+	LeftKey     int
+	RightKey    int
+
+	leftRows  []Row
+	rightRows []Row
+	out       []Row
+	pos       int
+}
+
+// Open implements Iterator.
+func (m *MergeJoin) Open() error {
+	var err error
+	if m.leftRows, err = Collect(m.Left); err != nil {
+		return err
+	}
+	if m.rightRows, err = Collect(m.Right); err != nil {
+		return err
+	}
+	if !sorted(m.leftRows, m.LeftKey) {
+		return fmt.Errorf("exec: merge join left input not sorted on column %d", m.LeftKey)
+	}
+	if !sorted(m.rightRows, m.RightKey) {
+		return fmt.Errorf("exec: merge join right input not sorted on column %d", m.RightKey)
+	}
+	m.out = m.out[:0]
+	i, j := 0, 0
+	for i < len(m.leftRows) && j < len(m.rightRows) {
+		lv := m.leftRows[i][m.LeftKey]
+		rv := m.rightRows[j][m.RightKey]
+		switch {
+		case lv < rv:
+			i++
+		case lv > rv:
+			j++
+		default:
+			// Group bounds.
+			jEnd := j
+			for jEnd < len(m.rightRows) && m.rightRows[jEnd][m.RightKey] == rv {
+				jEnd++
+			}
+			for ; i < len(m.leftRows) && m.leftRows[i][m.LeftKey] == lv; i++ {
+				for k := j; k < jEnd; k++ {
+					m.out = append(m.out, concatRows(m.leftRows[i], m.rightRows[k]))
+				}
+			}
+			j = jEnd
+		}
+	}
+	m.pos = 0
+	return nil
+}
+
+func sorted(rows []Row, key int) bool {
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][key] > rows[i][key] {
+			return false
+		}
+	}
+	return true
+}
+
+func concatRows(a, b Row) Row {
+	out := make(Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// Next implements Iterator.
+func (m *MergeJoin) Next() (Row, bool, error) {
+	if m.pos >= len(m.out) {
+		return nil, false, nil
+	}
+	r := m.out[m.pos]
+	m.pos++
+	return r, true, nil
+}
+
+// Close implements Iterator.
+func (m *MergeJoin) Close() error { m.out, m.leftRows, m.rightRows = nil, nil, nil; return nil }
+
+// HashJoin builds a hash table on the right input and probes with the
+// left, preserving the left (probe) order.
+type HashJoin struct {
+	Left, Right Iterator
+	LeftKey     int
+	RightKey    int
+
+	table   map[int64][]Row
+	pending []Row
+	opened  bool
+}
+
+// Open implements Iterator.
+func (h *HashJoin) Open() error {
+	rights, err := Collect(h.Right)
+	if err != nil {
+		return err
+	}
+	h.table = make(map[int64][]Row)
+	for _, r := range rights {
+		h.table[r[h.RightKey]] = append(h.table[r[h.RightKey]], r)
+	}
+	h.pending = nil
+	h.opened = true
+	return h.Left.Open()
+}
+
+// Next implements Iterator.
+func (h *HashJoin) Next() (Row, bool, error) {
+	for {
+		if len(h.pending) > 0 {
+			r := h.pending[0]
+			h.pending = h.pending[1:]
+			return r, true, nil
+		}
+		left, ok, err := h.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		for _, r := range h.table[left[h.LeftKey]] {
+			h.pending = append(h.pending, concatRows(left, r))
+		}
+	}
+}
+
+// Close implements Iterator.
+func (h *HashJoin) Close() error {
+	h.table = nil
+	if h.opened {
+		h.opened = false
+		return h.Left.Close()
+	}
+	return nil
+}
+
+// NestedLoopJoin materializes the inner input and scans it per outer
+// row, joining on an arbitrary predicate over (outer, inner).
+type NestedLoopJoin struct {
+	Outer, Inner Iterator
+	Pred         func(outer, inner Row) bool
+
+	inner   []Row
+	pending []Row
+	opened  bool
+}
+
+// Open implements Iterator.
+func (n *NestedLoopJoin) Open() error {
+	rows, err := Collect(n.Inner)
+	if err != nil {
+		return err
+	}
+	n.inner = rows
+	n.pending = nil
+	n.opened = true
+	return n.Outer.Open()
+}
+
+// Next implements Iterator.
+func (n *NestedLoopJoin) Next() (Row, bool, error) {
+	for {
+		if len(n.pending) > 0 {
+			r := n.pending[0]
+			n.pending = n.pending[1:]
+			return r, true, nil
+		}
+		outer, ok, err := n.Outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		for _, inner := range n.inner {
+			if n.Pred(outer, inner) {
+				n.pending = append(n.pending, concatRows(outer, inner))
+			}
+		}
+	}
+}
+
+// Close implements Iterator.
+func (n *NestedLoopJoin) Close() error {
+	n.inner = nil
+	if n.opened {
+		n.opened = false
+		return n.Outer.Close()
+	}
+	return nil
+}
+
+// Agg selects the aggregate computed by the group operators.
+type Agg uint8
+
+const (
+	// AggCount counts rows per group.
+	AggCount Agg = iota
+	// AggSum sums the AggCol per group.
+	AggSum
+	// AggMin keeps the minimum of AggCol per group.
+	AggMin
+)
+
+// GroupSorted groups an input already sorted on Keys; output rows are
+// the key values followed by the aggregate. It exploits (and preserves)
+// the input ordering — the operator order optimization economizes for.
+type GroupSorted struct {
+	In     Iterator
+	Keys   []int
+	Agg    Agg
+	AggCol int
+
+	cur     Row
+	acc     int64
+	started bool
+	opened  bool
+	prev    Row // sortedness check
+}
+
+// Open implements Iterator.
+func (g *GroupSorted) Open() error {
+	g.cur, g.prev, g.started = nil, nil, false
+	g.opened = true
+	return g.In.Open()
+}
+
+// Next implements Iterator.
+func (g *GroupSorted) Next() (Row, bool, error) {
+	for {
+		row, ok, err := g.In.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if g.started {
+				g.started = false
+				return g.emit(), true, nil
+			}
+			return nil, false, nil
+		}
+		if g.prev != nil && lessByKeys(row, g.prev, g.Keys) {
+			return nil, false, fmt.Errorf("exec: sorted grouping over unsorted input")
+		}
+		g.prev = row
+		if g.started && sameKeys(g.cur, row, g.Keys) {
+			g.accumulate(row)
+			continue
+		}
+		if g.started {
+			out := g.emit()
+			g.startGroup(row)
+			return out, true, nil
+		}
+		g.startGroup(row)
+	}
+}
+
+func (g *GroupSorted) startGroup(row Row) {
+	g.cur = row
+	g.started = true
+	switch g.Agg {
+	case AggCount:
+		g.acc = 1
+	default:
+		g.acc = row[g.AggCol]
+	}
+}
+
+func (g *GroupSorted) accumulate(row Row) {
+	switch g.Agg {
+	case AggCount:
+		g.acc++
+	case AggSum:
+		g.acc += row[g.AggCol]
+	case AggMin:
+		if row[g.AggCol] < g.acc {
+			g.acc = row[g.AggCol]
+		}
+	}
+}
+
+func (g *GroupSorted) emit() Row {
+	out := make(Row, 0, len(g.Keys)+1)
+	for _, k := range g.Keys {
+		out = append(out, g.cur[k])
+	}
+	return append(out, g.acc)
+}
+
+func sameKeys(a, b Row, keys []int) bool {
+	for _, k := range keys {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Close implements Iterator.
+func (g *GroupSorted) Close() error {
+	if g.opened {
+		g.opened = false
+		return g.In.Close()
+	}
+	return nil
+}
+
+// GroupClustered groups a stream whose equal grouping values are
+// adjacent (clustered) without requiring sortedness — the grouping
+// extension's streaming operator. It validates the clustering: if a
+// key group reappears after being closed, the input was not clustered
+// and Next returns an error.
+type GroupClustered struct {
+	In     Iterator
+	Keys   []int
+	Agg    Agg
+	AggCol int
+
+	cur     Row
+	acc     int64
+	started bool
+	opened  bool
+	seen    map[string]bool
+}
+
+// Open implements Iterator.
+func (g *GroupClustered) Open() error {
+	g.cur, g.started = nil, false
+	g.seen = make(map[string]bool)
+	g.opened = true
+	return g.In.Open()
+}
+
+func (g *GroupClustered) key(row Row) string {
+	kb := make([]byte, 0, len(g.Keys)*9)
+	for _, k := range g.Keys {
+		v := row[k]
+		for s := 0; s < 64; s += 8 {
+			kb = append(kb, byte(v>>uint(s)))
+		}
+		kb = append(kb, ',')
+	}
+	return string(kb)
+}
+
+// Next implements Iterator.
+func (g *GroupClustered) Next() (Row, bool, error) {
+	for {
+		row, ok, err := g.In.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if g.started {
+				g.started = false
+				return g.emit(), true, nil
+			}
+			return nil, false, nil
+		}
+		if g.started && sameKeys(g.cur, row, g.Keys) {
+			g.accumulate(row)
+			continue
+		}
+		k := g.key(row)
+		if g.seen[k] {
+			return nil, false, fmt.Errorf("exec: clustered grouping over non-clustered input (group reappeared)")
+		}
+		g.seen[k] = true
+		if g.started {
+			out := g.emit()
+			g.startGroup(row)
+			return out, true, nil
+		}
+		g.startGroup(row)
+	}
+}
+
+func (g *GroupClustered) startGroup(row Row) {
+	g.cur = row
+	g.started = true
+	switch g.Agg {
+	case AggCount:
+		g.acc = 1
+	default:
+		g.acc = row[g.AggCol]
+	}
+}
+
+func (g *GroupClustered) accumulate(row Row) {
+	switch g.Agg {
+	case AggCount:
+		g.acc++
+	case AggSum:
+		g.acc += row[g.AggCol]
+	case AggMin:
+		if row[g.AggCol] < g.acc {
+			g.acc = row[g.AggCol]
+		}
+	}
+}
+
+func (g *GroupClustered) emit() Row {
+	out := make(Row, 0, len(g.Keys)+1)
+	for _, k := range g.Keys {
+		out = append(out, g.cur[k])
+	}
+	return append(out, g.acc)
+}
+
+// Close implements Iterator.
+func (g *GroupClustered) Close() error {
+	g.seen = nil
+	if g.opened {
+		g.opened = false
+		return g.In.Close()
+	}
+	return nil
+}
+
+// GroupHash groups by hashing; output order is unspecified (sorted by
+// key here for determinism, but callers must not rely on it — the plan
+// generator models hash grouping as order-destroying).
+type GroupHash struct {
+	In     Iterator
+	Keys   []int
+	Agg    Agg
+	AggCol int
+
+	out []Row
+	pos int
+}
+
+// Open implements Iterator.
+func (g *GroupHash) Open() error {
+	rows, err := Collect(g.In)
+	if err != nil {
+		return err
+	}
+	type group struct {
+		key Row
+		acc int64
+		n   int
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range rows {
+		kb := make([]byte, 0, len(g.Keys)*9)
+		for _, k := range g.Keys {
+			v := row[k]
+			for s := 0; s < 64; s += 8 {
+				kb = append(kb, byte(v>>uint(s)))
+			}
+			kb = append(kb, ',')
+		}
+		ks := string(kb)
+		gr, ok := groups[ks]
+		if !ok {
+			key := make(Row, len(g.Keys))
+			for i, k := range g.Keys {
+				key[i] = row[k]
+			}
+			gr = &group{key: key}
+			switch g.Agg {
+			case AggCount:
+				gr.acc = 0
+			case AggMin:
+				gr.acc = row[g.AggCol]
+			}
+			groups[ks] = gr
+			order = append(order, ks)
+		}
+		switch g.Agg {
+		case AggCount:
+			gr.acc++
+		case AggSum:
+			gr.acc += row[g.AggCol]
+		case AggMin:
+			if row[g.AggCol] < gr.acc {
+				gr.acc = row[g.AggCol]
+			}
+		}
+		gr.n++
+	}
+	g.out = g.out[:0]
+	for _, ks := range order {
+		gr := groups[ks]
+		g.out = append(g.out, append(append(Row{}, gr.key...), gr.acc))
+	}
+	g.pos = 0
+	return nil
+}
+
+// Next implements Iterator.
+func (g *GroupHash) Next() (Row, bool, error) {
+	if g.pos >= len(g.out) {
+		return nil, false, nil
+	}
+	r := g.out[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// Close implements Iterator.
+func (g *GroupHash) Close() error { g.out = nil; return nil }
+
+// SatisfiesOrdering reports whether the row stream satisfies the logical
+// ordering given by the column sequence — the §2 condition: rows are
+// non-decreasing lexicographically on the columns.
+func SatisfiesOrdering(rows []Row, cols []int) bool {
+	for i := 1; i < len(rows); i++ {
+		if lessByKeys(rows[i], rows[i-1], cols) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,409 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func rowsOf(vals ...[]int64) []Row {
+	out := make([]Row, len(vals))
+	for i, v := range vals {
+		out[i] = Row(v)
+	}
+	return out
+}
+
+func TestScanAndCollect(t *testing.T) {
+	rows := rowsOf([]int64{1, 2}, []int64{3, 4})
+	got, err := Collect(NewScan(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Errorf("Collect = %v", got)
+	}
+	// Re-open yields the same rows.
+	got2, err := Collect(NewScan(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 2 {
+		t.Error("second Collect broken")
+	}
+}
+
+func TestFilterProject(t *testing.T) {
+	rows := rowsOf([]int64{1, 10}, []int64{2, 20}, []int64{3, 30})
+	it := &Project{
+		In:   &Filter{In: NewScan(rows), Pred: func(r Row) bool { return r[0] >= 2 }},
+		Cols: []int{1},
+	}
+	got, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rowsOf([]int64{20}, []int64{30})) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	rows := rowsOf([]int64{2, 1}, []int64{1, 2}, []int64{2, 0}, []int64{1, 1})
+	got, err := Collect(&Sort{In: NewScan(rows), Keys: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rowsOf([]int64{1, 2}, []int64{1, 1}, []int64{2, 1}, []int64{2, 0})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v (stable)", got, want)
+	}
+	if !SatisfiesOrdering(got, []int{0}) {
+		t.Error("sorted output does not satisfy its ordering")
+	}
+}
+
+func TestMergeJoinBasics(t *testing.T) {
+	left := rowsOf([]int64{1, 100}, []int64{2, 200}, []int64{2, 201}, []int64{4, 400})
+	right := rowsOf([]int64{1, -1}, []int64{2, -2}, []int64{3, -3})
+	mj := &MergeJoin{
+		Left: NewScan(left), Right: NewScan(right),
+		LeftKey: 0, RightKey: 0,
+	}
+	got, err := Collect(mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rowsOf(
+		[]int64{1, 100, 1, -1},
+		[]int64{2, 200, 2, -2},
+		[]int64{2, 201, 2, -2},
+		[]int64{4, 400}, // placeholder, fixed below
+	)
+	want = want[:3]
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestMergeJoinDuplicateGroups(t *testing.T) {
+	left := rowsOf([]int64{1, 0}, []int64{1, 1})
+	right := rowsOf([]int64{1, 7}, []int64{1, 8})
+	got, err := Collect(&MergeJoin{Left: NewScan(left), Right: NewScan(right), LeftKey: 0, RightKey: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("cross product size = %d, want 4", len(got))
+	}
+	// Outer order preserved: left row 0 pairs come before left row 1.
+	if got[0][1] != 0 || got[1][1] != 0 || got[2][1] != 1 || got[3][1] != 1 {
+		t.Errorf("outer order not preserved: %v", got)
+	}
+}
+
+func TestMergeJoinRejectsUnsorted(t *testing.T) {
+	left := rowsOf([]int64{2}, []int64{1})
+	right := rowsOf([]int64{1})
+	mj := &MergeJoin{Left: NewScan(left), Right: NewScan(right), LeftKey: 0, RightKey: 0}
+	if err := mj.Open(); err == nil {
+		t.Error("unsorted merge join input must be rejected")
+	}
+	right2 := rowsOf([]int64{5}, []int64{1})
+	mj2 := &MergeJoin{Left: NewScan(rowsOf([]int64{1})), Right: NewScan(right2), LeftKey: 0, RightKey: 0}
+	if err := mj2.Open(); err == nil {
+		t.Error("unsorted right input must be rejected")
+	}
+}
+
+func TestHashJoinPreservesProbeOrder(t *testing.T) {
+	left := rowsOf([]int64{3}, []int64{1}, []int64{2}, []int64{1})
+	right := rowsOf([]int64{1, 10}, []int64{2, 20}, []int64{3, 30})
+	got, err := Collect(&HashJoin{Left: NewScan(left), Right: NewScan(right), LeftKey: 0, RightKey: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []int64
+	for _, r := range got {
+		keys = append(keys, r[0])
+	}
+	if !reflect.DeepEqual(keys, []int64{3, 1, 2, 1}) {
+		t.Errorf("probe order not preserved: %v", keys)
+	}
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	outer := rowsOf([]int64{1}, []int64{2})
+	inner := rowsOf([]int64{10}, []int64{20})
+	got, err := Collect(&NestedLoopJoin{
+		Outer: NewScan(outer), Inner: NewScan(inner),
+		Pred: func(o, i Row) bool { return o[0]*10 == i[0] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rowsOf([]int64{1, 10}, []int64{2, 20})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v", got)
+	}
+}
+
+// Property: all three join algorithms produce the same multiset of rows
+// on random equi-join inputs.
+func TestJoinsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		var left, right []Row
+		for i := 0; i < rng.Intn(20); i++ {
+			left = append(left, Row{rng.Int63n(6), int64(i)})
+		}
+		for i := 0; i < rng.Intn(20); i++ {
+			right = append(right, Row{rng.Int63n(6), int64(100 + i)})
+		}
+		sortedLeft := append([]Row{}, left...)
+		sort.SliceStable(sortedLeft, func(i, j int) bool { return sortedLeft[i][0] < sortedLeft[j][0] })
+		sortedRight := append([]Row{}, right...)
+		sort.SliceStable(sortedRight, func(i, j int) bool { return sortedRight[i][0] < sortedRight[j][0] })
+
+		mj, err := Collect(&MergeJoin{Left: NewScan(sortedLeft), Right: NewScan(sortedRight), LeftKey: 0, RightKey: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hj, err := Collect(&HashJoin{Left: NewScan(left), Right: NewScan(right), LeftKey: 0, RightKey: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl, err := Collect(&NestedLoopJoin{
+			Outer: NewScan(left), Inner: NewScan(right),
+			Pred: func(o, i Row) bool { return o[0] == i[0] },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameMultiset(mj, hj) || !sameMultiset(hj, nl) {
+			t.Fatalf("trial %d: joins disagree: mj=%d hj=%d nl=%d rows", trial, len(mj), len(hj), len(nl))
+		}
+	}
+}
+
+func sameMultiset(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[string]int{}
+	key := func(r Row) string {
+		out := make([]byte, 0, len(r)*9)
+		for _, v := range r {
+			for s := 0; s < 64; s += 8 {
+				out = append(out, byte(v>>uint(s)))
+			}
+			out = append(out, ',')
+		}
+		return string(out)
+	}
+	for _, r := range a {
+		count[key(r)]++
+	}
+	for _, r := range b {
+		count[key(r)]--
+		if count[key(r)] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGroupSortedAndHashAgree(t *testing.T) {
+	rows := rowsOf(
+		[]int64{1, 5}, []int64{1, 7}, []int64{2, 1}, []int64{3, 2}, []int64{3, 2},
+	)
+	gs, err := Collect(&GroupSorted{In: NewScan(rows), Keys: []int{0}, Agg: AggSum, AggCol: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rowsOf([]int64{1, 12}, []int64{2, 1}, []int64{3, 4})
+	if !reflect.DeepEqual(gs, want) {
+		t.Errorf("GroupSorted = %v, want %v", gs, want)
+	}
+	gh, err := Collect(&GroupHash{In: NewScan(rows), Keys: []int{0}, Agg: AggSum, AggCol: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(gs, gh) {
+		t.Errorf("GroupHash = %v", gh)
+	}
+}
+
+func TestGroupAggs(t *testing.T) {
+	rows := rowsOf([]int64{1, 5}, []int64{1, 3}, []int64{2, 9})
+	cnt, err := Collect(&GroupSorted{In: NewScan(rows), Keys: []int{0}, Agg: AggCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cnt, rowsOf([]int64{1, 2}, []int64{2, 1})) {
+		t.Errorf("count = %v", cnt)
+	}
+	min, err := Collect(&GroupSorted{In: NewScan(rows), Keys: []int{0}, Agg: AggMin, AggCol: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(min, rowsOf([]int64{1, 3}, []int64{2, 9})) {
+		t.Errorf("min = %v", min)
+	}
+}
+
+func TestGroupSortedRejectsUnsorted(t *testing.T) {
+	rows := rowsOf([]int64{2, 1}, []int64{1, 1})
+	it := &GroupSorted{In: NewScan(rows), Keys: []int{0}, Agg: AggCount}
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var err error
+	for err == nil {
+		_, ok, e := it.Next()
+		err = e
+		if !ok && e == nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("unsorted input must fail sorted grouping")
+	}
+}
+
+// Clustered grouping accepts clustered-but-unsorted input and rejects
+// non-clustered input.
+func TestGroupClustered(t *testing.T) {
+	// Clustered by col0 (equal keys adjacent) but NOT sorted: 2,2,1,1,3.
+	rows := rowsOf(
+		[]int64{2, 10}, []int64{2, 20}, []int64{1, 5}, []int64{1, 5}, []int64{3, 1},
+	)
+	got, err := Collect(&GroupClustered{In: NewScan(rows), Keys: []int{0}, Agg: AggSum, AggCol: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rowsOf([]int64{2, 30}, []int64{1, 10}, []int64{3, 1})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GroupClustered = %v, want %v", got, want)
+	}
+	// Sorted grouping would reject this input.
+	gs := &GroupSorted{In: NewScan(rows), Keys: []int{0}, Agg: AggSum, AggCol: 1}
+	if err := gs.Open(); err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	for {
+		_, ok, err := gs.Next()
+		if err != nil {
+			failed = true
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	gs.Close()
+	if !failed {
+		t.Error("GroupSorted accepted unsorted input")
+	}
+}
+
+func TestGroupClusteredRejectsNonClustered(t *testing.T) {
+	// Key 1 reappears after key 2 closed it: not clustered.
+	rows := rowsOf([]int64{1, 1}, []int64{2, 1}, []int64{1, 1})
+	it := &GroupClustered{In: NewScan(rows), Keys: []int{0}, Agg: AggCount}
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var err error
+	for err == nil {
+		_, ok, e := it.Next()
+		err = e
+		if !ok && e == nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("non-clustered input must fail clustered grouping")
+	}
+}
+
+func TestGroupClusteredAgreesWithHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		// Build a clustered stream: groups in random order, random sizes.
+		var rows []Row
+		for _, k := range rng.Perm(5) {
+			for i := 0; i < rng.Intn(4); i++ {
+				rows = append(rows, Row{int64(k), rng.Int63n(10)})
+			}
+		}
+		gc, err := Collect(&GroupClustered{In: NewScan(rows), Keys: []int{0}, Agg: AggSum, AggCol: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gh, err := Collect(&GroupHash{In: NewScan(rows), Keys: []int{0}, Agg: AggSum, AggCol: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameMultiset(gc, gh) {
+			t.Fatalf("trial %d: clustered and hash grouping disagree", trial)
+		}
+	}
+}
+
+func TestGroupEmptyInput(t *testing.T) {
+	gs, err := Collect(&GroupSorted{In: NewScan(nil), Keys: []int{0}, Agg: AggCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 0 {
+		t.Errorf("empty input produced groups: %v", gs)
+	}
+	gh, err := Collect(&GroupHash{In: NewScan(nil), Keys: []int{0}, Agg: AggSum, AggCol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gh) != 0 {
+		t.Errorf("empty input produced hash groups: %v", gh)
+	}
+}
+
+func TestSatisfiesOrdering(t *testing.T) {
+	rows := rowsOf([]int64{1, 2}, []int64{1, 3}, []int64{2, 0})
+	if !SatisfiesOrdering(rows, []int{0}) {
+		t.Error("(col0) should hold")
+	}
+	if !SatisfiesOrdering(rows, []int{0, 1}) {
+		t.Error("(col0, col1) should hold")
+	}
+	if SatisfiesOrdering(rows, []int{1}) {
+		t.Error("(col1) should not hold")
+	}
+	if !SatisfiesOrdering(nil, []int{0}) {
+		t.Error("empty stream satisfies everything")
+	}
+}
+
+// Property: Sort output always satisfies the sort ordering and preserves
+// the row multiset.
+func TestQuickSortProperties(t *testing.T) {
+	f := func(vals []int64) bool {
+		rows := make([]Row, len(vals))
+		for i, v := range vals {
+			rows[i] = Row{v % 10, int64(i)}
+		}
+		out, err := Collect(&Sort{In: NewScan(rows), Keys: []int{0}})
+		if err != nil {
+			return false
+		}
+		return SatisfiesOrdering(out, []int{0}) && sameMultiset(rows, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

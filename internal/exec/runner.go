@@ -1,0 +1,328 @@
+package exec
+
+import (
+	"fmt"
+
+	"orderopt/internal/order"
+	"orderopt/internal/plan"
+	"orderopt/internal/query"
+)
+
+// Runner executes optimizer plans over in-memory tables. Its purpose is
+// end-to-end validation: if the order-optimization component wrongly
+// claimed an input ordering, the merge join's sortedness check fails;
+// and the produced result must equal brute-force evaluation of the
+// query graph.
+type Runner struct {
+	A *query.Analysis
+	// Data maps table names to rows (values aligned with the catalog's
+	// column order).
+	Data map[string][][]int64
+}
+
+// Run executes the plan and returns its rows together with the output
+// schema (one entry per column, identifying the source relation/column).
+// Plans containing group operators are supported only when the ORDER BY
+// columns are part of the GROUP BY.
+func (r *Runner) Run(n *plan.Node) ([]Row, []query.ColumnRef, error) {
+	it, schema, err := r.build(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := Collect(it)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, schema, nil
+}
+
+// schemaOf returns the column layout a plan node emits: scans emit all
+// columns of their relation, joins concatenate left then right.
+func (r *Runner) build(n *plan.Node) (Iterator, []query.ColumnRef, error) {
+	g := r.A.Graph
+	switch n.Op {
+	case plan.TableScan, plan.IndexScan:
+		rel := &g.Relations[n.Rel]
+		raw, ok := r.Data[rel.Table.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("exec: no data for table %s", rel.Table.Name)
+		}
+		rows := make([]Row, len(raw))
+		for i, v := range raw {
+			rows[i] = Row(v)
+		}
+		schema := make([]query.ColumnRef, len(rel.Table.Columns))
+		for c := range schema {
+			schema[c] = query.ColumnRef{Rel: n.Rel, Col: c}
+		}
+		var it Iterator = NewScan(rows)
+		if n.Op == plan.IndexScan {
+			ix := rel.Table.Indexes[n.Index]
+			keys := make([]int, len(ix.Columns))
+			for i, name := range ix.Columns {
+				keys[i] = rel.Table.ColumnIndex(name)
+			}
+			it = &Sort{In: it, Keys: keys}
+		}
+		preds := rel.ConstPreds
+		if len(preds) > 0 {
+			relIdx := n.Rel
+			it = &Filter{In: it, Pred: func(row Row) bool {
+				for _, p := range g.Relations[relIdx].ConstPreds {
+					if !p.Matches(row[p.Col.Col]) {
+						return false
+					}
+				}
+				return true
+			}}
+		}
+		return it, schema, nil
+
+	case plan.Sort:
+		in, schema, err := r.build(n.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys, err := r.sortKeys(n.SortOrd, schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Sort{In: in, Keys: keys}, schema, nil
+
+	case plan.MergeJoin, plan.HashJoin, plan.NestedLoopJoin:
+		return r.buildJoin(n)
+
+	case plan.GroupSorted, plan.GroupHash, plan.GroupClustered:
+		in, schema, err := r.build(n.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys := make([]int, 0, len(g.GroupBy))
+		outSchema := make([]query.ColumnRef, 0, len(g.GroupBy))
+		for _, c := range g.GroupBy {
+			pos := colPos(schema, c)
+			if pos < 0 {
+				return nil, nil, fmt.Errorf("exec: group column %s not in schema", g.ColumnName(c))
+			}
+			keys = append(keys, pos)
+			outSchema = append(outSchema, c)
+		}
+		switch n.Op {
+		case plan.GroupSorted:
+			return &GroupSorted{In: in, Keys: keys, Agg: AggCount}, outSchema, nil
+		case plan.GroupClustered:
+			return &GroupClustered{In: in, Keys: keys, Agg: AggCount}, outSchema, nil
+		default:
+			return &GroupHash{In: in, Keys: keys, Agg: AggCount}, outSchema, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("exec: unsupported plan operator %v", n.Op)
+}
+
+func (r *Runner) buildJoin(n *plan.Node) (Iterator, []query.ColumnRef, error) {
+	g := r.A.Graph
+	left, ls, err := r.build(n.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, rs, err := r.build(n.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := append(append([]query.ColumnRef{}, ls...), rs...)
+
+	// All equality predicates crossing the two sides must hold on the
+	// output; the join algorithm evaluates one, a filter the rest.
+	leftRels := relMask(ls)
+	rightRels := relMask(rs)
+	crossing := g.EdgesBetween(leftRels, rightRels)
+	type eq struct{ l, r int } // positions in the combined schema
+	var eqs []eq
+	primary := -1
+	for _, e := range crossing {
+		for pi, p := range g.Edges[e].Preds {
+			lp, rp := p.Left, p.Right
+			lpos := colPos(ls, lp)
+			rpos := colPos(rs, rp)
+			if lpos < 0 { // predicate written the other way round
+				lpos = colPos(ls, rp)
+				rpos = colPos(rs, lp)
+			}
+			if lpos < 0 || rpos < 0 {
+				return nil, nil, fmt.Errorf("exec: join predicate columns not in schemas")
+			}
+			eqs = append(eqs, eq{lpos, len(ls) + rpos})
+			if e == n.Edge && pi == n.Pred {
+				primary = len(eqs) - 1
+			}
+		}
+	}
+	if len(eqs) == 0 {
+		return nil, nil, fmt.Errorf("exec: join without predicates")
+	}
+	if primary < 0 {
+		primary = 0
+	}
+
+	residualFrom := func(skip int) func(Row) bool {
+		return func(row Row) bool {
+			for i, e := range eqs {
+				if i == skip {
+					continue
+				}
+				if row[e.l] != row[e.r] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	switch n.Op {
+	case plan.MergeJoin:
+		it := Iterator(&MergeJoin{
+			Left: left, Right: right,
+			LeftKey:  eqs[primary].l,
+			RightKey: eqs[primary].r - len(ls),
+		})
+		if len(eqs) > 1 {
+			it = &Filter{In: it, Pred: residualFrom(primary)}
+		}
+		return it, schema, nil
+	case plan.HashJoin:
+		it := Iterator(&HashJoin{
+			Left: left, Right: right,
+			LeftKey:  eqs[primary].l,
+			RightKey: eqs[primary].r - len(ls),
+		})
+		if len(eqs) > 1 {
+			it = &Filter{In: it, Pred: residualFrom(primary)}
+		}
+		return it, schema, nil
+	default: // NestedLoopJoin
+		nl := &NestedLoopJoin{
+			Outer: left, Inner: right,
+			Pred: func(outer, inner Row) bool {
+				for _, e := range eqs {
+					if outer[e.l] != inner[e.r-len(ls)] {
+						return false
+					}
+				}
+				return true
+			},
+		}
+		return nl, schema, nil
+	}
+}
+
+// sortKeys maps an ordering's attributes to schema positions.
+func (r *Runner) sortKeys(ord order.ID, schema []query.ColumnRef) ([]int, error) {
+	seq := r.A.Builder.Interner().Seq(ord)
+	keys := make([]int, 0, len(seq))
+	for _, at := range seq {
+		c, ok := r.A.ColumnOf(at)
+		if !ok {
+			return nil, fmt.Errorf("exec: sort attribute %d has no column", at)
+		}
+		pos := colPos(schema, c)
+		if pos < 0 {
+			return nil, fmt.Errorf("exec: sort column %s not in schema", r.A.Graph.ColumnName(c))
+		}
+		keys = append(keys, pos)
+	}
+	return keys, nil
+}
+
+func colPos(schema []query.ColumnRef, c query.ColumnRef) int {
+	for i, s := range schema {
+		if s == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func relMask(schema []query.ColumnRef) uint64 {
+	var m uint64
+	for _, c := range schema {
+		m |= 1 << uint(c.Rel)
+	}
+	return m
+}
+
+// BruteForce evaluates the query graph directly: the filtered cartesian
+// product of all relations, columns in relation order 0..n-1. The result
+// is the reference the Runner's plans are validated against.
+func BruteForce(a *query.Analysis, data map[string][][]int64) ([]Row, []query.ColumnRef, error) {
+	g := a.Graph
+	var schema []query.ColumnRef
+	offsets := make([]int, len(g.Relations))
+	for r := range g.Relations {
+		offsets[r] = len(schema)
+		for c := range g.Relations[r].Table.Columns {
+			schema = append(schema, query.ColumnRef{Rel: r, Col: c})
+		}
+	}
+	pos := func(c query.ColumnRef) int { return offsets[c.Rel] + c.Col }
+
+	var out []Row
+	var recurse func(rel int, acc Row)
+	recurse = func(rel int, acc Row) {
+		if rel == len(g.Relations) {
+			for e := range g.Edges {
+				for _, p := range g.Edges[e].Preds {
+					if acc[pos(p.Left)] != acc[pos(p.Right)] {
+						return
+					}
+				}
+			}
+			out = append(out, append(Row{}, acc...))
+			return
+		}
+		relData, ok := data[g.Relations[rel].Table.Name]
+		if !ok {
+			relData = nil
+		}
+		for _, row := range relData {
+			match := true
+			for _, p := range g.Relations[rel].ConstPreds {
+				if !p.Matches(row[p.Col.Col]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			recurse(rel+1, append(acc, row...))
+		}
+	}
+	recurse(0, nil)
+	return out, schema, nil
+}
+
+// Canonicalize reorders each row's columns from the given schema into
+// relation order 0..n-1 so results from different plans compare equal.
+func Canonicalize(rows []Row, schema []query.ColumnRef, g *query.Graph) []Row {
+	var canonical []query.ColumnRef
+	for r := range g.Relations {
+		for c := range g.Relations[r].Table.Columns {
+			canonical = append(canonical, query.ColumnRef{Rel: r, Col: c})
+		}
+	}
+	perm := make([]int, len(canonical))
+	for i, c := range canonical {
+		perm[i] = colPos(schema, c)
+	}
+	out := make([]Row, len(rows))
+	for i, row := range rows {
+		nr := make(Row, len(perm))
+		for j, p := range perm {
+			if p >= 0 && p < len(row) {
+				nr[j] = row[p]
+			}
+		}
+		out[i] = nr
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"orderopt/internal/optimizer"
+	"orderopt/internal/plan"
+	"orderopt/internal/query"
+	"orderopt/internal/querygen"
+)
+
+// TestOptimizedPlansProduceCorrectResults is the system-level check: for
+// random queries, optimize with BOTH order-optimization components,
+// execute the chosen plans over real data, and compare against
+// brute-force evaluation. A wrong ordering claim surfaces either as a
+// merge-join sortedness error or as a result mismatch.
+func TestOptimizedPlansProduceCorrectResults(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		for _, extra := range []int{0, 1} {
+			if extra > n*(n-1)/2-(n-1) {
+				continue
+			}
+			for seed := int64(0); seed < 8; seed++ {
+				name := fmt.Sprintf("n%d_e%d_s%d", n, extra, seed)
+				_, g, err := querygen.Generate(querygen.Spec{
+					Relations: n, ExtraEdges: extra, Seed: seed,
+					ColumnsPerTable: 3,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				data := querygen.GenerateData(g, 6, seed+100)
+
+				var reference []Row
+				for _, mode := range []optimizer.Mode{optimizer.ModeDFSM, optimizer.ModeSimmen} {
+					a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := optimizer.Optimize(a, optimizer.DefaultConfig(mode))
+					if err != nil {
+						t.Fatalf("%s %v: %v", name, mode, err)
+					}
+					runner := &Runner{A: a, Data: data}
+					rows, schema, err := runner.Run(res.Best)
+					if err != nil {
+						t.Fatalf("%s %v: executing the optimal plan failed: %v\n%s",
+							name, mode, err, res.Best)
+					}
+					got := Canonicalize(rows, schema, g)
+
+					if reference == nil {
+						ref, refSchema, err := BruteForce(a, data)
+						if err != nil {
+							t.Fatal(err)
+						}
+						reference = Canonicalize(ref, refSchema, g)
+					}
+					if !sameMultiset(got, reference) {
+						t.Fatalf("%s %v: plan result (%d rows) differs from brute force (%d rows)\n%s",
+							name, mode, len(got), len(reference), res.Best)
+					}
+
+					// The final ORDER BY must hold physically.
+					if len(g.OrderBy) > 0 {
+						cols := make([]int, len(g.OrderBy))
+						ok := true
+						for i, c := range g.OrderBy {
+							cols[i] = colPos(schema, c)
+							if cols[i] < 0 {
+								ok = false
+							}
+						}
+						if ok && !SatisfiesOrdering(rows, cols) {
+							t.Fatalf("%s %v: ORDER BY violated by the final plan\n%s",
+								name, mode, res.Best)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGroupedPlansProduceCorrectResults extends the system-level check
+// to GROUP BY queries with the grouping extension enabled: the chosen
+// plan (which may use clustered grouping) must produce exactly the
+// groups brute-force evaluation implies, and the clustered-group
+// operator's runtime validation must never fire.
+func TestGroupedPlansProduceCorrectResults(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		for seed := int64(0); seed < 10; seed++ {
+			name := fmt.Sprintf("n%d_s%d", n, seed)
+			_, g, err := querygen.Generate(querygen.Spec{
+				Relations: n, Seed: seed, ColumnsPerTable: 3, WithGroupBy: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := querygen.GenerateData(g, 6, seed+300)
+
+			a, err := query.Analyze(g, query.AnalyzeOptions{
+				UseIndexes:     true,
+				TrackGroupings: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := optimizer.Optimize(a, optimizer.DefaultConfig(optimizer.ModeDFSM))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			runner := &Runner{A: a, Data: data}
+			rows, schema, err := runner.Run(res.Best)
+			if err != nil {
+				t.Fatalf("%s: executing the grouped plan failed: %v\n%s", name, err, res.Best)
+			}
+
+			// Reference: brute force, then hash-group on the same keys.
+			ref, refSchema, err := BruteForce(a, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := make([]int, len(g.GroupBy))
+			for i, c := range g.GroupBy {
+				keys[i] = colPos(refSchema, c)
+			}
+			refGroups, err := Collect(&GroupHash{In: NewScan(ref), Keys: keys, Agg: AggCount})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameMultiset(rows, refGroups) {
+				t.Fatalf("%s: grouped plan (%d groups) differs from reference (%d groups)\n%s",
+					name, len(rows), len(refGroups), res.Best)
+			}
+
+			// The schema of a grouped plan is the grouping columns.
+			if len(schema) != len(g.GroupBy) {
+				t.Fatalf("%s: grouped schema = %v", name, schema)
+			}
+		}
+	}
+}
+
+// TestRunnerMergeJoinPlan builds a hand-written merge-join plan and runs
+// it, checking schema bookkeeping and residual-predicate filtering.
+func TestRunnerMergeJoinPlan(t *testing.T) {
+	_, g, err := querygen.Generate(querygen.Spec{
+		Relations: 2, ExtraEdges: 0, Seed: 3, ColumnsPerTable: 2,
+		SelectionProb: -1, // no selections
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := query.Analyze(g, query.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := querygen.GenerateData(g, 5, 1)
+
+	pred := g.Edges[0].Preds[0]
+	lOrd := a.Ordering(pred.Left)
+	rOrd := a.Ordering(pred.Right)
+	p := &plan.Node{
+		Op: plan.MergeJoin, Edge: 0, Pred: 0,
+		Left: &plan.Node{
+			Op: plan.Sort, SortOrd: lOrd,
+			Left: &plan.Node{Op: plan.TableScan, Rel: pred.Left.Rel},
+		},
+		Right: &plan.Node{
+			Op: plan.Sort, SortOrd: rOrd,
+			Left: &plan.Node{Op: plan.TableScan, Rel: pred.Right.Rel},
+		},
+	}
+	runner := &Runner{A: a, Data: data}
+	rows, schema, err := runner.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != 4 {
+		t.Fatalf("schema = %v", schema)
+	}
+	ref, refSchema, err := BruteForce(a, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(Canonicalize(rows, schema, g), Canonicalize(ref, refSchema, g)) {
+		t.Fatal("hand-written merge join disagrees with brute force")
+	}
+}
+
+// TestRunnerUnsortedMergeJoinFails: a merge join without the required
+// sorts must be rejected at execution time — this is the mechanism that
+// would expose unsound contains() claims.
+func TestRunnerUnsortedMergeJoinFails(t *testing.T) {
+	_, g, err := querygen.Generate(querygen.Spec{
+		Relations: 2, ExtraEdges: 0, Seed: 3, ColumnsPerTable: 2, SelectionProb: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := query.Analyze(g, query.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data engineered to be unsorted on every column.
+	data := map[string][][]int64{}
+	for r := range g.Relations {
+		name := g.Relations[r].Table.Name
+		data[name] = [][]int64{{5, 5}, {1, 1}, {3, 3}}
+	}
+	pred := g.Edges[0].Preds[0]
+	p := &plan.Node{
+		Op: plan.MergeJoin, Edge: 0, Pred: 0,
+		Left:  &plan.Node{Op: plan.TableScan, Rel: pred.Left.Rel},
+		Right: &plan.Node{Op: plan.TableScan, Rel: pred.Right.Rel},
+	}
+	if _, _, err := (&Runner{A: a, Data: data}).Run(p); err == nil {
+		t.Fatal("unsorted merge join must fail at runtime")
+	}
+}
+
+func TestRunnerErrors(t *testing.T) {
+	_, g, err := querygen.Generate(querygen.Spec{Relations: 2, Seed: 1, ColumnsPerTable: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := query.Analyze(g, query.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{A: a, Data: map[string][][]int64{}}
+	if _, _, err := runner.Run(&plan.Node{Op: plan.TableScan, Rel: 0}); err == nil {
+		t.Error("missing data must fail")
+	}
+	if _, _, err := runner.Run(&plan.Node{Op: plan.Op(99)}); err == nil {
+		t.Error("unknown operator must fail")
+	}
+}

@@ -1,0 +1,194 @@
+package nfsm
+
+import (
+	"strings"
+	"testing"
+
+	"orderopt/internal/order"
+)
+
+// groupingInput: produced ordering (a,b); tested groupings {a,b} and
+// {a,b,c}; FD b → c.
+func (f *fixture) groupingInput() Input {
+	a := f.reg.Attr("a")
+	b := f.reg.Attr("b")
+	c := f.reg.Attr("c")
+	return Input{
+		Reg:      f.reg,
+		In:       f.in,
+		Produced: []order.ID{f.ord("a", "b")},
+		ProducedGroupings: []order.ID{
+			order.GroupingOf(f.in, []order.Attr{a, b}),
+		},
+		TestedGroupings: []order.ID{
+			order.GroupingOf(f.in, []order.Attr{c, b, a}), // canonicalizes to {a,b,c}
+		},
+		FDSets: []order.FDSet{order.NewFDSet(order.NewFD(c, b))},
+	}
+}
+
+func TestGroupingStatesInMachine(t *testing.T) {
+	f := newFixture()
+	m, err := Build(f.groupingInput(), AllPruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := f.reg.Attr("a"), f.reg.Attr("b"), f.reg.Attr("c")
+	gAB := order.GroupingOf(f.in, []order.Attr{a, b})
+	gABC := order.GroupingOf(f.in, []order.Attr{a, b, c})
+
+	sAB := m.GroupStateOf(gAB)
+	if sAB == NoState {
+		t.Fatal("grouping state {a,b} missing")
+	}
+	if !m.States[sAB].Grouping || m.States[sAB].Kind != KindInteresting {
+		t.Errorf("grouping state flags wrong: %+v", m.States[sAB])
+	}
+	sABC := m.GroupStateOf(gABC)
+	if sABC == NoState {
+		t.Fatal("grouping state {a,b,c} missing")
+	}
+
+	// The ordering (a,b) must ε-imply the grouping {a,b}.
+	ordAB := m.StateOf(f.ord("a", "b"))
+	if m.EpsGroup(ordAB) != sAB {
+		t.Errorf("EpsGroup((a,b)) = %d, want %d", m.EpsGroup(ordAB), sAB)
+	}
+	// Grouping states have no prefix ε.
+	if m.Eps(sAB) != NoState {
+		t.Error("grouping state must have no prefix ε")
+	}
+	// FD edge {b→c}: {a,b} → {a,b,c}.
+	found := false
+	for _, tg := range m.FDTargets(sAB, 0) {
+		if tg == sABC {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing grouping FD edge {a,b} --b→c--> {a,b,c}\n%s", m.Dump())
+	}
+
+	// Produced-grouping start edge and symbol.
+	if m.StartGroupTarget(gAB) != sAB {
+		t.Error("StartGroupTarget({a,b}) wrong")
+	}
+	sym := m.ProducedGroupingSymbol(gAB)
+	if sym < m.NumFDSymbols() {
+		t.Fatalf("ProducedGroupingSymbol = %d", sym)
+	}
+	if m.StartTargetForSymbol(sym) != sAB {
+		t.Error("StartTargetForSymbol wrong for grouping")
+	}
+	if m.ProducedGroupingSymbol(gABC) != -1 {
+		t.Error("tested-only grouping must have no produced symbol")
+	}
+	// Namespaces are separated by method: {a,b,c} is not a produced
+	// ordering even though groupings and orderings share interned IDs.
+	if m.ProducedSymbol(gABC) != -1 {
+		t.Error("grouping-only ID must not resolve as a produced ordering")
+	}
+	if sym2 := m.ProducedSymbol(gAB); sym2 == sym {
+		t.Error("ordering and grouping symbols for the same ID must differ")
+	}
+}
+
+func TestGroupingOnlyMachine(t *testing.T) {
+	f := newFixture()
+	x, y := f.reg.Attr("x"), f.reg.Attr("y")
+	g := order.GroupingOf(f.in, []order.Attr{x, y})
+	m, err := Build(Input{
+		Reg: f.reg, In: f.in,
+		ProducedGroupings: []order.ID{g},
+	}, AllPruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GroupStateOf(g) == NoState {
+		t.Fatal("grouping state missing")
+	}
+	if m.NumSymbols() != 1 {
+		t.Errorf("symbols = %d, want 1 produced grouping", m.NumSymbols())
+	}
+	if m.NumStates() != 2 {
+		t.Errorf("states = %d, want q0 + grouping", m.NumStates())
+	}
+}
+
+func TestGroupingViabilityPrunesInMachine(t *testing.T) {
+	f := newFixture()
+	a := f.reg.Attr("a")
+	z := f.reg.Attr("z")
+	// Interesting grouping {a}; a constant FD on z could extend it to
+	// {a,z}, but no interesting grouping contains z → pruned.
+	input := Input{
+		Reg: f.reg, In: f.in,
+		ProducedGroupings: []order.ID{order.GroupingOf(f.in, []order.Attr{a})},
+		FDSets:            []order.FDSet{order.NewFDSet(order.NewConstant(z))},
+	}
+	m, err := Build(input, AllPruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GroupStateOf(order.GroupingOf(f.in, []order.Attr{a, z})) != NoState {
+		t.Error("viability should have pruned {a,z}")
+	}
+	// Without pruning the node exists.
+	f2 := newFixture()
+	a2 := f2.reg.Attr("a")
+	z2 := f2.reg.Attr("z")
+	m2, err := Build(Input{
+		Reg: f2.reg, In: f2.in,
+		ProducedGroupings: []order.ID{order.GroupingOf(f2.in, []order.Attr{a2})},
+		FDSets:            []order.FDSet{order.NewFDSet(order.NewConstant(z2))},
+	}, NoPruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.GroupStateOf(order.GroupingOf(f2.in, []order.Attr{a2, z2})) == NoState {
+		t.Error("unpruned machine should keep {a,z}")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	f := newFixture()
+	m, err := Build(f.runningExample(), AllPruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := m.DOT()
+	for _, want := range []string{"digraph nfsm", "q0 ->", "ε", "{b → c}"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	f := newFixture()
+	m, err := Build(f.runningExample(), AllPruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 5 {
+		t.Errorf("NumStates = %d", m.NumStates())
+	}
+	if m.NumSymbols() != 3 {
+		t.Errorf("NumSymbols = %d", m.NumSymbols())
+	}
+	if got := len(m.InterestingStates()); got != 4 {
+		t.Errorf("InterestingStates = %d, want 4", got)
+	}
+	if m.GroupStateOf(f.ord("a")) != NoState {
+		t.Error("no grouping states expected")
+	}
+	if m.StartTargetForSymbol(0) != NoState {
+		t.Error("FD symbol must have no start target")
+	}
+	if m.StartTargetForSymbol(99) != NoState {
+		t.Error("out-of-range symbol must have no start target")
+	}
+	if m.StartGroupTarget(f.ord("a")) != NoState {
+		t.Error("no grouping start targets expected")
+	}
+}

@@ -1,0 +1,159 @@
+package optimizer
+
+import (
+	"testing"
+
+	"orderopt/internal/catalog"
+	"orderopt/internal/plan"
+	"orderopt/internal/query"
+)
+
+// groupPermQuery: GROUP BY (a, b) over a table whose clustered index
+// delivers (b, a). Only with GroupByPermutations can the sorted group
+// exploit the index order directly.
+func groupPermQuery(t *testing.T, perms bool) *query.Analysis {
+	t.Helper()
+	c := catalog.New()
+	c.MustAdd(&catalog.Table{
+		Name: "t1",
+		Columns: []catalog.Column{
+			{Name: "a", Type: catalog.Int, Distinct: 100},
+			{Name: "b", Type: catalog.Int, Distinct: 100},
+			{Name: "j", Type: catalog.Int, Distinct: 1000},
+		},
+		Rows: 100000,
+		Indexes: []catalog.Index{
+			{Name: "t1_ba", Columns: []string{"b", "a"}, Clustered: true},
+		},
+	})
+	c.MustAdd(&catalog.Table{
+		Name:    "t2",
+		Columns: []catalog.Column{{Name: "j", Type: catalog.Int, Distinct: 1000}},
+		Rows:    1000,
+	})
+	t1, _ := c.Table("t1")
+	t2, _ := c.Table("t2")
+	g := &query.Graph{}
+	r1 := g.AddRelation("t1", t1)
+	r2 := g.AddRelation("t2", t2)
+	if err := g.AddJoin(query.ColumnRef{Rel: r1, Col: 2}, query.ColumnRef{Rel: r2, Col: 0}); err != nil {
+		t.Fatal(err)
+	}
+	g.GroupBy = []query.ColumnRef{{Rel: r1, Col: 0}, {Rel: r1, Col: 1}}
+	a, err := query.Analyze(g, query.AnalyzeOptions{
+		UseIndexes:          true,
+		GroupByPermutations: perms,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestGroupByPermutationsExploitIndexOrder(t *testing.T) {
+	withPerms, err := Optimize(groupPermQuery(t, true), DefaultConfig(ModeDFSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutPerms, err := Optimize(groupPermQuery(t, false), DefaultConfig(ModeDFSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPerms.Best.Cost > withoutPerms.Best.Cost {
+		t.Errorf("permutations made the plan worse: %.1f > %.1f",
+			withPerms.Best.Cost, withoutPerms.Best.Cost)
+	}
+	// The permutation-aware plan groups on the index order (b, a)
+	// without an extra sort when the index path wins.
+	ops := withPerms.Best.Ops()
+	if ops[plan.GroupSorted]+ops[plan.GroupHash] != 1 {
+		t.Fatalf("expected one group operator:\n%s", withPerms.Best)
+	}
+}
+
+// The grouping extension: with TrackGroupings, one grouping node
+// subsumes all permutations — the plan groups the (b, a)-ordered index
+// stream directly with a clustered group, no sort, no permutation
+// enumeration.
+func TestTrackGroupingsExploitsAnyPermutation(t *testing.T) {
+	build := func(track bool) *query.Analysis {
+		c := catalog.New()
+		c.MustAdd(&catalog.Table{
+			Name: "t1",
+			Columns: []catalog.Column{
+				{Name: "a", Type: catalog.Int, Distinct: 100},
+				{Name: "b", Type: catalog.Int, Distinct: 100},
+				{Name: "j", Type: catalog.Int, Distinct: 1000},
+			},
+			Rows: 100000,
+			Indexes: []catalog.Index{
+				{Name: "t1_ba", Columns: []string{"b", "a"}, Clustered: true},
+			},
+		})
+		c.MustAdd(&catalog.Table{
+			Name:    "t2",
+			Columns: []catalog.Column{{Name: "j", Type: catalog.Int, Distinct: 1000}},
+			Rows:    1000,
+		})
+		t1, _ := c.Table("t1")
+		t2, _ := c.Table("t2")
+		g := &query.Graph{}
+		r1 := g.AddRelation("t1", t1)
+		r2 := g.AddRelation("t2", t2)
+		if err := g.AddJoin(query.ColumnRef{Rel: r1, Col: 2}, query.ColumnRef{Rel: r2, Col: 0}); err != nil {
+			t.Fatal(err)
+		}
+		g.GroupBy = []query.ColumnRef{{Rel: r1, Col: 0}, {Rel: r1, Col: 1}}
+		a, err := query.Analyze(g, query.AnalyzeOptions{
+			UseIndexes:     true,
+			TrackGroupings: track,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	with, err := Optimize(build(true), DefaultConfig(ModeDFSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Optimize(build(false), DefaultConfig(ModeDFSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Best.Cost > without.Best.Cost {
+		t.Errorf("grouping tracking made the plan worse: %.1f > %.1f",
+			with.Best.Cost, without.Best.Cost)
+	}
+	ops := with.Best.Ops()
+	if ops[plan.GroupClustered] == 1 {
+		// The clustered plan must not need a sort for the grouping.
+		if ops[plan.Sort] > 0 {
+			t.Errorf("clustered grouping should avoid sorting:\n%s", with.Best)
+		}
+	} else {
+		t.Logf("clustered group not chosen (cost decided otherwise):\n%s", with.Best)
+	}
+	// Against the Simmen baseline (which cannot track groupings), the
+	// grouping-aware plan can only be at least as good.
+	simmen, err := Optimize(build(false), DefaultConfig(ModeSimmen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Best.Cost > simmen.Best.Cost+1e-9 {
+		t.Errorf("grouping-aware plan worse than baseline: %.1f > %.1f",
+			with.Best.Cost, simmen.Best.Cost)
+	}
+}
+
+func TestGroupByOrdsRegistered(t *testing.T) {
+	a := groupPermQuery(t, true)
+	if len(a.GroupByOrds) != 2 { // (a,b) and (b,a)
+		t.Fatalf("GroupByOrds = %d, want 2", len(a.GroupByOrds))
+	}
+	a2 := groupPermQuery(t, false)
+	if len(a2.GroupByOrds) != 1 {
+		t.Fatalf("GroupByOrds = %d, want 1 without permutations", len(a2.GroupByOrds))
+	}
+}

@@ -1,0 +1,559 @@
+// Package optimizer is a Lohman-style bottom-up dynamic-programming plan
+// generator (the paper's §7 test bed): it enumerates connected subgraph
+// pairs of the join graph, builds scan/sort/join plans with a
+// Selinger-style cost model, and prunes dominated plans per relation
+// subset. The order-optimization component is pluggable — either the
+// paper's DFSM framework (O(1) contains/infer, one int per plan) or the
+// Simmen et al. baseline (reduce-based contains, FD sets per plan) — so
+// both can be measured inside the identical plan generator.
+package optimizer
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"orderopt/internal/core"
+	"orderopt/internal/order"
+	"orderopt/internal/plan"
+	"orderopt/internal/query"
+	"orderopt/internal/simmen"
+)
+
+// Mode selects the order-optimization component.
+type Mode uint8
+
+const (
+	// ModeDFSM uses the paper's framework (internal/core).
+	ModeDFSM Mode = iota
+	// ModeSimmen uses the Simmen et al. baseline (internal/simmen).
+	ModeSimmen
+)
+
+func (m Mode) String() string {
+	if m == ModeSimmen {
+		return "simmen"
+	}
+	return "dfsm"
+}
+
+// Config tunes the plan generator.
+type Config struct {
+	Mode Mode
+	// CoreOptions configures preparation in ModeDFSM.
+	CoreOptions core.Options
+	// SimmenCache enables the baseline's reduce cache (the paper's
+	// tuned configuration).
+	SimmenCache bool
+	// DisableHashJoin removes hash joins from the search space (orders
+	// matter more without them).
+	DisableHashJoin bool
+	// DisableNLJoin removes nested-loop joins from the search space.
+	DisableNLJoin bool
+}
+
+// DefaultConfig returns the configuration used by the experiments: all
+// join operators enabled, full pruning, empty-ordering tracking on,
+// Simmen cache on.
+func DefaultConfig(m Mode) Config {
+	co := core.DefaultOptions()
+	co.TrackEmptyOrdering = true
+	co.MaxSimulationStates = 512
+	return Config{Mode: m, CoreOptions: co, SimmenCache: true}
+}
+
+// Result is the outcome of one optimization run, carrying the counters
+// the §7 experiments report.
+type Result struct {
+	Best *plan.Node
+
+	// PlansGenerated counts every plan operator constructed (the
+	// paper's "#Plans": "the time to introduce one plan operator").
+	PlansGenerated int64
+	// PlansRetained counts plans surviving dominance pruning.
+	PlansRetained int
+	// OrderMemBytes is the memory consumed by order-optimization
+	// annotations: 4 bytes per generated plan plus the precomputed DFSM
+	// tables for ModeDFSM, or the cumulative annotation bytes for
+	// ModeSimmen.
+	OrderMemBytes int64
+	// DFSMBytes is the precomputed-table share of OrderMemBytes
+	// (ModeDFSM only; the separate column of Figure 14).
+	DFSMBytes int64
+
+	PrepTime time.Duration
+	PlanTime time.Duration
+	// Stats holds the framework preparation statistics (ModeDFSM only).
+	Stats *core.Stats
+}
+
+type optimizer struct {
+	a   *query.Analysis
+	g   *query.Graph
+	cfg Config
+
+	fw  *core.Framework
+	sim *simmen.Framework
+
+	relCard []float64 // per relation, after base filters
+	edgeSel []float64 // per edge, product over its predicates
+	colDist [][]float64
+
+	adj []uint64
+
+	dp map[uint64][]*plan.Node
+
+	generated int64
+}
+
+// Optimize plans the analyzed query under cfg.
+func Optimize(a *query.Analysis, cfg Config) (*Result, error) {
+	if len(a.Sets) > 64 {
+		// Plan nodes track applied operators in a 64-bit mask (for the
+		// §5.6 sort-state replay); queries beyond that are outside this
+		// planner's scope.
+		return nil, fmt.Errorf("optimizer: more than 64 FD sets (%d)", len(a.Sets))
+	}
+	o := &optimizer{a: a, g: a.Graph, cfg: cfg, dp: make(map[uint64][]*plan.Node)}
+	res := &Result{}
+
+	prepStart := time.Now()
+	switch cfg.Mode {
+	case ModeDFSM:
+		fw, err := a.Prepare(cfg.CoreOptions)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: %w", err)
+		}
+		o.fw = fw
+		st := fw.Stats()
+		res.Stats = &st
+	case ModeSimmen:
+		o.sim = simmen.New(a.Builder.Interner(), a.Builder.Registry(), cfg.SimmenCache)
+	default:
+		return nil, fmt.Errorf("optimizer: unknown mode %d", cfg.Mode)
+	}
+	res.PrepTime = time.Since(prepStart)
+
+	planStart := time.Now()
+	o.estimate()
+	o.adj = o.g.AdjacencyMasks()
+
+	best, err := o.run()
+	if err != nil {
+		return nil, err
+	}
+	res.PlanTime = time.Since(planStart)
+	res.Best = best
+	res.PlansGenerated = o.generated
+	for _, ps := range o.dp {
+		res.PlansRetained += len(ps)
+	}
+	if cfg.Mode == ModeDFSM {
+		res.DFSMBytes = int64(o.fw.Stats().PrecomputedBytes)
+		res.OrderMemBytes = 4*o.generated + res.DFSMBytes
+	} else {
+		res.OrderMemBytes = o.sim.BytesAllocated
+	}
+	return res, nil
+}
+
+// estimate precomputes per-relation filtered cardinalities, per-edge
+// selectivities and column distinct counts.
+func (o *optimizer) estimate() {
+	o.relCard = make([]float64, len(o.g.Relations))
+	o.colDist = make([][]float64, len(o.g.Relations))
+	for i := range o.g.Relations {
+		r := &o.g.Relations[i]
+		card := float64(r.Table.Rows)
+		for _, p := range r.ConstPreds {
+			card *= p.DefaultSelectivity(r.Table)
+		}
+		if card < 1 {
+			card = 1
+		}
+		o.relCard[i] = card
+		dist := make([]float64, len(r.Table.Columns))
+		for c := range r.Table.Columns {
+			d := float64(r.Table.Columns[c].Distinct)
+			if d < 1 {
+				d = 1
+			}
+			dist[c] = d
+		}
+		o.colDist[i] = dist
+	}
+	o.edgeSel = make([]float64, len(o.g.Edges))
+	for e := range o.g.Edges {
+		sel := 1.0
+		for _, p := range o.g.Edges[e].Preds {
+			dl := o.colDist[p.Left.Rel][p.Left.Col]
+			dr := o.colDist[p.Right.Rel][p.Right.Col]
+			d := dl
+			if dr > d {
+				d = dr
+			}
+			sel /= d
+		}
+		o.edgeSel[e] = sel
+	}
+}
+
+// maskCard estimates the cardinality of joining all relations in mask.
+func (o *optimizer) maskCard(mask uint64) float64 {
+	card := 1.0
+	for m := mask; m != 0; m &= m - 1 {
+		card *= o.relCard[bits.TrailingZeros64(m)]
+	}
+	for e := range o.g.Edges {
+		a, b := o.g.Edges[e].Rels()
+		if mask&(1<<uint(a)) != 0 && mask&(1<<uint(b)) != 0 {
+			card *= o.edgeSel[e]
+		}
+	}
+	if card < 1 {
+		card = 1
+	}
+	return card
+}
+
+func (o *optimizer) run() (*plan.Node, error) {
+	n := len(o.g.Relations)
+	full := uint64(1)<<uint(n) - 1
+
+	// Base plans.
+	for r := 0; r < n; r++ {
+		mask := uint64(1) << uint(r)
+		o.addPlan(mask, o.scanPlan(r, -1))
+		for ix := range o.a.IndexOrders[r] {
+			o.addPlan(mask, o.scanPlan(r, ix))
+		}
+	}
+
+	// Joins over connected subgraph pairs, sets by increasing size.
+	for mask := uint64(1); mask <= full; mask++ {
+		if bits.OnesCount64(mask) < 2 || !o.connected(mask) {
+			continue
+		}
+		for s1 := (mask - 1) & mask; s1 != 0; s1 = (s1 - 1) & mask {
+			s2 := mask ^ s1
+			if s2 == 0 || !o.connected(s1) || !o.connected(s2) {
+				continue
+			}
+			edges := o.g.EdgesBetween(s1, s2)
+			if len(edges) == 0 {
+				continue
+			}
+			for _, p1 := range o.dp[s1] {
+				for _, p2 := range o.dp[s2] {
+					o.emitJoins(mask, s1, p1, p2, edges)
+				}
+			}
+		}
+		if len(o.dp[mask]) == 0 {
+			return nil, fmt.Errorf("optimizer: no plan for relation set %b", mask)
+		}
+	}
+
+	return o.finish(full)
+}
+
+// connected caches nothing: the masks are small and the check is cheap.
+func (o *optimizer) connected(mask uint64) bool {
+	if mask == 0 {
+		return false
+	}
+	if mask&(mask-1) == 0 {
+		return true
+	}
+	start := mask & -mask
+	seen := start
+	frontier := start
+	for frontier != 0 {
+		var next uint64
+		for m := frontier; m != 0; m &= m - 1 {
+			next |= o.adj[bits.TrailingZeros64(m)] & mask &^ seen
+		}
+		seen |= next
+		frontier = next
+	}
+	return seen == mask
+}
+
+// scanPlan builds a table scan (ix < 0) or index scan plan for relation r
+// and applies the relation's selection FDs.
+func (o *optimizer) scanPlan(r, ix int) *plan.Node {
+	t := o.g.Relations[r].Table
+	rows := float64(t.Rows)
+	node := &plan.Node{Rel: r, Card: o.relCard[r]}
+	if ix < 0 {
+		node.Op = plan.TableScan
+		node.Cost = plan.ScanCost(rows)
+		if o.fw != nil {
+			node.State = o.fw.Produce(order.EmptyID)
+		} else {
+			node.Ann = o.sim.Produce(order.EmptyID)
+		}
+	} else {
+		node.Op = plan.IndexScan
+		node.Index = ix
+		node.Cost = plan.IndexScanCost(rows, t.Indexes[ix].Clustered)
+		ord := o.a.IndexOrders[r][ix]
+		if o.fw != nil {
+			node.State = o.fw.Produce(ord)
+		} else {
+			node.Ann = o.sim.Produce(ord)
+		}
+	}
+	if h := o.a.RelFD[r]; h >= 0 {
+		node.FDMask |= 1 << uint(h)
+		if o.fw != nil {
+			node.State = o.fw.Infer(node.State, h)
+		} else {
+			node.Ann = o.sim.Infer(node.Ann, o.a.Sets[h])
+		}
+	}
+	o.generated++
+	return node
+}
+
+// applyEdges applies the FD sets of the given join edges to a state.
+func (o *optimizer) applyEdges(n *plan.Node, edges []int) {
+	for _, e := range edges {
+		h := o.a.EdgeFD[e]
+		n.FDMask |= 1 << uint(h)
+		if o.fw != nil {
+			n.State = o.fw.Infer(n.State, h)
+		} else {
+			n.Ann = o.sim.Infer(n.Ann, o.a.Sets[h])
+		}
+	}
+}
+
+// contains asks the active framework whether p satisfies ord.
+func (o *optimizer) contains(p *plan.Node, ord order.ID) bool {
+	if o.fw != nil {
+		return o.fw.Contains(p.State, ord)
+	}
+	return o.sim.Contains(p.Ann, ord)
+}
+
+// sortPlan wraps p in a sort to ord (no-op test is the caller's job).
+func (o *optimizer) sortPlan(p *plan.Node, ord order.ID) *plan.Node {
+	n := &plan.Node{
+		Op: plan.Sort, Left: p, SortOrd: ord,
+		Cost: p.Cost + plan.SortCost(p.Card),
+		Card: p.Card, FDMask: p.FDMask,
+	}
+	if o.fw != nil {
+		n.State = o.fw.SortMask(ord, p.FDMask)
+	} else {
+		n.Ann = o.sim.Sort(p.Ann, ord)
+	}
+	o.generated++
+	return n
+}
+
+// emitJoins generates the join candidates for (p1 ⋈ p2) over edges and
+// offers them to dp[mask]. p1 is the outer/left input covering the
+// relations in s1.
+func (o *optimizer) emitJoins(mask, s1 uint64, p1, p2 *plan.Node, edges []int) {
+	out := o.maskCard(mask)
+
+	join := func(op plan.Op, left, right *plan.Node, opCost float64, edge, pred int) {
+		n := &plan.Node{
+			Op: op, Left: left, Right: right, Edge: edge, Pred: pred,
+			Cost:   left.Cost + right.Cost + opCost,
+			Card:   out,
+			FDMask: left.FDMask | right.FDMask,
+		}
+		// All join operators here preserve the outer (left/probe)
+		// input's ordering; the edge equations then widen it.
+		if o.fw != nil {
+			n.State = left.State
+		} else {
+			n.Ann = left.Ann
+		}
+		o.applyEdges(n, edges)
+		o.generated++
+		o.addPlan(mask, n)
+	}
+
+	if !o.cfg.DisableNLJoin {
+		join(plan.NestedLoopJoin, p1, p2, plan.NestedLoopCost(p1.Card, p2.Card, out), edges[0], 0)
+	}
+	if !o.cfg.DisableHashJoin {
+		join(plan.HashJoin, p1, p2, plan.HashJoinCost(p1.Card, p2.Card, out), edges[0], 0)
+	}
+
+	// Merge joins: one candidate per equality predicate, sorting inputs
+	// that are not already suitably ordered.
+	for _, e := range edges {
+		for pi, pred := range o.g.Edges[e].Preds {
+			lOrd := o.a.EdgeOrders[e][0][pi]
+			rOrd := o.a.EdgeOrders[e][1][pi]
+			// Align predicate sides with (p1, p2).
+			if s1&(1<<uint(pred.Left.Rel)) == 0 {
+				lOrd, rOrd = rOrd, lOrd
+			}
+			left, right := p1, p2
+			if !o.contains(left, lOrd) {
+				left = o.sortPlan(left, lOrd)
+			}
+			if !o.contains(right, rOrd) {
+				right = o.sortPlan(right, rOrd)
+			}
+			join(plan.MergeJoin, left, right, plan.MergeJoinCost(left.Card, right.Card, out), e, pi)
+		}
+	}
+}
+
+// dominates reports whether a makes b redundant: no more expensive and at
+// least as much order information.
+func (o *optimizer) dominates(a, b *plan.Node) bool {
+	if a.Cost > b.Cost {
+		return false
+	}
+	if o.fw != nil {
+		return o.fw.SubsetOf(b.State, a.State)
+	}
+	return o.sim.Dominates(a.Ann, b.Ann)
+}
+
+// addPlan offers a candidate to the subset's plan list with dominance
+// pruning.
+func (o *optimizer) addPlan(mask uint64, cand *plan.Node) {
+	list := o.dp[mask]
+	for _, q := range list {
+		if o.dominates(q, cand) {
+			return
+		}
+	}
+	kept := list[:0]
+	for _, q := range list {
+		if !o.dominates(cand, q) {
+			kept = append(kept, q)
+		}
+	}
+	o.dp[mask] = append(kept, cand)
+}
+
+// finish applies GROUP BY and ORDER BY on the full-set plans and returns
+// the cheapest final plan.
+func (o *optimizer) finish(full uint64) (*plan.Node, error) {
+	var best *plan.Node
+	consider := func(p *plan.Node) {
+		if best == nil || p.Cost < best.Cost {
+			best = p
+		}
+	}
+	for _, p := range o.dp[full] {
+		for _, q := range o.finishOne(p) {
+			consider(q)
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("optimizer: no final plan")
+	}
+	return best, nil
+}
+
+func (o *optimizer) finishOne(p *plan.Node) []*plan.Node {
+	cands := []*plan.Node{p}
+	if o.a.GroupByOrd != order.EmptyID {
+		groupOrds := o.a.GroupByOrds
+		if len(groupOrds) == 0 {
+			groupOrds = []order.ID{o.a.GroupByOrd}
+		}
+		var grouped []*plan.Node
+		gcard := o.groupCard(p.Card)
+		for _, c := range cands {
+			// Sorted grouping works on any permutation of the grouping
+			// columns the input already satisfies.
+			matched := false
+			for _, gOrd := range groupOrds {
+				if o.contains(c, gOrd) {
+					grouped = append(grouped, o.groupNode(c, plan.GroupSorted, gcard))
+					matched = true
+					break
+				}
+			}
+			// Clustered grouping (grouping extension): the stream need
+			// only have equal grouping values adjacent.
+			if !matched && o.fw != nil && o.a.GroupByGrouping != order.EmptyID &&
+				o.fw.ContainsGrouping(c.State, o.a.GroupByGrouping) {
+				grouped = append(grouped, o.groupNode(c, plan.GroupClustered, gcard))
+				matched = true
+			}
+			if !matched {
+				for _, gOrd := range groupOrds {
+					srt := o.sortPlan(c, gOrd)
+					grouped = append(grouped, o.groupNode(srt, plan.GroupSorted, gcard))
+				}
+				grouped = append(grouped, o.groupNode(c, plan.GroupHash, gcard))
+			}
+		}
+		cands = grouped
+	}
+	if o.a.OrderByOrd != order.EmptyID {
+		var ordered []*plan.Node
+		for _, c := range cands {
+			if o.contains(c, o.a.OrderByOrd) {
+				ordered = append(ordered, c)
+			} else {
+				ordered = append(ordered, o.sortPlan(c, o.a.OrderByOrd))
+			}
+		}
+		cands = ordered
+	}
+	return cands
+}
+
+func (o *optimizer) groupCard(in float64) float64 {
+	card := 1.0
+	for _, c := range o.g.GroupBy {
+		card *= o.colDist[c.Rel][c.Col]
+	}
+	if card > in {
+		card = in
+	}
+	if card < 1 {
+		card = 1
+	}
+	return card
+}
+
+func (o *optimizer) groupNode(in *plan.Node, op plan.Op, card float64) *plan.Node {
+	streaming := op == plan.GroupSorted || op == plan.GroupClustered
+	n := &plan.Node{
+		Op: op, Left: in,
+		Cost: in.Cost + plan.GroupCost(in.Card, streaming),
+		Card: card, FDMask: in.FDMask,
+	}
+	switch {
+	case op == plan.GroupSorted:
+		// Sorted grouping preserves the input ordering.
+		if o.fw != nil {
+			n.State = in.State
+		} else {
+			n.Ann = in.Ann
+		}
+	case op == plan.GroupClustered && o.fw != nil:
+		// Clustered grouping emits one row per group: the output is
+		// clustered by the grouping keys but unordered.
+		n.State = o.fw.ProduceGrouping(o.a.GroupByGrouping)
+	default:
+		// Hash grouping destroys the physical ordering (the output is
+		// still clustered by the keys — one row per group).
+		if o.fw != nil {
+			if o.a.GroupByGrouping != order.EmptyID {
+				n.State = o.fw.ProduceGrouping(o.a.GroupByGrouping)
+			} else {
+				n.State = o.fw.Produce(order.EmptyID)
+			}
+		} else {
+			n.Ann = o.sim.Produce(order.EmptyID)
+		}
+	}
+	o.generated++
+	return n
+}

@@ -1,0 +1,176 @@
+package order
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"orderopt/internal/bitset"
+)
+
+// Kind distinguishes the three normal forms of §2: plain functional
+// dependencies X → y, equations a = b (from join predicates), and
+// constants a = const (represented as ∅ → a but with unrestricted
+// insertion positions).
+type Kind uint8
+
+const (
+	// KindFD is a functional dependency Determinant → Dependent with a
+	// single dependent attribute (the normal form of §2, footnote 2).
+	KindFD Kind = iota
+	// KindEquation is an attribute equation Left = Right, which is
+	// strictly stronger than the FD pair {Left→Right, Right→Left}.
+	KindEquation
+	// KindConstant pins Dependent to a constant (predicate a = const).
+	KindConstant
+)
+
+// FD is one functional dependency, equation, or constant binding in the
+// normal form the derivation rules of §2 operate on.
+type FD struct {
+	Kind        Kind
+	Determinant *bitset.Set // KindFD: the left-hand side (may be empty)
+	Dependent   Attr        // KindFD, KindConstant: the determined attribute
+	Left, Right Attr        // KindEquation: Left = Right
+}
+
+// NewFD returns the functional dependency {lhs...} → rhs.
+func NewFD(rhs Attr, lhs ...Attr) FD {
+	det := bitset.New(0)
+	for _, a := range lhs {
+		det.Add(int(a))
+	}
+	return FD{Kind: KindFD, Determinant: det, Dependent: rhs}
+}
+
+// NewEquation returns the equation a = b.
+func NewEquation(a, b Attr) FD {
+	return FD{Kind: KindEquation, Left: a, Right: b}
+}
+
+// NewConstant returns the constant binding a = const.
+func NewConstant(a Attr) FD {
+	return FD{Kind: KindConstant, Dependent: a}
+}
+
+// Attrs returns the set of attributes mentioned by the dependency.
+func (fd FD) Attrs() *bitset.Set {
+	s := bitset.New(0)
+	switch fd.Kind {
+	case KindFD:
+		s.UnionWith(fd.Determinant)
+		s.Add(int(fd.Dependent))
+	case KindEquation:
+		s.Add(int(fd.Left))
+		s.Add(int(fd.Right))
+	case KindConstant:
+		s.Add(int(fd.Dependent))
+	}
+	return s
+}
+
+// Key returns a canonical string for deduplication. Equations are
+// symmetric: a=b and b=a yield the same key.
+func (fd FD) Key() string {
+	switch fd.Kind {
+	case KindEquation:
+		l, r := fd.Left, fd.Right
+		if l > r {
+			l, r = r, l
+		}
+		return "e:" + strconv.Itoa(int(l)) + "=" + strconv.Itoa(int(r))
+	case KindConstant:
+		return "c:" + strconv.Itoa(int(fd.Dependent))
+	default:
+		return "f:" + fd.Determinant.Key() + ">" + strconv.Itoa(int(fd.Dependent))
+	}
+}
+
+// Format renders the dependency with attribute names, e.g. "{a, b} → c",
+// "a = b", or "∅ → a".
+func (fd FD) Format(reg *Registry) string {
+	switch fd.Kind {
+	case KindEquation:
+		return reg.Name(fd.Left) + " = " + reg.Name(fd.Right)
+	case KindConstant:
+		return "∅ → " + reg.Name(fd.Dependent)
+	default:
+		switch fd.Determinant.Len() {
+		case 0:
+			return "∅ → " + reg.Name(fd.Dependent)
+		case 1:
+			a, _ := fd.Determinant.Min()
+			return reg.Name(Attr(a)) + " → " + reg.Name(fd.Dependent)
+		default:
+			return reg.FormatSet(fd.Determinant) + " → " + reg.Name(fd.Dependent)
+		}
+	}
+}
+
+// FDSet is the set of dependencies a single algebraic operator introduces.
+// Edges of the NFSM/DFSM are labelled with FDSets, because one operator
+// (e.g. a join) may introduce several dependencies at once (§4).
+type FDSet struct {
+	FDs []FD
+}
+
+// NewFDSet bundles the given dependencies into one operator label.
+// Duplicates (by Key) are dropped.
+func NewFDSet(fds ...FD) FDSet {
+	seen := make(map[string]bool, len(fds))
+	out := make([]FD, 0, len(fds))
+	for _, fd := range fds {
+		k := fd.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, fd)
+		}
+	}
+	return FDSet{FDs: out}
+}
+
+// Key returns a canonical, order-insensitive key for the set.
+func (s FDSet) Key() string {
+	keys := make([]string, len(s.FDs))
+	for i, fd := range s.FDs {
+		keys[i] = fd.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// Format renders the set as "{a → b, c = d}".
+func (s FDSet) Format(reg *Registry) string {
+	parts := make([]string, len(s.FDs))
+	for i, fd := range s.FDs {
+		parts[i] = fd.Format(reg)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Attrs returns all attributes mentioned by the set.
+func (s FDSet) Attrs() *bitset.Set {
+	out := bitset.New(0)
+	for _, fd := range s.FDs {
+		out.UnionWith(fd.Attrs())
+	}
+	return out
+}
+
+// Normalize rewrites a general dependency X → {y1..yk} into the normal
+// form of §2 (one dependent attribute each). Dependents already contained
+// in the determinant are dropped (they are trivially implied).
+func Normalize(lhs []Attr, rhs []Attr) []FD {
+	inLHS := make(map[Attr]bool, len(lhs))
+	for _, a := range lhs {
+		inLHS[a] = true
+	}
+	out := make([]FD, 0, len(rhs))
+	for _, d := range rhs {
+		if inLHS[d] {
+			continue
+		}
+		out = append(out, NewFD(d, lhs...))
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package order
+
+// Groupings extend the framework the way Neumann & Moerkotte's follow-up
+// work (VLDB 2004) does: a stream satisfies the grouping {a, b} when all
+// rows with equal (a, b) values are adjacent — clustered, but not
+// necessarily sorted. Group-by operators only need clustering, so
+// tracking groupings alongside orderings lets the optimizer skip full
+// sorts.
+//
+// Groupings are attribute sets; they are interned through the same
+// Interner using the canonical ascending attribute sequence, so a
+// GroupingID is an ID whose meaning ("set", not "sequence") comes from
+// context. The derivation rules differ from orderings:
+//
+//   - FD X → y:  X ⊆ S  ⇒  S ∪ {y}   (y is constant within each group)
+//   - a = b:     a ∈ S  ⇒  S ∪ {b} and (S \ {a}) ∪ {b}
+//   - ∅ → x:     S ⇒ S ∪ {x}
+//
+// There is no subset rule: clustering by {a, b} does not imply
+// clustering by {a} (the a-groups may interleave), and vice versa.
+// An ordering (o1..on) implies the grouping {o1..ok} for every prefix.
+
+// GroupingOf interns the grouping over the given attributes (duplicates
+// ignored) and returns its canonical ID.
+func GroupingOf(in *Interner, attrs []Attr) ID {
+	return in.Intern(sortedUnique(attrs))
+}
+
+func sortedUnique(attrs []Attr) []Attr {
+	out := make([]Attr, 0, len(attrs))
+	seen := make(map[Attr]bool, len(attrs))
+	for _, a := range attrs {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// GroupingViability filters derived groupings: a grouping can only ever
+// reach an interesting grouping G by adding attributes, so it is worth
+// keeping iff its representative-mapped set is a subset of some
+// interesting grouping's. nil disables the filter.
+type GroupingViability struct {
+	reps   []Attr
+	canons [][]Attr // canonical rep-sets of the interesting groupings
+}
+
+// NewGroupingViability builds the filter over the interesting groupings.
+func NewGroupingViability(in *Interner, interesting []ID, reps []Attr) *GroupingViability {
+	v := &GroupingViability{reps: reps}
+	for _, g := range interesting {
+		v.canons = append(v.canons, repSet(in.Seq(g), reps))
+	}
+	return v
+}
+
+func repSet(attrs []Attr, reps []Attr) []Attr {
+	mapped := make([]Attr, len(attrs))
+	for i, a := range attrs {
+		mapped[i] = a
+		if reps != nil && int(a) < len(reps) {
+			mapped[i] = reps[a]
+		}
+	}
+	return sortedUnique(mapped)
+}
+
+// Viable reports whether the grouping's rep-set is contained in some
+// interesting grouping's rep-set.
+func (v *GroupingViability) Viable(attrs []Attr) bool {
+	set := repSet(attrs, v.reps)
+	for _, canon := range v.canons {
+		if subsetSorted(set, canon) {
+			return true
+		}
+	}
+	return false
+}
+
+func subsetSorted(a, b []Attr) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// GroupDeriver evaluates one-step grouping derivations and closures.
+type GroupDeriver struct {
+	In *Interner
+	// Viability prunes groupings that cannot reach an interesting
+	// grouping; nil keeps everything.
+	Viability *GroupingViability
+}
+
+func (d *GroupDeriver) keep(attrs []Attr) bool {
+	return d.Viability == nil || d.Viability.Viable(attrs)
+}
+
+func (d *GroupDeriver) intern(attrs []Attr) ID {
+	return d.In.Intern(sortedUnique(attrs))
+}
+
+// Derive returns the groupings derivable from g by one application of
+// fd (g itself excluded).
+func (d *GroupDeriver) Derive(g ID, fd FD) []ID {
+	set := d.In.Seq(g)
+	has := func(a Attr) bool { return indexOf(set, a) >= 0 }
+	var out []ID
+	add := func(attrs []Attr) {
+		if !d.keep(attrs) {
+			return
+		}
+		if id := d.intern(attrs); id != g {
+			out = append(out, id)
+		}
+	}
+	switch fd.Kind {
+	case KindFD:
+		if fd.Determinant.Empty() || allIn(fd.Determinant, set) {
+			if !has(fd.Dependent) {
+				add(append(append([]Attr{}, set...), fd.Dependent))
+			}
+		}
+	case KindConstant:
+		if !has(fd.Dependent) {
+			add(append(append([]Attr{}, set...), fd.Dependent))
+		}
+	case KindEquation:
+		for _, dir := range [2][2]Attr{{fd.Left, fd.Right}, {fd.Right, fd.Left}} {
+			a, b := dir[0], dir[1]
+			if !has(a) {
+				continue
+			}
+			if !has(b) {
+				add(append(append([]Attr{}, set...), b))
+			}
+			// Replacement: (S \ {a}) ∪ {b}.
+			repl := make([]Attr, 0, len(set))
+			for _, x := range set {
+				if x != a {
+					repl = append(repl, x)
+				}
+			}
+			repl = append(repl, b)
+			add(repl)
+		}
+	}
+	return dedupIDs(out, g)
+}
+
+func allIn(det interface{ ForEach(func(int) bool) }, set []Attr) bool {
+	ok := true
+	det.ForEach(func(i int) bool {
+		if indexOf(set, Attr(i)) < 0 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Closure computes all groupings derivable from the seed under any
+// number of applications of the given dependencies.
+func (d *GroupDeriver) Closure(seed []ID, fds []FD) []ID {
+	inSet := make(map[ID]bool)
+	var queue []ID
+	add := func(id ID) {
+		if id == EmptyID || inSet[id] {
+			return
+		}
+		inSet[id] = true
+		queue = append(queue, id)
+	}
+	for _, id := range seed {
+		add(id)
+	}
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		for _, fd := range fds {
+			for _, n := range d.Derive(g, fd) {
+				add(n)
+			}
+		}
+	}
+	out := make([]ID, 0, len(inSet))
+	for id := range inSet {
+		out = append(out, id)
+	}
+	d.In.SortIDs(out)
+	return out
+}

@@ -1,0 +1,131 @@
+package order
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGroupingOfCanonical(t *testing.T) {
+	s := newSpace()
+	a, b, c := s.reg.Attr("a"), s.reg.Attr("b"), s.reg.Attr("c")
+	g1 := GroupingOf(s.in, []Attr{b, a, c})
+	g2 := GroupingOf(s.in, []Attr{c, b, a, a})
+	if g1 != g2 {
+		t.Fatal("grouping interning not canonical")
+	}
+	if got := s.in.Seq(g1); !reflect.DeepEqual(got, []Attr{a, b, c}) {
+		t.Fatalf("canonical seq = %v", got)
+	}
+}
+
+func groupStrings(s *testSpace, ids []ID) map[string]bool {
+	out := map[string]bool{}
+	for _, id := range ids {
+		out[s.in.Format(s.reg, id)] = true
+	}
+	return out
+}
+
+func TestGroupingDeriveFD(t *testing.T) {
+	s := newSpace()
+	a, b, y := s.reg.Attr("a"), s.reg.Attr("b"), s.reg.Attr("y")
+	d := &GroupDeriver{In: s.in}
+	g := GroupingOf(s.in, []Attr{a, b})
+
+	// {a, b} + ab→y ⇒ {a, b, y}.
+	got := groupStrings(s, d.Derive(g, NewFD(y, a, b)))
+	if !reflect.DeepEqual(got, map[string]bool{"(a, b, y)": true}) {
+		t.Fatalf("got %v", got)
+	}
+	// Not applicable when the determinant is not contained.
+	if out := d.Derive(GroupingOf(s.in, []Attr{a}), NewFD(y, a, b)); len(out) != 0 {
+		t.Fatalf("FD with missing determinant fired: %v", out)
+	}
+	// Redundant when the dependent is already present.
+	if out := d.Derive(GroupingOf(s.in, []Attr{a, y}), NewFD(y, a)); len(out) != 0 {
+		t.Fatalf("redundant FD fired: %v", out)
+	}
+}
+
+func TestGroupingDeriveEquationAndConstant(t *testing.T) {
+	s := newSpace()
+	a, b := s.reg.Attr("a"), s.reg.Attr("b")
+	x := s.reg.Attr("x")
+	d := &GroupDeriver{In: s.in}
+
+	// {a} + a = b ⇒ {a, b} and {b}.
+	got := groupStrings(s, d.Derive(GroupingOf(s.in, []Attr{a}), NewEquation(a, b)))
+	want := map[string]bool{"(a, b)": true, "(b)": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("equation: got %v, want %v", got, want)
+	}
+
+	// {a} + ∅→x ⇒ {a, x}.
+	got2 := groupStrings(s, d.Derive(GroupingOf(s.in, []Attr{a}), NewConstant(x)))
+	if !reflect.DeepEqual(got2, map[string]bool{"(a, x)": true}) {
+		t.Fatalf("constant: got %v", got2)
+	}
+}
+
+func TestGroupingClosure(t *testing.T) {
+	s := newSpace()
+	a, b, c := s.reg.Attr("a"), s.reg.Attr("b"), s.reg.Attr("c")
+	d := &GroupDeriver{In: s.in}
+	cl := d.Closure(
+		[]ID{GroupingOf(s.in, []Attr{a})},
+		[]FD{NewFD(b, a), NewFD(c, b)},
+	)
+	got := groupStrings(s, cl)
+	want := map[string]bool{"(a)": true, "(a, b)": true, "(a, b, c)": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("closure = %v, want %v", got, want)
+	}
+}
+
+func TestGroupingViability(t *testing.T) {
+	s := newSpace()
+	a, b, c := s.reg.Attr("a"), s.reg.Attr("b"), s.reg.Attr("c")
+	d := s.reg.Attr("d")
+	interesting := []ID{GroupingOf(s.in, []Attr{a, b, c})}
+	v := NewGroupingViability(s.in, interesting, nil)
+	if !v.Viable([]Attr{a, c}) {
+		t.Error("{a,c} ⊆ {a,b,c} should be viable")
+	}
+	if v.Viable([]Attr{a, d}) {
+		t.Error("{a,d} ⊄ {a,b,c} should not be viable")
+	}
+	gd := &GroupDeriver{In: s.in, Viability: v}
+	// Deriving {a, d} via ∅→d must be filtered.
+	if out := gd.Derive(GroupingOf(s.in, []Attr{a}), NewConstant(d)); len(out) != 0 {
+		t.Errorf("viability filter failed: %v", out)
+	}
+	// Deriving {a, b} stays.
+	if out := gd.Derive(GroupingOf(s.in, []Attr{a}), NewFD(b, a)); len(out) != 1 {
+		t.Errorf("viable derivation filtered: %v", out)
+	}
+}
+
+func TestGroupingViabilityWithEquivalence(t *testing.T) {
+	s := newSpace()
+	a, b := s.reg.Attr("a"), s.reg.Attr("b")
+	g := s.reg.Attr("g")
+	sets := []FDSet{NewFDSet(NewEquation(a, b))}
+	reps := EquivClasses(s.reg.Len(), sets)
+	interesting := []ID{GroupingOf(s.in, []Attr{a, g})}
+	v := NewGroupingViability(s.in, interesting, reps)
+	// {b, g} maps to {rep(a), g} ⊆ {rep(a), g}: viable.
+	if !v.Viable([]Attr{b, g}) {
+		t.Error("{b,g} should be viable modulo a = b")
+	}
+}
+
+// No subset rule: the closure must not invent sub-groupings.
+func TestGroupingNoSubsetRule(t *testing.T) {
+	s := newSpace()
+	a, b := s.reg.Attr("a"), s.reg.Attr("b")
+	d := &GroupDeriver{In: s.in}
+	cl := d.Closure([]ID{GroupingOf(s.in, []Attr{a, b})}, nil)
+	if len(cl) != 1 {
+		t.Fatalf("closure of {a,b} without FDs = %d groupings, want 1", len(cl))
+	}
+}

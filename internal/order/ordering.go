@@ -1,0 +1,145 @@
+package order
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ID is the interned handle of a logical ordering. Equal orderings always
+// receive equal IDs, so during plan generation orderings compare in O(1)
+// (paper §5.5: "every occurrence of an interesting order ... is replaced
+// by a handle"). EmptyID is the empty ordering.
+type ID int32
+
+// EmptyID is the handle of the empty ordering (satisfied by any stream).
+const EmptyID ID = 0
+
+// InvalidID is returned for lookups that fail.
+const InvalidID ID = -1
+
+// Interner deduplicates orderings and hands out dense IDs. The zero value
+// is not usable; create one with NewInterner.
+type Interner struct {
+	seqs [][]Attr
+	ids  map[string]ID
+}
+
+// NewInterner returns an interner containing only the empty ordering.
+func NewInterner() *Interner {
+	in := &Interner{ids: make(map[string]ID)}
+	in.seqs = append(in.seqs, nil) // EmptyID
+	in.ids[seqKey(nil)] = EmptyID
+	return in
+}
+
+func seqKey(seq []Attr) string {
+	var b strings.Builder
+	b.Grow(len(seq) * 3)
+	for _, a := range seq {
+		b.WriteString(strconv.Itoa(int(a)))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Intern returns the ID for seq, registering it on first use. The
+// sequence must be duplicate-free; Intern panics otherwise, because a
+// logical ordering with a repeated attribute is always equivalent to the
+// one with the duplicate dropped and the framework keeps orderings in
+// that normal form.
+func (in *Interner) Intern(seq []Attr) ID {
+	key := seqKey(seq)
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	seen := make(map[Attr]bool, len(seq))
+	for _, a := range seq {
+		if seen[a] {
+			panic("order: Intern called with duplicate attribute " + strconv.Itoa(int(a)))
+		}
+		seen[a] = true
+	}
+	cp := make([]Attr, len(seq))
+	copy(cp, seq)
+	id := ID(len(in.seqs))
+	in.seqs = append(in.seqs, cp)
+	in.ids[key] = id
+	return id
+}
+
+// Lookup returns the ID of seq if it was interned, else InvalidID.
+func (in *Interner) Lookup(seq []Attr) ID {
+	if id, ok := in.ids[seqKey(seq)]; ok {
+		return id
+	}
+	return InvalidID
+}
+
+// Seq returns the attribute sequence of id. Callers must not modify it.
+func (in *Interner) Seq(id ID) []Attr { return in.seqs[id] }
+
+// Len returns the length of ordering id.
+func (in *Interner) Len(id ID) int { return len(in.seqs[id]) }
+
+// Count returns the number of interned orderings (including the empty one).
+func (in *Interner) Count() int { return len(in.seqs) }
+
+// Prefix returns the immediate proper prefix of id (one attribute
+// shorter). The prefix of a length-1 ordering is EmptyID.
+func (in *Interner) Prefix(id ID) ID {
+	seq := in.seqs[id]
+	if len(seq) == 0 {
+		return EmptyID
+	}
+	return in.Intern(seq[:len(seq)-1])
+}
+
+// Prefixes returns all strict non-empty prefixes of id, shortest first.
+func (in *Interner) Prefixes(id ID) []ID {
+	seq := in.seqs[id]
+	if len(seq) <= 1 {
+		return nil
+	}
+	out := make([]ID, 0, len(seq)-1)
+	for n := 1; n < len(seq); n++ {
+		out = append(out, in.Intern(seq[:n]))
+	}
+	return out
+}
+
+// IsPrefixOf reports whether ordering a is a (non-strict) prefix of b.
+func (in *Interner) IsPrefixOf(a, b ID) bool {
+	sa, sb := in.seqs[a], in.seqs[b]
+	if len(sa) > len(sb) {
+		return false
+	}
+	for i, x := range sa {
+		if sb[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders ordering id using the registry's attribute names.
+func (in *Interner) Format(reg *Registry, id ID) string {
+	return reg.FormatSeq(in.seqs[id])
+}
+
+// SortIDs sorts ids by (length, lexicographic attr sequence) for
+// deterministic output; ties cannot occur because IDs are interned.
+func (in *Interner) SortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := in.seqs[ids[i]], in.seqs[ids[j]]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

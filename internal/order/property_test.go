@@ -1,0 +1,182 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randInput builds a random derivation scenario.
+type randInput struct {
+	s    *testSpace
+	seed []ID
+	fds  []FD
+}
+
+func randomInput(rng *rand.Rand) randInput {
+	s := newSpace()
+	names := []string{"a", "b", "c", "d", "e"}
+	attrs := make([]Attr, len(names))
+	for i, n := range names {
+		attrs[i] = s.reg.Attr(n)
+	}
+	var seed []ID
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		perm := rng.Perm(len(attrs))
+		k := 1 + rng.Intn(3)
+		seq := make([]Attr, 0, k)
+		for _, p := range perm[:k] {
+			seq = append(seq, attrs[p])
+		}
+		seed = append(seed, s.in.Intern(seq))
+	}
+	var fds []FD
+	for i := 0; i < rng.Intn(4); i++ {
+		x, y := attrs[rng.Intn(len(attrs))], attrs[rng.Intn(len(attrs))]
+		switch rng.Intn(3) {
+		case 0:
+			if x != y {
+				fds = append(fds, NewFD(y, x))
+			}
+		case 1:
+			if x != y {
+				fds = append(fds, NewEquation(x, y))
+			}
+		default:
+			fds = append(fds, NewConstant(x))
+		}
+	}
+	return randInput{s: s, seed: seed, fds: fds}
+}
+
+// Ω(O, F) must be monotone in F: more dependencies never shrink the
+// closure.
+func TestClosureMonotoneInFDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 120; trial++ {
+		in := randomInput(rng)
+		if len(in.fds) == 0 {
+			continue
+		}
+		d := &Deriver{In: in.s.in}
+		small := d.Closure(in.seed, in.fds[:len(in.fds)-1])
+		big := d.Closure(in.seed, in.fds)
+		bigSet := map[ID]bool{}
+		for _, id := range big {
+			bigSet[id] = true
+		}
+		for _, id := range small {
+			if !bigSet[id] {
+				t.Fatalf("trial %d: closure shrank when adding an FD: lost %s",
+					trial, in.s.in.Format(in.s.reg, id))
+			}
+		}
+	}
+}
+
+// The closure must be idempotent: Ω(Ω(O,F),F) = Ω(O,F).
+func TestClosureIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 80; trial++ {
+		in := randomInput(rng)
+		d := &Deriver{In: in.s.in}
+		once := d.Closure(in.seed, in.fds)
+		twice := d.Closure(once, in.fds)
+		if len(once) != len(twice) {
+			t.Fatalf("trial %d: closure not idempotent: %d then %d orderings",
+				trial, len(once), len(twice))
+		}
+	}
+}
+
+// Derive must never return duplicates, the source itself, or the empty
+// ordering, and every result must genuinely differ from the input.
+func TestDeriveHygiene(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 200; trial++ {
+		in := randomInput(rng)
+		d := &Deriver{In: in.s.in}
+		for _, o := range in.seed {
+			for _, fd := range in.fds {
+				got := d.Derive(o, fd)
+				seen := map[ID]bool{}
+				for _, id := range got {
+					if id == o {
+						t.Fatalf("trial %d: Derive returned the source", trial)
+					}
+					if id == EmptyID {
+						t.Fatalf("trial %d: Derive returned the empty ordering", trial)
+					}
+					if seen[id] {
+						t.Fatalf("trial %d: Derive returned a duplicate", trial)
+					}
+					seen[id] = true
+					// Results are duplicate-free attribute sequences.
+					attrs := map[Attr]bool{}
+					for _, a := range in.s.in.Seq(id) {
+						if attrs[a] {
+							t.Fatalf("trial %d: derived ordering has duplicate attribute", trial)
+						}
+						attrs[a] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// The pruned closure must agree with the unpruned closure on membership
+// of the interesting orders themselves: pruning may only drop orderings
+// that are not interesting.
+func TestPrunedClosureKeepsInterestingOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 120; trial++ {
+		in := randomInput(rng)
+		free := &Deriver{In: in.s.in}
+		full := free.Closure(in.seed, in.fds)
+		fullSet := map[ID]bool{}
+		for _, id := range full {
+			fullSet[id] = true
+		}
+
+		sets := []FDSet{NewFDSet(in.fds...)}
+		reps := EquivClasses(in.s.reg.Len(), sets)
+		idx := NewPrefixIndex(in.s.in, in.seed, reps)
+		pruned := &Deriver{In: in.s.in, Reps: reps, Index: idx, MaxLen: idx.MaxLen()}
+		prunedSet := map[ID]bool{}
+		for _, id := range pruned.Closure(in.seed, in.fds) {
+			prunedSet[id] = true
+		}
+		for _, io := range in.seed {
+			if fullSet[io] && !prunedSet[io] {
+				t.Fatalf("trial %d: pruning dropped interesting order %s",
+					trial, in.s.in.Format(in.s.reg, io))
+			}
+		}
+		// Pruning must never add orderings.
+		for id := range prunedSet {
+			if !fullSet[id] {
+				t.Fatalf("trial %d: pruning invented ordering %s",
+					trial, in.s.in.Format(in.s.reg, id))
+			}
+		}
+	}
+}
+
+// NaiveSequentialContains over a single set must agree with
+// NaiveContains.
+func TestSequentialOracleSingleSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 100; trial++ {
+		in := randomInput(rng)
+		if len(in.seed) < 2 {
+			continue
+		}
+		produced, required := in.seed[0], in.seed[1]
+		a := NaiveContains(in.s.in, produced, in.fds, required, 50000)
+		b := NaiveSequentialContains(in.s.in, produced,
+			[]FDSet{NewFDSet(in.fds...)}, required, 50000)
+		if a != b {
+			t.Fatalf("trial %d: oracles disagree on single set: %v vs %v", trial, a, b)
+		}
+	}
+}

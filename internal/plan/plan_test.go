@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		TableScan: "TableScan", IndexScan: "IndexScan", Sort: "Sort",
+		MergeJoin: "MergeJoin", HashJoin: "HashJoin", NestedLoopJoin: "NestedLoopJoin",
+		GroupSorted: "GroupSorted", GroupHash: "GroupHash", Op(99): "Op(99)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestNodeStringAndOps(t *testing.T) {
+	n := &Node{
+		Op:   MergeJoin,
+		Cost: 100, Card: 10, Edge: 0,
+		Left:  &Node{Op: Sort, Cost: 50, Card: 10, Left: &Node{Op: TableScan, Rel: 0, Cost: 10, Card: 10}},
+		Right: &Node{Op: IndexScan, Rel: 1, Index: 0, Cost: 20, Card: 5},
+	}
+	s := n.String()
+	for _, want := range []string{"MergeJoin", "Sort", "TableScan", "IndexScan", "rel=1 index=0", "edge=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+	ops := n.Ops()
+	if ops[MergeJoin] != 1 || ops[Sort] != 1 || ops[TableScan] != 1 || ops[IndexScan] != 1 {
+		t.Errorf("Ops = %v", ops)
+	}
+}
+
+func TestCostsPositiveAndMonotone(t *testing.T) {
+	if ScanCost(100) <= 0 || SortCost(100) <= 0 {
+		t.Error("costs must be positive")
+	}
+	if SortCost(1000) <= SortCost(100) {
+		t.Error("SortCost must grow with cardinality")
+	}
+	if SortCost(1) <= 0 {
+		t.Error("tiny sorts still cost something")
+	}
+	if MergeJoinCost(100, 100, 10) >= HashJoinCost(100, 100, 10) {
+		t.Error("merging sorted inputs must be cheaper than hashing")
+	}
+	if NestedLoopCost(1000, 1000, 10) <= HashJoinCost(1000, 1000, 10) {
+		t.Error("nested loops must lose on large inputs")
+	}
+	if NestedLoopCost(2, 2, 1) >= HashJoinCost(2, 2, 1) {
+		t.Error("nested loops should win on tiny inputs")
+	}
+	if GroupCost(100, true) >= GroupCost(100, false) {
+		t.Error("sorted grouping must be cheaper than hashing")
+	}
+	if IndexScanCost(100, true) >= IndexScanCost(100, false) {
+		t.Error("clustered index scans must be cheaper")
+	}
+	if IndexScanCost(100, true) <= ScanCost(100) {
+		t.Error("index scans cost more than sequential scans")
+	}
+}
+
+func TestLog2Approximation(t *testing.T) {
+	for _, x := range []float64{2, 4, 8, 1024, 3, 1000, 6001215} {
+		got := log2(x)
+		want := math.Log2(x)
+		if math.Abs(got-want) > 0.09*want+0.1 {
+			t.Errorf("log2(%v) = %v, want ≈ %v", x, got, want)
+		}
+	}
+}
+
+func TestQuickSortCostMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := float64(a%1000000)+2, float64(b%1000000)+2
+		if x > y {
+			x, y = y, x
+		}
+		return SortCost(x) <= SortCost(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package query represents a join query as a graph — relations, equality
+// join edges, constant predicates, GROUP BY / ORDER BY requirements — and
+// performs the paper's preparation step 1 (§5.2): determining the
+// interesting orders (produced and tested) and the functional-dependency
+// set each algebraic operator induces. Both order-optimization
+// frameworks (the DFSM one and the Simmen baseline) are fed from the
+// same analysis so the §7 comparison is apples-to-apples.
+package query
+
+import (
+	"fmt"
+
+	"orderopt/internal/catalog"
+)
+
+// ColumnRef identifies a column of one relation occurrence in the query.
+type ColumnRef struct {
+	Rel int // index into Graph.Relations
+	Col int // index into the relation's table columns
+}
+
+// PredKind classifies single-relation predicates.
+type PredKind uint8
+
+const (
+	// EqConst is column = constant (induces the FD ∅ → column).
+	EqConst PredKind = iota
+	// RangePred is a range restriction (<, >, BETWEEN); no FD.
+	RangePred
+	// LikePred is a pattern restriction; no FD.
+	LikePred
+)
+
+// ConstPred is a predicate over a single relation.
+type ConstPred struct {
+	Col  ColumnRef
+	Kind PredKind
+	// Selectivity in (0, 1]; 0 means "use the default for the kind".
+	Selectivity float64
+	// Literal carries the comparison value for execution (set when the
+	// source predicate compared against an integer literal). Without a
+	// literal the predicate only informs planning; the executor treats
+	// it as true.
+	Literal    int64
+	HasLiteral bool
+}
+
+// Matches evaluates the predicate against a column value; predicates
+// without a literal are vacuously true (planning-only).
+func (p ConstPred) Matches(v int64) bool {
+	if !p.HasLiteral {
+		return true
+	}
+	switch p.Kind {
+	case EqConst:
+		return v == p.Literal
+	case RangePred:
+		return v >= p.Literal
+	default: // LikePred has no integer semantics
+		return true
+	}
+}
+
+// DefaultSelectivity returns the predicate's selectivity estimate.
+func (p ConstPred) DefaultSelectivity(t *catalog.Table) float64 {
+	if p.Selectivity > 0 {
+		return p.Selectivity
+	}
+	switch p.Kind {
+	case EqConst:
+		d := t.Columns[p.Col.Col].Distinct
+		if d < 1 {
+			d = 1
+		}
+		return 1 / float64(d)
+	case RangePred:
+		return 0.3
+	default: // LikePred
+		return 0.1
+	}
+}
+
+// JoinPred is an equality between columns of two relations (a = b). It
+// induces the equation FD a = b on the join operator.
+type JoinPred struct {
+	Left, Right ColumnRef
+}
+
+// Edge is a join-graph edge: the conjunction of all equality predicates
+// between one pair of relations.
+type Edge struct {
+	Preds []JoinPred
+}
+
+// Rels returns the two relation indexes the edge connects.
+func (e *Edge) Rels() (int, int) {
+	return e.Preds[0].Left.Rel, e.Preds[0].Right.Rel
+}
+
+// Relation is one occurrence of a base table in the FROM clause.
+type Relation struct {
+	Alias      string
+	Table      *catalog.Table
+	ConstPreds []ConstPred
+}
+
+// Graph is the query to optimize.
+type Graph struct {
+	Relations []Relation
+	Edges     []Edge
+	GroupBy   []ColumnRef
+	OrderBy   []ColumnRef
+}
+
+// AddRelation appends a relation occurrence and returns its index.
+func (g *Graph) AddRelation(alias string, t *catalog.Table) int {
+	g.Relations = append(g.Relations, Relation{Alias: alias, Table: t})
+	return len(g.Relations) - 1
+}
+
+// AddConstPred attaches a single-relation predicate.
+func (g *Graph) AddConstPred(p ConstPred) error {
+	if err := g.checkRef(p.Col); err != nil {
+		return err
+	}
+	r := &g.Relations[p.Col.Rel]
+	r.ConstPreds = append(r.ConstPreds, p)
+	return nil
+}
+
+// AddJoin records the equality left = right, merging it into an existing
+// edge between the same pair of relations.
+func (g *Graph) AddJoin(left, right ColumnRef) error {
+	if err := g.checkRef(left); err != nil {
+		return err
+	}
+	if err := g.checkRef(right); err != nil {
+		return err
+	}
+	if left.Rel == right.Rel {
+		return fmt.Errorf("query: join predicate within one relation (%s)",
+			g.Relations[left.Rel].Alias)
+	}
+	if left.Rel > right.Rel {
+		left, right = right, left
+	}
+	for i := range g.Edges {
+		a, b := g.Edges[i].Rels()
+		if a == left.Rel && b == right.Rel {
+			g.Edges[i].Preds = append(g.Edges[i].Preds, JoinPred{left, right})
+			return nil
+		}
+	}
+	g.Edges = append(g.Edges, Edge{Preds: []JoinPred{{left, right}}})
+	return nil
+}
+
+func (g *Graph) checkRef(c ColumnRef) error {
+	if c.Rel < 0 || c.Rel >= len(g.Relations) {
+		return fmt.Errorf("query: relation index %d out of range", c.Rel)
+	}
+	t := g.Relations[c.Rel].Table
+	if c.Col < 0 || c.Col >= len(t.Columns) {
+		return fmt.Errorf("query: column index %d out of range for %s", c.Col, t.Name)
+	}
+	return nil
+}
+
+// ColumnName renders a reference as alias.column.
+func (g *Graph) ColumnName(c ColumnRef) string {
+	r := g.Relations[c.Rel]
+	return r.Alias + "." + r.Table.Columns[c.Col].Name
+}
+
+// AdjacencyMasks returns, per relation, the bitmask of relations joined
+// to it. Plan generation requires ≤ 64 relations.
+func (g *Graph) AdjacencyMasks() []uint64 {
+	adj := make([]uint64, len(g.Relations))
+	for i := range g.Edges {
+		a, b := g.Edges[i].Rels()
+		adj[a] |= 1 << uint(b)
+		adj[b] |= 1 << uint(a)
+	}
+	return adj
+}
+
+// Connected reports whether the relations in mask form a connected
+// subgraph.
+func (g *Graph) Connected(mask uint64) bool {
+	if mask == 0 {
+		return false
+	}
+	adj := g.AdjacencyMasks()
+	start := mask & -mask
+	seen := start
+	frontier := start
+	for frontier != 0 {
+		var next uint64
+		for m := frontier; m != 0; m &= m - 1 {
+			i := trailingZeros(m)
+			next |= adj[i] & mask &^ seen
+		}
+		seen |= next
+		frontier = next
+	}
+	return seen == mask
+}
+
+// EdgesBetween returns the indexes of edges connecting a relation in
+// maskA with one in maskB.
+func (g *Graph) EdgesBetween(maskA, maskB uint64) []int {
+	var out []int
+	for i := range g.Edges {
+		a, b := g.Edges[i].Rels()
+		if (maskA&(1<<uint(a)) != 0 && maskB&(1<<uint(b)) != 0) ||
+			(maskA&(1<<uint(b)) != 0 && maskB&(1<<uint(a)) != 0) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks that the graph is non-empty, fits the planner's 64-
+// relation limit and is connected.
+func (g *Graph) Validate() error {
+	if len(g.Relations) == 0 {
+		return fmt.Errorf("query: no relations")
+	}
+	if len(g.Relations) > 64 {
+		return fmt.Errorf("query: more than 64 relations")
+	}
+	if len(g.Relations) > 1 {
+		full := uint64(1)<<uint(len(g.Relations)) - 1
+		if !g.Connected(full) {
+			return fmt.Errorf("query: join graph is not connected")
+		}
+	}
+	for _, c := range g.GroupBy {
+		if err := g.checkRef(c); err != nil {
+			return err
+		}
+	}
+	for _, c := range g.OrderBy {
+		if err := g.checkRef(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

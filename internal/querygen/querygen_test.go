@@ -1,0 +1,156 @@
+package querygen
+
+import (
+	"testing"
+
+	"orderopt/internal/query"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Spec{Relations: 6, ExtraEdges: 1, Seed: 42}
+	_, g1, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g2, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Edges) != len(g2.Edges) {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range g1.Edges {
+		a1, b1 := g1.Edges[i].Rels()
+		a2, b2 := g2.Edges[i].Rels()
+		if a1 != a2 || b1 != b2 {
+			t.Fatalf("edge %d differs: (%d,%d) vs (%d,%d)", i, a1, b1, a2, b2)
+		}
+	}
+}
+
+func TestGenerateEdgeCounts(t *testing.T) {
+	for _, extra := range []int{0, 1, 2} {
+		_, g, err := Generate(Spec{Relations: 7, ExtraEdges: extra, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(g.Edges); got != 6+extra {
+			t.Errorf("extra=%d: edges = %d, want %d", extra, got, 6+extra)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("extra=%d: invalid graph: %v", extra, err)
+		}
+	}
+}
+
+func TestGenerateChainIsConnected(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		_, g, err := Generate(Spec{Relations: 5, ExtraEdges: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := uint64(1)<<uint(len(g.Relations)) - 1
+		if !g.Connected(full) {
+			t.Fatalf("seed %d: graph not connected", seed)
+		}
+		if len(g.OrderBy) == 0 {
+			t.Fatalf("seed %d: missing ORDER BY", seed)
+		}
+	}
+}
+
+func TestGenerateAnalyzable(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		_, g, err := Generate(Spec{Relations: 6, ExtraEdges: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, _, err := Generate(Spec{Relations: 0}); err == nil {
+		t.Error("0 relations must fail")
+	}
+	if _, _, err := Generate(Spec{Relations: 64}); err == nil {
+		t.Error("64 relations must fail")
+	}
+	if _, _, err := Generate(Spec{Relations: 3, ExtraEdges: 99}); err == nil {
+		t.Error("too many extra edges must fail")
+	}
+	if _, _, err := Generate(Spec{Relations: 2, ExtraEdges: -1}); err == nil {
+		t.Error("negative extra edges must fail")
+	}
+}
+
+func TestGenerateData(t *testing.T) {
+	_, g, err := Generate(Spec{Relations: 3, Seed: 7, ColumnsPerTable: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := GenerateData(g, 5, 9)
+	if len(data) != 3 {
+		t.Fatalf("tables = %d", len(data))
+	}
+	for name, rows := range data {
+		if len(rows) != 5 {
+			t.Errorf("%s: rows = %d", name, len(rows))
+		}
+		for _, row := range rows {
+			if len(row) != 4 {
+				t.Errorf("%s: row width = %d", name, len(row))
+			}
+			for _, v := range row {
+				if v < 0 || v >= ValueRange {
+					t.Errorf("%s: value %d outside [0,%d)", name, v, ValueRange)
+				}
+			}
+		}
+	}
+	// Deterministic.
+	data2 := GenerateData(g, 5, 9)
+	for name := range data {
+		for i := range data[name] {
+			for c := range data[name][i] {
+				if data[name][i][c] != data2[name][i][c] {
+					t.Fatal("GenerateData not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateWithGroupBy(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		_, g, err := Generate(Spec{Relations: 3, Seed: seed, WithGroupBy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.GroupBy) == 0 {
+			t.Fatal("missing GROUP BY")
+		}
+		// ORDER BY must be a prefix of GROUP BY so grouped plans stay
+		// executable.
+		if len(g.OrderBy) > len(g.GroupBy) {
+			t.Fatal("ORDER BY longer than GROUP BY")
+		}
+		for i := range g.OrderBy {
+			if g.OrderBy[i] != g.GroupBy[i] {
+				t.Fatal("ORDER BY not a prefix of GROUP BY")
+			}
+		}
+	}
+}
+
+func TestGenerateNoOrderBy(t *testing.T) {
+	_, g, err := Generate(Spec{Relations: 4, Seed: 5, NoOrderBy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.OrderBy) != 0 {
+		t.Error("NoOrderBy still produced ORDER BY")
+	}
+}

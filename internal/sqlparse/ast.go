@@ -1,0 +1,243 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an SQL expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColumnRef is a possibly qualified column reference (alias.column).
+type ColumnRef struct {
+	Qualifier string // may be empty
+	Name      string
+}
+
+func (c *ColumnRef) exprNode() {}
+func (c *ColumnRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// NumberLit is a numeric literal (kept as text; the executor parses it).
+type NumberLit struct{ Text string }
+
+func (n *NumberLit) exprNode()      {}
+func (n *NumberLit) String() string { return n.Text }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+func (s *StringLit) exprNode()      {}
+func (s *StringLit) String() string { return "'" + s.Value + "'" }
+
+// DateLit is a DATE 'yyyy-mm-dd' literal.
+type DateLit struct{ Value string }
+
+func (d *DateLit) exprNode()      {}
+func (d *DateLit) String() string { return "date '" + d.Value + "'" }
+
+// BinaryExpr is a binary operation (comparisons, AND/OR, arithmetic).
+type BinaryExpr struct {
+	Op          string // upper-case: =, <>, <, AND, OR, +, *, LIKE, ...
+	Left, Right Expr
+}
+
+func (b *BinaryExpr) exprNode() {}
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// UnaryExpr is NOT or unary minus.
+type UnaryExpr struct {
+	Op   string
+	Expr Expr
+}
+
+func (u *UnaryExpr) exprNode()      {}
+func (u *UnaryExpr) String() string { return "(" + u.Op + " " + u.Expr.String() + ")" }
+
+// BetweenExpr is x BETWEEN lo AND hi.
+type BetweenExpr struct {
+	Expr, Lo, Hi Expr
+	Not          bool
+}
+
+func (b *BetweenExpr) exprNode() {}
+func (b *BetweenExpr) String() string {
+	not := ""
+	if b.Not {
+		not = " NOT"
+	}
+	return "(" + b.Expr.String() + not + " BETWEEN " + b.Lo.String() + " AND " + b.Hi.String() + ")"
+}
+
+// FuncCall is a function or aggregate invocation.
+type FuncCall struct {
+	Name string // upper-case
+	Args []Expr
+	Star bool // count(*)
+}
+
+func (f *FuncCall) exprNode() {}
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ExtractExpr is EXTRACT(field FROM expr).
+type ExtractExpr struct {
+	Field string // upper-case: YEAR, MONTH, DAY
+	From  Expr
+}
+
+func (e *ExtractExpr) exprNode()      {}
+func (e *ExtractExpr) String() string { return "EXTRACT(" + e.Field + " FROM " + e.From.String() + ")" }
+
+// CaseWhen is one WHEN cond THEN value arm.
+type CaseWhen struct {
+	Cond, Then Expr
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr // may be nil
+}
+
+func (c *CaseExpr) exprNode() {}
+func (c *CaseExpr) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range c.Whens {
+		b.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Then.String())
+	}
+	if c.Else != nil {
+		b.WriteString(" ELSE " + c.Else.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// SelectItem is one projection: an expression with an optional alias, or
+// the star.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	if s.Alias != "" {
+		return s.Expr.String() + " AS " + s.Alias
+	}
+	return s.Expr.String()
+}
+
+// FromItem is a table reference or a derived table.
+type FromItem interface {
+	fmt.Stringer
+	fromNode()
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+func (t *TableRef) fromNode() {}
+func (t *TableRef) String() string {
+	if t.Alias != "" && t.Alias != t.Table {
+		return t.Table + " " + t.Alias
+	}
+	return t.Table
+}
+
+// SubqueryRef is a parenthesized derived table with a mandatory alias.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+func (s *SubqueryRef) fromNode() {}
+func (s *SubqueryRef) String() string {
+	return "(" + s.Select.String() + ") AS " + s.Alias
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String()
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []FromItem
+	Where   Expr // nil when absent
+	GroupBy []Expr
+	OrderBy []OrderItem
+}
+
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	for i, f := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.String())
+		}
+	}
+	return b.String()
+}

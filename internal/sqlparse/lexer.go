@@ -1,0 +1,154 @@
+// Package sqlparse provides the SQL front end for the examples and CLIs:
+// a lexer and recursive-descent parser for the SQL subset the paper's
+// queries use (SELECT/FROM/WHERE/GROUP BY/ORDER BY, derived tables,
+// CASE, EXTRACT, BETWEEN, arithmetic), plus a binder that turns a parsed
+// statement into a query graph against a catalog.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+const (
+	// TokEOF terminates the token stream.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or unreserved keyword.
+	TokIdent
+	// TokKeyword is a reserved keyword (upper-cased in Token.Text).
+	TokKeyword
+	// TokNumber is a numeric literal.
+	TokNumber
+	// TokString is a single-quoted string literal (unescaped value).
+	TokString
+	// TokOp is an operator or punctuation.
+	TokOp
+)
+
+// Token is one lexical element with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"BETWEEN": true, "LIKE": true, "IN": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "EXTRACT": true, "DATE": true,
+	"ASC": true, "DESC": true, "IS": true, "NULL": true, "DISTINCT": true,
+	"HAVING": true, "EXISTS": true, "ON": true, "JOIN": true, "INNER": true,
+}
+
+// LexError reports a lexing failure with its position.
+type LexError struct {
+	Pos int
+	Msg string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("sql: lex error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Lex tokenizes the input. Comments (-- to end of line) are skipped.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			seenDot := false
+			for i < n && (isDigit(input[i]) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, Token{TokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &LexError{start, "unterminated string literal"}
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{TokKeyword, upper, start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < n {
+				two := input[i : i+2]
+				switch two {
+				case "<>", "<=", ">=", "!=", "||":
+					toks = append(toks, Token{TokOp, two, start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '.', ';', '=', '<', '>', '+', '-', '*', '/':
+				toks = append(toks, Token{TokOp, string(c), start})
+				i++
+			default:
+				return nil, &LexError{start, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|0x20) >= 'a' && (c|0x20) <= 'z' }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

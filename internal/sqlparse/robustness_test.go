@@ -1,0 +1,84 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics throws random token soup at the parser: every
+// input must either parse or return an error — never panic or loop.
+func TestParserNeverPanics(t *testing.T) {
+	words := []string{
+		"select", "from", "where", "group", "by", "order", "and", "or",
+		"not", "between", "like", "case", "when", "then", "else", "end",
+		"extract", "date", "as", "a", "b", "t1", "t2", "sum", "(", ")",
+		",", ".", "=", "<", ">", "<=", ">=", "<>", "+", "-", "*", "/",
+		"1", "2.5", "'str'", "year", "*", ";",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(25)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		input := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", input, r)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}
+
+// TestLexerNeverPanics does the same at the byte level.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(60)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.Intn(128))
+		}
+		input := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panicked on %q: %v", input, r)
+				}
+			}()
+			_, _ = Lex(input)
+		}()
+	}
+}
+
+// TestParseValidQueriesRoundTrip: every parseable query's String() form
+// must reparse to the same String() (idempotent pretty-printing).
+func TestParseValidQueriesRoundTrip(t *testing.T) {
+	queries := []string{
+		"select a from t",
+		"select a, b as x from t, u where t.a = u.a order by a",
+		"select sum(a) from t group by b order by b desc",
+		"select case when a between 1 and 2 then 'x' else 'y' end from t",
+		"select extract(year from d) as y from t where d like 'a%'",
+		"select * from (select a from t where a > 0) as s where a < 10",
+		"select -a + b * -c from t",
+	}
+	for _, q := range queries {
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: %v", q, err)
+		}
+		if s1.String() != s2.String() {
+			t.Errorf("pretty-printing not idempotent:\n%s\n%s", s1, s2)
+		}
+	}
+}

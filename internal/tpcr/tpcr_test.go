@@ -1,0 +1,130 @@
+package tpcr
+
+import (
+	"testing"
+
+	"orderopt/internal/core"
+	"orderopt/internal/optimizer"
+	"orderopt/internal/query"
+)
+
+func TestSchemaComplete(t *testing.T) {
+	c := Schema()
+	for _, name := range []string{"part", "supplier", "lineitem", "orders", "customer", "nation", "region"} {
+		tab, ok := c.Table(name)
+		if !ok {
+			t.Fatalf("missing table %s", name)
+		}
+		if tab.Rows <= 0 {
+			t.Errorf("%s has no rows", name)
+		}
+	}
+	li, _ := c.Table("lineitem")
+	if li.Rows != 6001215 {
+		t.Errorf("lineitem rows = %d, want SF1 count", li.Rows)
+	}
+}
+
+func TestQuery8Graph(t *testing.T) {
+	_, g, err := Query8Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Relations) != 8 {
+		t.Fatalf("relations = %d, want 8", len(g.Relations))
+	}
+	if len(g.Edges) != 7 {
+		t.Fatalf("edges = %d, want 7", len(g.Edges))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.GroupBy) != 1 || len(g.OrderBy) != 1 {
+		t.Error("missing GROUP BY / ORDER BY")
+	}
+}
+
+// The §6.2 experiment's input shape: the analysis must register the
+// paper's interesting orders (one per join column) and nine FD sets
+// (seven equations + constants from the two equality selections).
+func TestQuery8AnalysisShape(t *testing.T) {
+	_, g, err := Query8Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := query.Analyze(g, query.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 join-edge FD sets + 2 relations with equality selections
+	// (region.r_name, part.p_type). The orders range restriction adds
+	// no FD.
+	if len(a.Sets) != 9 {
+		t.Fatalf("FD sets = %d, want 9", len(a.Sets))
+	}
+	f, err := a.Prepare(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.NFSMStates == 0 || st.DFSMStates == 0 {
+		t.Fatal("empty machines")
+	}
+	// The DFSM must stay small with pruning (paper: 24 nodes).
+	if st.DFSMStates > 64 {
+		t.Errorf("pruned DFSM unexpectedly large: %d states", st.DFSMStates)
+	}
+}
+
+func TestQuery8Optimizes(t *testing.T) {
+	_, g, err := Query8Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []optimizer.Mode{optimizer.ModeDFSM, optimizer.ModeSimmen} {
+		a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := optimizer.Optimize(a, optimizer.DefaultConfig(mode))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Best == nil || res.PlansGenerated == 0 {
+			t.Fatalf("%v: no plan", mode)
+		}
+	}
+}
+
+func TestGenerateConsistentData(t *testing.T) {
+	spec := DefaultGenSpec()
+	d := Generate(spec)
+	if len(d["lineitem"]) != spec.LineItems {
+		t.Fatalf("lineitem rows = %d", len(d["lineitem"]))
+	}
+	// Referential integrity: every lineitem hits an order, part and
+	// supplier.
+	for _, li := range d["lineitem"] {
+		if li[0] < 0 || li[0] >= int64(spec.Orders) {
+			t.Fatalf("dangling l_orderkey %d", li[0])
+		}
+		if li[1] < 0 || li[1] >= int64(spec.Parts) {
+			t.Fatalf("dangling l_partkey %d", li[1])
+		}
+		if li[2] < 0 || li[2] >= int64(spec.Suppliers) {
+			t.Fatalf("dangling l_suppkey %d", li[2])
+		}
+	}
+	for _, o := range d["orders"] {
+		if o[1] < 0 || o[1] >= int64(spec.Customers) {
+			t.Fatalf("dangling o_custkey %d", o[1])
+		}
+	}
+	// Determinism.
+	d2 := Generate(spec)
+	for i := range d["orders"] {
+		if d["orders"][i][2] != d2["orders"][i][2] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}

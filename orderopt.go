@@ -1,0 +1,86 @@
+package orderopt
+
+import (
+	"orderopt/internal/core"
+	"orderopt/internal/nfsm"
+	"orderopt/internal/order"
+)
+
+// Core types, re-exported so downstream users need only this package.
+type (
+	// Attr identifies an attribute within one query.
+	Attr = order.Attr
+	// OrderingID is the interned handle of a logical ordering.
+	OrderingID = order.ID
+	// FD is a functional dependency, equation or constant binding.
+	FD = order.FD
+	// FDSet bundles the dependencies one algebraic operator introduces.
+	FDSet = order.FDSet
+	// Builder collects the preparation input (interesting orders and FD
+	// sets) before Prepare compiles the DFSM.
+	Builder = core.Builder
+	// Framework is the prepared order-optimization component with O(1)
+	// Contains / Infer / Produce.
+	Framework = core.Framework
+	// State is the LogicalOrderings ADT value a plan node carries — a
+	// single int32.
+	State = core.State
+	// FDHandle identifies a registered FD set.
+	FDHandle = core.FDHandle
+	// Options configures preparation.
+	Options = core.Options
+	// PruningOptions switches the paper's §5.7 reduction techniques.
+	PruningOptions = nfsm.Options
+	// Stats reports preparation statistics (machine sizes, prep time,
+	// precomputed bytes).
+	Stats = core.Stats
+)
+
+// StartState is the state of a plan with no ordering information.
+const StartState = core.StartState
+
+// EmptyOrdering is the ordering of an unordered stream (what a table
+// scan produces when Options.TrackEmptyOrdering is enabled).
+const EmptyOrdering = order.EmptyID
+
+// NewBuilder returns an empty preparation builder.
+func NewBuilder() *Builder { return core.NewBuilder() }
+
+// DefaultOptions enables all pruning techniques — the paper's default.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// PlannerOptions is DefaultOptions plus the switches a plan generator
+// wants: empty-ordering tracking (so table scans have an entry state and
+// selections over constants produce orderings) and a bound on the
+// dominance precompute.
+func PlannerOptions() Options {
+	o := core.DefaultOptions()
+	o.TrackEmptyOrdering = true
+	o.MaxSimulationStates = 512
+	return o
+}
+
+// AllPruning enables every §5.7 reduction technique.
+func AllPruning() PruningOptions { return nfsm.AllPruning() }
+
+// NoPruning disables every reduction technique (reproduces the paper's
+// unpruned worked figures).
+func NoPruning() PruningOptions { return nfsm.NoPruning() }
+
+// NewFD returns the functional dependency {lhs...} → rhs.
+func NewFD(rhs Attr, lhs ...Attr) FD { return order.NewFD(rhs, lhs...) }
+
+// NewEquation returns the equation a = b (join predicate), which is
+// stronger than the FD pair {a→b, b→a}.
+func NewEquation(a, b Attr) FD { return order.NewEquation(a, b) }
+
+// NewConstant returns the constant binding a = const (selection
+// predicate), equivalent to ∅ → a.
+func NewConstant(a Attr) FD { return order.NewConstant(a) }
+
+// NewFDSet bundles dependencies into one operator label.
+func NewFDSet(fds ...FD) FDSet { return order.NewFDSet(fds...) }
+
+// Normalize rewrites a general dependency X → {y1..yk} into the normal
+// form (one dependent attribute each).
+func Normalize(lhs, rhs []Attr) []FD { return order.Normalize(lhs, rhs) }

@@ -1,0 +1,80 @@
+package orderopt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"orderopt"
+)
+
+// Example reproduces the paper's §5.6 walkthrough: sort by (a,b), apply
+// an operator inducing b → c, and observe (a,b,c) becoming available.
+func Example() {
+	b := orderopt.NewBuilder()
+	attrB := b.Attr("b")
+	attrC := b.Attr("c")
+	ordB := b.OrderingOf("b")
+	ordAB := b.OrderingOf("a", "b")
+	ordABC := b.OrderingOf("a", "b", "c")
+
+	b.AddProduced(ordB)
+	b.AddProduced(ordAB)
+	b.AddTested(ordABC)
+	h := b.AddFDSet(orderopt.NewFDSet(orderopt.NewFD(attrC, attrB)))
+
+	fw, err := b.Prepare(orderopt.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+
+	s := fw.Produce(ordAB)
+	fmt.Println("after sort (a,b):   contains (a,b,c) =", fw.Contains(s, ordABC))
+	s = fw.Infer(s, h)
+	fmt.Println("after b→c operator: contains (a,b,c) =", fw.Contains(s, ordABC))
+	// Output:
+	// after sort (a,b):   contains (a,b,c) = false
+	// after b→c operator: contains (a,b,c) = true
+}
+
+func TestFacadeRoundTrip(t *testing.T) {
+	b := orderopt.NewBuilder()
+	x := b.Attr("x")
+	y := b.Attr("y")
+	ox := b.Ordering(x)
+	oy := b.Ordering(y)
+	b.AddProduced(ox)
+	b.AddProduced(oy)
+	h := b.AddFDSet(orderopt.NewFDSet(orderopt.NewEquation(x, y)))
+	fw, err := b.Prepare(orderopt.PlannerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fw.Infer(fw.Produce(ox), h)
+	if !fw.Contains(s, oy) {
+		t.Error("equation must transfer the ordering")
+	}
+	if fw.Produce(orderopt.EmptyOrdering) == orderopt.StartState {
+		t.Error("PlannerOptions must track the empty ordering")
+	}
+	st := fw.Stats()
+	if st.DFSMStates == 0 || st.PrecomputedBytes == 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	b := orderopt.NewBuilder()
+	a := b.Attr("a")
+	c := b.Attr("c")
+	fds := orderopt.Normalize([]orderopt.Attr{a}, []orderopt.Attr{a, c})
+	if len(fds) != 1 {
+		t.Fatalf("Normalize = %v", fds)
+	}
+	set := orderopt.NewFDSet(orderopt.NewConstant(a), orderopt.NewConstant(a))
+	if len(set.FDs) != 1 {
+		t.Error("NewFDSet must deduplicate")
+	}
+	if orderopt.NoPruning().PruneFDs || !orderopt.AllPruning().PruneFDs {
+		t.Error("pruning option constructors broken")
+	}
+}

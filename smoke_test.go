@@ -1,0 +1,45 @@
+package orderopt_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesAndCLIsRun builds and runs every example and CLI once so
+// they cannot bit-rot. Skipped with -short (each invocation compiles a
+// binary).
+func TestExamplesAndCLIsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example/CLI smoke runs in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected in the output
+	}{
+		{"quickstart", []string{"run", "./examples/quickstart"}, "contains (a, b, c) = true"},
+		{"simplequery", []string{"run", "./examples/simplequery"}, "DFSM: 6 states"},
+		{"tpcr_q8", []string{"run", "./examples/tpcr_q8"}, "with pruning"},
+		{"executor", []string{"run", "./examples/executor"}, "physically satisfied"},
+		{"orderopt-running", []string{"run", "./cmd/orderopt", "-example", "running", "-pruning"}, "DFSM: 4 states"},
+		{"orderopt-intro-dot", []string{"run", "./cmd/orderopt", "-example", "intro", "-dot"}, "digraph nfsm"},
+		{"orderopt-simple", []string{"run", "./cmd/orderopt", "-example", "simple"}, "NFSM: 12 states"},
+		{"experiments-prep", []string{"run", "./cmd/experiments", "-table", "prep"}, "NFSM size"},
+		{"sqlplan", []string{"run", "./cmd/sqlplan",
+			"select * from nation n1, region where n1.n_regionkey = r_regionkey order by r_regionkey"},
+			"best plan"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command("go", tc.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v failed: %v\n%s", tc.args, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("output of %v missing %q:\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}
