@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet fmt test bench
+
+check: build vet fmt test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# bench runs the root-package benchmarks (the paper tables plus the
+# enumerator comparison) and records the machine-readable log so the
+# perf trajectory is tracked from PR to PR.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -json . | tee BENCH_plangen.json

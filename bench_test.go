@@ -150,31 +150,87 @@ func BenchmarkPrepQ8(b *testing.B) {
 	}
 }
 
-// BenchmarkPlanGenQ8 regenerates the §7 Q8 table.
+// BenchmarkPlanGenQ8 regenerates the §7 Q8 table. Each order framework
+// runs under both join enumerators: "dpccp" is the optimized
+// configuration (csg-cmp-pair enumeration + dense DP table), "naive" the
+// seed's reference path (DPsub splits + map table) in the same binary.
 func BenchmarkPlanGenQ8(b *testing.B) {
 	for _, mode := range []optimizer.Mode{optimizer.ModeSimmen, optimizer.ModeDFSM} {
-		b.Run(mode.String(), func(b *testing.B) {
-			var plans int64
-			var mem int64
-			for i := 0; i < b.N; i++ {
-				_, g, err := tpcr.Query8Graph()
-				if err != nil {
-					b.Fatal(err)
+		for _, enum := range []optimizer.Enumerator{optimizer.EnumNaive, optimizer.EnumDPccp} {
+			b.Run(fmt.Sprintf("%s/%s", mode, enum), func(b *testing.B) {
+				b.ReportAllocs()
+				var plans, mem, pairs int64
+				for i := 0; i < b.N; i++ {
+					_, g, err := tpcr.Query8Graph()
+					if err != nil {
+						b.Fatal(err)
+					}
+					a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := optimizer.DefaultConfig(mode)
+					cfg.Enumerator = enum
+					res, err := optimizer.Optimize(a, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					plans = res.PlansGenerated
+					mem = res.OrderMemBytes
+					pairs = res.CsgCmpPairs
 				}
-				a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
-				if err != nil {
-					b.Fatal(err)
+				b.ReportMetric(float64(plans), "plans")
+				b.ReportMetric(float64(mem)/1024, "order-mem-KB")
+				b.ReportMetric(float64(pairs), "csg-cmp-pairs/op")
+			})
+		}
+	}
+}
+
+// BenchmarkEnumerator isolates the enumeration win per join-graph shape:
+// the identical DFSM plan generator under the reference (naive) and
+// DPccp configurations. The chain-12 point is the sweep's largest chain;
+// cliques stop at 6 relations (the plan space, not the enumeration,
+// dominates beyond that). csg-cmp-pairs/op counts the pairs the
+// enumerator produced — identical across enumerators by construction,
+// so ns/op and allocs/op isolate how much work finding them costs.
+func BenchmarkEnumerator(b *testing.B) {
+	shapes := []struct {
+		shape querygen.Shape
+		n     int
+	}{
+		{querygen.Chain, 12},
+		{querygen.Star, 10},
+		{querygen.Cycle, 10},
+		{querygen.Clique, 6},
+	}
+	for _, enum := range []optimizer.Enumerator{optimizer.EnumNaive, optimizer.EnumDPccp} {
+		for _, sh := range shapes {
+			b.Run(fmt.Sprintf("%s/%s-%d", enum, sh.shape, sh.n), func(b *testing.B) {
+				b.ReportAllocs()
+				var pairs int64
+				for i := 0; i < b.N; i++ {
+					_, g, err := querygen.Generate(querygen.Spec{
+						Relations: sh.n, Shape: sh.shape, Seed: 0,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := optimizer.DefaultConfig(optimizer.ModeDFSM)
+					cfg.Enumerator = enum
+					res, err := optimizer.Optimize(a, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pairs = res.CsgCmpPairs
 				}
-				res, err := optimizer.Optimize(a, optimizer.DefaultConfig(mode))
-				if err != nil {
-					b.Fatal(err)
-				}
-				plans = res.PlansGenerated
-				mem = res.OrderMemBytes
-			}
-			b.ReportMetric(float64(plans), "plans")
-			b.ReportMetric(float64(mem)/1024, "order-mem-KB")
-		})
+				b.ReportMetric(float64(pairs), "csg-cmp-pairs/op")
+			})
+		}
 	}
 }
 
@@ -206,6 +262,33 @@ func BenchmarkFigure13(b *testing.B) {
 					b.ReportMetric(float64(plans), "plans")
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkEnumerateOnly measures raw pair enumeration over prebuilt
+// adjacency masks, with plan generation out of the picture entirely:
+// DPccp emits exactly the valid pairs while the naive reference filters
+// all subset splits through connectivity checks, so this is where the
+// csg-cmp-pair algorithm's advantage is starkest (dense shapes, n = 12).
+func BenchmarkEnumerateOnly(b *testing.B) {
+	for _, enum := range []optimizer.Enumerator{optimizer.EnumNaive, optimizer.EnumDPccp} {
+		for _, shape := range querygen.Shapes() {
+			const n = 12
+			_, g, err := querygen.Generate(querygen.Spec{Relations: n, Shape: shape, Seed: 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			adj := g.AdjacencyMasks()
+			b.Run(fmt.Sprintf("%s/%s-%d", enum, shape, n), func(b *testing.B) {
+				b.ReportAllocs()
+				var pairs int64
+				for i := 0; i < b.N; i++ {
+					pairs = 0
+					optimizer.EnumeratePairs(enum, n, adj, func(_, _ uint64) { pairs++ })
+				}
+				b.ReportMetric(float64(pairs), "csg-cmp-pairs/op")
+			})
 		}
 	}
 }

@@ -5,9 +5,13 @@
 //	experiments -table q8      # §7:   plan generation for Q8
 //	experiments -table fig13   # Fig. 13: join-graph sweep (time/#plans)
 //	experiments -table fig14   # Fig. 14: memory consumption
-//	experiments -table all     # everything
+//	experiments -table enum    # DPccp vs naive join enumeration per shape
+//	experiments -table all     # everything except enum (opt-in: clique
+//	                           # points run for seconds)
 //
-// The sweep is configurable: -sizes 5,6,7,8,9,10 -extras 0,1,2 -seeds 5.
+// The sweep is configurable: -sizes 5,6,7,8,9,10 -extras 0,1,2 -seeds 5,
+// -enumerator dpccp|naive; the enum table via -enum-shapes and
+// -enum-sizes.
 // Absolute numbers depend on the machine; the shape (who wins, by what
 // factor, how factors grow with query size) is what reproduces the
 // paper. Results are deterministic per seed set.
@@ -21,19 +25,36 @@ import (
 	"strings"
 
 	"orderopt/internal/experiments"
+	"orderopt/internal/optimizer"
+	"orderopt/internal/querygen"
 )
 
 func main() {
-	table := flag.String("table", "all", "prep, q8, fig13, fig14 or all")
+	table := flag.String("table", "all", "prep, q8, fig13, fig14, enum or all")
 	sizes := flag.String("sizes", "5,6,7,8,9,10", "relation counts for the sweep")
 	extras := flag.String("extras", "0,1,2", "extra edges beyond the chain (0→n-1 edges, 1→n, 2→n+1)")
 	seeds := flag.Int("seeds", 5, "queries averaged per configuration")
 	tested := flag.Bool("tested-selections", false, "add the optional O_T selection orders to the Q8 prep input")
+	enumerator := flag.String("enumerator", "dpccp", "join enumeration for the fig13/fig14 sweep: dpccp or naive")
+	enumShapes := flag.String("enum-shapes", "chain,star,cycle,clique", "join-graph shapes for the enum table")
+	enumSizes := flag.String("enum-sizes", "5,6,7", "relation counts for the enum table")
+	enumSeeds := flag.Int("enum-seeds", 1, "queries averaged per enum configuration")
 	flag.Parse()
+
+	var sweepEnum optimizer.Enumerator
+	switch *enumerator {
+	case "dpccp":
+		sweepEnum = optimizer.EnumDPccp
+	case "naive":
+		sweepEnum = optimizer.EnumNaive
+	default:
+		die(fmt.Errorf("unknown enumerator %q", *enumerator))
+	}
 
 	runPrep := *table == "prep" || *table == "all"
 	runQ8 := *table == "q8" || *table == "all"
 	runSweep := *table == "fig13" || *table == "fig14" || *table == "all"
+	runEnum := *table == "enum"
 
 	if runPrep {
 		rows, err := experiments.PrepQ8(*tested)
@@ -51,9 +72,10 @@ func main() {
 	}
 	if runSweep {
 		spec := experiments.SweepSpec{
-			Sizes:  parseInts(*sizes),
-			Extras: parseInts(*extras),
-			Seeds:  *seeds,
+			Sizes:      parseInts(*sizes),
+			Extras:     parseInts(*extras),
+			Seeds:      *seeds,
+			Enumerator: sweepEnum,
 		}
 		rows, err := experiments.Sweep(spec)
 		die(err)
@@ -66,6 +88,22 @@ func main() {
 			fmt.Println("=== Figure 14: memory consumption ===")
 			fmt.Print(experiments.FormatFigure14(rows))
 		}
+	}
+	if runEnum {
+		var shapes []querygen.Shape
+		for _, name := range strings.Split(*enumShapes, ",") {
+			shape, err := querygen.ParseShape(strings.TrimSpace(name))
+			die(err)
+			shapes = append(shapes, shape)
+		}
+		rows, err := experiments.EnumSweep(experiments.EnumSweepSpec{
+			Shapes: shapes,
+			Sizes:  parseInts(*enumSizes),
+			Seeds:  *enumSeeds,
+		})
+		die(err)
+		fmt.Println("=== Join enumeration: naive DPsub vs DPccp (DFSM mode) ===")
+		fmt.Print(experiments.FormatEnum(rows))
 	}
 }
 

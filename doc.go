@@ -41,8 +41,12 @@
 //
 // The subpackages build a complete test bed around the framework: a
 // bottom-up dynamic-programming plan generator with a pluggable order
-// component, a reimplementation of the Simmen/Shekita/Malkemus baseline,
-// a SQL front end, an executor used to validate ordering claims on real
-// tuple streams, and an experiment harness regenerating every table and
-// figure of the paper's evaluation.
+// component and pluggable join enumeration (DPccp csg-cmp pairs or the
+// naive DPsub reference), a reimplementation of the
+// Simmen/Shekita/Malkemus baseline, a SQL front end, an executor used
+// to validate ordering claims on real tuple streams, and an experiment
+// harness regenerating every table and figure of the paper's
+// evaluation. DESIGN.md documents the plan generator's architecture —
+// enumerator choice, DP table layout, node arena — and how to run the
+// benchmarks.
 package orderopt

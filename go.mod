@@ -1,0 +1,3 @@
+module orderopt
+
+go 1.24

@@ -1,0 +1,234 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"testing"
+
+	"orderopt/internal/query"
+	"orderopt/internal/querygen"
+)
+
+// enumSizes lists the sizes the enumeration-only cross-checks run at:
+// every shape up to the full n = 12.
+func enumSizes(shape querygen.Shape) []int {
+	if shape == querygen.Cycle {
+		return []int{3, 6, 10, 12}
+	}
+	return []int{2, 5, 9, 12}
+}
+
+// costSizes bounds the end-to-end Optimize cross-check per mode and
+// shape. The plan space — not the enumeration — is the budget: a clique-7
+// run generates ~3M plans and the Simmen baseline's Ω(n) dominance
+// checks push that to minutes, so dense shapes stay small and the
+// slower baseline mode smaller still.
+func costSizes(mode Mode, shape querygen.Shape) []int {
+	if mode == ModeSimmen {
+		switch shape {
+		case querygen.Star:
+			return []int{2, 7}
+		case querygen.Cycle:
+			return []int{3, 7}
+		case querygen.Clique:
+			return []int{2, 5}
+		default:
+			return []int{2, 9}
+		}
+	}
+	switch shape {
+	case querygen.Star:
+		return []int{2, 5, 8}
+	case querygen.Cycle:
+		return []int{3, 6, 9}
+	case querygen.Clique:
+		return []int{2, 4, 6}
+	default:
+		return []int{2, 7, 12}
+	}
+}
+
+// extrasFor returns the extra-edge counts to randomize over.
+func extrasFor(shape querygen.Shape, n int) []int {
+	if shape == querygen.Clique || n < 4 {
+		return []int{0}
+	}
+	return []int{0, 2}
+}
+
+type pairSet map[[2]uint64]struct{}
+
+func (ps pairSet) add(s1, s2 uint64) {
+	if s1 > s2 {
+		s1, s2 = s2, s1
+	}
+	ps[[2]uint64{s1, s2}] = struct{}{}
+}
+
+func genGraph(t *testing.T, shape querygen.Shape, n, extra int, seed int64) *query.Graph {
+	t.Helper()
+	_, g, err := querygen.Generate(querygen.Spec{
+		Relations: n, Shape: shape, ExtraEdges: extra, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("%s n=%d extra=%d seed=%d: %v", shape, n, extra, seed, err)
+	}
+	return g
+}
+
+// TestEnumeratorsAgreeOnPairs cross-checks that DPccp visits exactly the
+// csg-cmp pair set the naive reference derives by filtering, on
+// randomized graphs of every shape up to n = 12.
+func TestEnumeratorsAgreeOnPairs(t *testing.T) {
+	for _, shape := range querygen.Shapes() {
+		for _, n := range enumSizes(shape) {
+			for _, extra := range extrasFor(shape, n) {
+				for seed := int64(0); seed < 3; seed++ {
+					g := genGraph(t, shape, n, extra, seed)
+					adj := g.AdjacencyMasks()
+					naive, dpccp := pairSet{}, pairSet{}
+					enumerateNaive(n, adj, naive.add)
+					enumerateDPccp(n, adj, dpccp.add)
+					if len(naive) != len(dpccp) {
+						t.Errorf("%s n=%d extra=%d seed=%d: naive %d pairs, dpccp %d",
+							shape, n, extra, seed, len(naive), len(dpccp))
+						continue
+					}
+					for p := range naive {
+						if _, ok := dpccp[p]; !ok {
+							t.Errorf("%s n=%d extra=%d seed=%d: dpccp missed pair %b|%b",
+								shape, n, extra, seed, p[0], p[1])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDPccpEmitsNoDuplicates ensures each unordered pair comes out of
+// DPccp exactly once (the naive side is deduplicated by construction).
+func TestDPccpEmitsNoDuplicates(t *testing.T) {
+	for _, shape := range querygen.Shapes() {
+		sizes := enumSizes(shape)
+		n := sizes[len(sizes)-1]
+		g := genGraph(t, shape, n, 0, 1)
+		adj := g.AdjacencyMasks()
+		seen := pairSet{}
+		var emitted int
+		enumerateDPccp(n, adj, func(s1, s2 uint64) {
+			emitted++
+			seen.add(s1, s2)
+		})
+		if emitted != len(seen) {
+			t.Errorf("%s n=%d: %d emissions for %d distinct pairs", shape, n, emitted, len(seen))
+		}
+	}
+}
+
+// TestDPccpPairCounts pins the emitted pair count to the closed forms
+// from Moerkotte & Neumann (VLDB 2006): chains have (n³−n)/6 csg-cmp
+// pairs, cliques (3ⁿ − 2ⁿ⁺¹ + 1)/2.
+func TestDPccpPairCounts(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		for _, shape := range []querygen.Shape{querygen.Chain, querygen.Clique} {
+			g := genGraph(t, shape, n, 0, 0)
+			var got int
+			enumerateDPccp(n, g.AdjacencyMasks(), func(_, _ uint64) { got++ })
+			want := (n*n*n - n) / 6
+			if shape == querygen.Clique {
+				want = (intPow(3, n) - 2*intPow(2, n) + 1) / 2
+			}
+			if got != want {
+				t.Errorf("%s n=%d: %d pairs, want %d", shape, n, got, want)
+			}
+		}
+	}
+}
+
+func intPow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+// TestDPccpEmitsInDPOrder verifies the property the immediate-join
+// callback relies on: when DPccp emits (S1, S2), every pair composing S1
+// or S2 has already been emitted, so both plan lists are final.
+func TestDPccpEmitsInDPOrder(t *testing.T) {
+	for _, shape := range querygen.Shapes() {
+		for _, n := range []int{3, 6, 10} {
+			if shape == querygen.Cycle && n < 3 {
+				continue
+			}
+			g := genGraph(t, shape, n, 0, 2)
+			adj := g.AdjacencyMasks()
+			// remaining[mask] counts the pairs that still must be joined
+			// before dp[mask] is final.
+			remaining := map[uint64]int{}
+			enumerateNaive(n, adj, func(s1, s2 uint64) {
+				remaining[s1|s2]++
+			})
+			enumerateDPccp(n, adj, func(s1, s2 uint64) {
+				for _, s := range []uint64{s1, s2} {
+					if bits.OnesCount64(s) > 1 && remaining[s] != 0 {
+						t.Errorf("%s n=%d: pair %b|%b emitted before %b was complete (%d pairs left)",
+							shape, n, s1, s2, s, remaining[s])
+					}
+				}
+				remaining[s1|s2]--
+			})
+			for mask, left := range remaining {
+				if left != 0 {
+					t.Errorf("%s n=%d: mask %b ended with %d pairs outstanding", shape, n, mask, left)
+				}
+			}
+		}
+	}
+}
+
+// TestEnumeratorsAgreeOnOptimalCost runs the full optimizer under both
+// enumerators on randomized graphs of every shape and demands identical
+// best-plan costs — the paper's "same optimal plan" sanity check applied
+// to the enumeration dimension.
+func TestEnumeratorsAgreeOnOptimalCost(t *testing.T) {
+	for _, mode := range []Mode{ModeDFSM, ModeSimmen} {
+		for _, shape := range querygen.Shapes() {
+			for _, n := range costSizes(mode, shape) {
+				for _, extra := range extrasFor(shape, n) {
+					for seed := int64(0); seed < 2; seed++ {
+						name := fmt.Sprintf("%s/%s/n%d_e%d_s%d", mode, shape, n, extra, seed)
+						costs := map[Enumerator]float64{}
+						pairs := map[Enumerator]int64{}
+						for _, enum := range []Enumerator{EnumNaive, EnumDPccp} {
+							g := genGraph(t, shape, n, extra, seed)
+							a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+							if err != nil {
+								t.Fatalf("%s: %v", name, err)
+							}
+							cfg := DefaultConfig(mode)
+							cfg.Enumerator = enum
+							res, err := Optimize(a, cfg)
+							if err != nil {
+								t.Fatalf("%s %s: %v", name, enum, err)
+							}
+							costs[enum] = res.Best.Cost
+							pairs[enum] = res.CsgCmpPairs
+						}
+						if math.Abs(costs[EnumNaive]-costs[EnumDPccp]) > 1e-6*math.Max(costs[EnumNaive], 1) {
+							t.Errorf("%s: optimal costs differ: naive %.3f vs dpccp %.3f",
+								name, costs[EnumNaive], costs[EnumDPccp])
+						}
+						if pairs[EnumNaive] != pairs[EnumDPccp] {
+							t.Errorf("%s: pair counts differ: naive %d vs dpccp %d",
+								name, pairs[EnumNaive], pairs[EnumDPccp])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -40,6 +40,10 @@ func (m Mode) String() string {
 // Config tunes the plan generator.
 type Config struct {
 	Mode Mode
+	// Enumerator selects the join-pair enumeration algorithm (the zero
+	// value is EnumDPccp paired with the dense DP table; EnumNaive keeps
+	// the reference DPsub path over the seed's map-backed table).
+	Enumerator Enumerator
 	// CoreOptions configures preparation in ModeDFSM.
 	CoreOptions core.Options
 	// SimmenCache enables the baseline's reduce cache (the paper's
@@ -72,6 +76,9 @@ type Result struct {
 	PlansGenerated int64
 	// PlansRetained counts plans surviving dominance pruning.
 	PlansRetained int
+	// CsgCmpPairs counts the connected-subgraph/complement pairs the
+	// enumerator produced (unordered; each yields joins both ways).
+	CsgCmpPairs int64
 	// OrderMemBytes is the memory consumed by order-optimization
 	// annotations: 4 bytes per generated plan plus the precomputed DFSM
 	// tables for ModeDFSM, or the cumulative annotation bytes for
@@ -99,11 +106,67 @@ type optimizer struct {
 	edgeSel []float64 // per edge, product over its predicates
 	colDist [][]float64
 
-	adj []uint64
-
-	dp map[uint64][]*plan.Node
-
+	adj       []uint64 // per relation: mask of joined relations
+	edgeMask  []uint64 // per edge: mask of its two endpoint relations
+	edgeBuf   []int    // scratch for edgesBetween, reused per pair
+	arena     plan.Arena
+	dp        *dpTable
 	generated int64
+	ccPairs   int64
+}
+
+// dpTable maps a relation-subset mask to its cost-sorted, undominated
+// plan list. The optimized configuration indexes a dense slice directly
+// by mask; beyond denseTableBits relations the 2^n table no longer pays
+// and a pre-sized map takes over. The naive reference configuration
+// keeps the seed's unhinted map so the benchmarks compare the full
+// before/after inside one binary.
+type dpTable struct {
+	dense  [][]*plan.Node
+	sparse map[uint64][]*plan.Node
+}
+
+const denseTableBits = 16
+
+func newDPTable(n int, dense bool) *dpTable {
+	switch {
+	case !dense:
+		return &dpTable{sparse: make(map[uint64][]*plan.Node)}
+	case n <= denseTableBits:
+		return &dpTable{dense: make([][]*plan.Node, uint64(1)<<uint(n))}
+	default:
+		return &dpTable{sparse: make(map[uint64][]*plan.Node, 1<<denseTableBits)}
+	}
+}
+
+func (t *dpTable) get(mask uint64) []*plan.Node {
+	if t.dense != nil {
+		return t.dense[mask]
+	}
+	return t.sparse[mask]
+}
+
+func (t *dpTable) set(mask uint64, list []*plan.Node) {
+	if t.dense != nil {
+		t.dense[mask] = list
+	} else {
+		t.sparse[mask] = list
+	}
+}
+
+// retained counts plans surviving dominance pruning across all subsets.
+func (t *dpTable) retained() int {
+	total := 0
+	if t.dense != nil {
+		for _, l := range t.dense {
+			total += len(l)
+		}
+	} else {
+		for _, l := range t.sparse {
+			total += len(l)
+		}
+	}
+	return total
 }
 
 // Optimize plans the analyzed query under cfg.
@@ -114,7 +177,10 @@ func Optimize(a *query.Analysis, cfg Config) (*Result, error) {
 		// planner's scope.
 		return nil, fmt.Errorf("optimizer: more than 64 FD sets (%d)", len(a.Sets))
 	}
-	o := &optimizer{a: a, g: a.Graph, cfg: cfg, dp: make(map[uint64][]*plan.Node)}
+	o := &optimizer{
+		a: a, g: a.Graph, cfg: cfg,
+		dp: newDPTable(len(a.Graph.Relations), cfg.Enumerator != EnumNaive),
+	}
 	res := &Result{}
 
 	prepStart := time.Now()
@@ -136,7 +202,10 @@ func Optimize(a *query.Analysis, cfg Config) (*Result, error) {
 
 	planStart := time.Now()
 	o.estimate()
-	o.adj = o.g.AdjacencyMasks()
+	masks := o.g.EdgeMasks()
+	o.adj = masks.Adj
+	o.edgeMask = masks.Edge
+	o.edgeBuf = make([]int, 0, len(masks.Edge))
 
 	best, err := o.run()
 	if err != nil {
@@ -145,9 +214,8 @@ func Optimize(a *query.Analysis, cfg Config) (*Result, error) {
 	res.PlanTime = time.Since(planStart)
 	res.Best = best
 	res.PlansGenerated = o.generated
-	for _, ps := range o.dp {
-		res.PlansRetained += len(ps)
-	}
+	res.CsgCmpPairs = o.ccPairs
+	res.PlansRetained = o.dp.retained()
 	if cfg.Mode == ModeDFSM {
 		res.DFSMBytes = int64(o.fw.Stats().PrecomputedBytes)
 		res.OrderMemBytes = 4*o.generated + res.DFSMBytes
@@ -204,9 +272,8 @@ func (o *optimizer) maskCard(mask uint64) float64 {
 	for m := mask; m != 0; m &= m - 1 {
 		card *= o.relCard[bits.TrailingZeros64(m)]
 	}
-	for e := range o.g.Edges {
-		a, b := o.g.Edges[e].Rels()
-		if mask&(1<<uint(a)) != 0 && mask&(1<<uint(b)) != 0 {
+	for e, em := range o.edgeMask {
+		if em&^mask == 0 { // both endpoints inside mask
 			card *= o.edgeSel[e]
 		}
 	}
@@ -229,54 +296,42 @@ func (o *optimizer) run() (*plan.Node, error) {
 		}
 	}
 
-	// Joins over connected subgraph pairs, sets by increasing size.
-	for mask := uint64(1); mask <= full; mask++ {
-		if bits.OnesCount64(mask) < 2 || !o.connected(mask) {
-			continue
-		}
-		for s1 := (mask - 1) & mask; s1 != 0; s1 = (s1 - 1) & mask {
-			s2 := mask ^ s1
-			if s2 == 0 || !o.connected(s1) || !o.connected(s2) {
-				continue
-			}
-			edges := o.g.EdgesBetween(s1, s2)
-			if len(edges) == 0 {
-				continue
-			}
-			for _, p1 := range o.dp[s1] {
-				for _, p2 := range o.dp[s2] {
-					o.emitJoins(mask, s1, p1, p2, edges)
-				}
-			}
-		}
-		if len(o.dp[mask]) == 0 {
-			return nil, fmt.Errorf("optimizer: no plan for relation set %b", mask)
-		}
+	// Joins over connected subgraph / complement pairs, emitted by the
+	// configured enumerator in an order valid for dynamic programming.
+	EnumeratePairs(o.cfg.Enumerator, n, o.adj, o.joinPair)
+	if len(o.dp.get(full)) == 0 {
+		return nil, fmt.Errorf("optimizer: no plan for relation set %b", full)
 	}
 
 	return o.finish(full)
 }
 
-// connected caches nothing: the masks are small and the check is cheap.
-func (o *optimizer) connected(mask uint64) bool {
-	if mask == 0 {
-		return false
-	}
-	if mask&(mask-1) == 0 {
-		return true
-	}
-	start := mask & -mask
-	seen := start
-	frontier := start
-	for frontier != 0 {
-		var next uint64
-		for m := frontier; m != 0; m &= m - 1 {
-			next |= o.adj[bits.TrailingZeros64(m)] & mask &^ seen
+// joinPair consumes one csg-cmp pair: both inputs already have their
+// final plan lists, so every plan combination is joined in both
+// directions (each join operator here preserves its outer ordering).
+func (o *optimizer) joinPair(s1, s2 uint64) {
+	o.ccPairs++
+	edges := o.edgesBetween(s1, s2)
+	mask := s1 | s2
+	for _, p1 := range o.dp.get(s1) {
+		for _, p2 := range o.dp.get(s2) {
+			o.emitJoins(mask, s1, p1, p2, edges)
+			o.emitJoins(mask, s2, p2, p1, edges)
 		}
-		seen |= next
-		frontier = next
 	}
-	return seen == mask
+}
+
+// edgesBetween collects the edges crossing the disjoint masks s1, s2
+// into a reused scratch buffer (valid until the next call).
+func (o *optimizer) edgesBetween(s1, s2 uint64) []int {
+	out := o.edgeBuf[:0]
+	for e, em := range o.edgeMask {
+		if em&s1 != 0 && em&s2 != 0 {
+			out = append(out, e)
+		}
+	}
+	o.edgeBuf = out
+	return out
 }
 
 // scanPlan builds a table scan (ix < 0) or index scan plan for relation r
@@ -284,7 +339,8 @@ func (o *optimizer) connected(mask uint64) bool {
 func (o *optimizer) scanPlan(r, ix int) *plan.Node {
 	t := o.g.Relations[r].Table
 	rows := float64(t.Rows)
-	node := &plan.Node{Rel: r, Card: o.relCard[r]}
+	node := o.arena.New()
+	*node = plan.Node{Rel: r, Card: o.relCard[r]}
 	if ix < 0 {
 		node.Op = plan.TableScan
 		node.Cost = plan.ScanCost(rows)
@@ -339,7 +395,8 @@ func (o *optimizer) contains(p *plan.Node, ord order.ID) bool {
 
 // sortPlan wraps p in a sort to ord (no-op test is the caller's job).
 func (o *optimizer) sortPlan(p *plan.Node, ord order.ID) *plan.Node {
-	n := &plan.Node{
+	n := o.arena.New()
+	*n = plan.Node{
 		Op: plan.Sort, Left: p, SortOrd: ord,
 		Cost: p.Cost + plan.SortCost(p.Card),
 		Card: p.Card, FDMask: p.FDMask,
@@ -360,7 +417,8 @@ func (o *optimizer) emitJoins(mask, s1 uint64, p1, p2 *plan.Node, edges []int) {
 	out := o.maskCard(mask)
 
 	join := func(op plan.Op, left, right *plan.Node, opCost float64, edge, pred int) {
-		n := &plan.Node{
+		n := o.arena.New()
+		*n = plan.Node{
 			Op: op, Left: left, Right: right, Edge: edge, Pred: pred,
 			Cost:   left.Cost + right.Cost + opCost,
 			Card:   out,
@@ -420,21 +478,38 @@ func (o *optimizer) dominates(a, b *plan.Node) bool {
 }
 
 // addPlan offers a candidate to the subset's plan list with dominance
-// pruning.
+// pruning. Lists are kept sorted by cost: only the prefix of entries no
+// more expensive than the candidate can dominate it (scanning stops at
+// the first costlier entry), and only the tail from the first equal-cost
+// entry can be dominated by it.
 func (o *optimizer) addPlan(mask uint64, cand *plan.Node) {
-	list := o.dp[mask]
-	for _, q := range list {
+	list := o.dp.get(mask)
+	t := len(list) // insertion point: first entry with cost ≥ cand's
+	for i, q := range list {
+		if q.Cost >= cand.Cost {
+			t = i
+			break
+		}
 		if o.dominates(q, cand) {
 			return
 		}
 	}
-	kept := list[:0]
-	for _, q := range list {
-		if !o.dominates(cand, q) {
-			kept = append(kept, q)
+	for i := t; i < len(list) && list[i].Cost == cand.Cost; i++ {
+		if o.dominates(list[i], cand) {
+			return
 		}
 	}
-	o.dp[mask] = append(kept, cand)
+	w := t
+	for i := t; i < len(list); i++ {
+		if !o.dominates(cand, list[i]) {
+			list[w] = list[i]
+			w++
+		}
+	}
+	list = append(list[:w], nil)
+	copy(list[t+1:], list[t:])
+	list[t] = cand
+	o.dp.set(mask, list)
 }
 
 // finish applies GROUP BY and ORDER BY on the full-set plans and returns
@@ -446,7 +521,7 @@ func (o *optimizer) finish(full uint64) (*plan.Node, error) {
 			best = p
 		}
 	}
-	for _, p := range o.dp[full] {
+	for _, p := range o.dp.get(full) {
 		for _, q := range o.finishOne(p) {
 			consider(q)
 		}
@@ -524,7 +599,8 @@ func (o *optimizer) groupCard(in float64) float64 {
 
 func (o *optimizer) groupNode(in *plan.Node, op plan.Op, card float64) *plan.Node {
 	streaming := op == plan.GroupSorted || op == plan.GroupClustered
-	n := &plan.Node{
+	n := o.arena.New()
+	*n = plan.Node{
 		Op: op, Left: in,
 		Cost: in.Cost + plan.GroupCost(in.Card, streaming),
 		Card: card, FDMask: in.FDMask,

@@ -90,6 +90,37 @@ type Node struct {
 	FDMask uint64             // applied FD handles (for sort-state replay)
 }
 
+// Arena bump-allocates Nodes in chunks so a plan-generation run costs a
+// handful of allocations instead of one per candidate plan. Nodes handed
+// out remain valid for the arena's lifetime; a surviving node keeps its
+// whole chunk reachable, which is the right trade for an optimizer run
+// where the winning plan is extracted and the rest dies together.
+// The zero value is ready to use.
+type Arena struct {
+	cur []Node
+}
+
+const (
+	arenaMinChunk = 64
+	arenaMaxChunk = 8192
+)
+
+// New returns a pointer to a zeroed Node.
+func (a *Arena) New() *Node {
+	if len(a.cur) == cap(a.cur) {
+		size := 2 * cap(a.cur)
+		if size < arenaMinChunk {
+			size = arenaMinChunk
+		}
+		if size > arenaMaxChunk {
+			size = arenaMaxChunk
+		}
+		a.cur = make([]Node, 0, size)
+	}
+	a.cur = a.cur[:len(a.cur)+1]
+	return &a.cur[len(a.cur)-1]
+}
+
 // String renders the plan tree.
 func (n *Node) String() string {
 	var b strings.Builder

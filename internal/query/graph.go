@@ -9,6 +9,7 @@ package query
 
 import (
 	"fmt"
+	"math/bits"
 
 	"orderopt/internal/catalog"
 )
@@ -110,6 +111,54 @@ type Graph struct {
 	Edges     []Edge
 	GroupBy   []ColumnRef
 	OrderBy   []ColumnRef
+
+	// masks caches the bitset view of the graph (EdgeMasks). It is
+	// rebuilt lazily whenever relations or edges were added since the
+	// last build; adding predicates to an existing edge keeps it valid
+	// because the endpoints are fixed by the edge's first predicate.
+	masks *EdgeMasks
+}
+
+// EdgeMasks is the precomputed bitset view of a join graph. All hot-path
+// connectivity and edge queries reduce to mask operations over it.
+type EdgeMasks struct {
+	// Edge holds, per edge, the mask of the two relations it connects.
+	Edge []uint64
+	// Adj holds, per relation, the mask of relations joined to it.
+	Adj []uint64
+	// Incident holds, per relation, a bitset over edge indexes (64 edges
+	// per word) listing the edges touching the relation.
+	Incident [][]uint64
+}
+
+// EdgeMasks returns the cached bitset view, rebuilding it if the graph
+// gained relations or edges since the last call. The lazy cache makes
+// Graph methods unsafe for concurrent use (as are its append-based
+// mutators); optimizer runs each own their graph.
+func (g *Graph) EdgeMasks() *EdgeMasks {
+	if m := g.masks; m != nil && len(m.Edge) == len(g.Edges) && len(m.Adj) == len(g.Relations) {
+		return m
+	}
+	m := &EdgeMasks{
+		Edge:     make([]uint64, len(g.Edges)),
+		Adj:      make([]uint64, len(g.Relations)),
+		Incident: make([][]uint64, len(g.Relations)),
+	}
+	words := (len(g.Edges) + 63) / 64
+	inc := make([]uint64, words*len(g.Relations)) // one backing array
+	for r := range m.Incident {
+		m.Incident[r] = inc[r*words : (r+1)*words : (r+1)*words]
+	}
+	for e := range g.Edges {
+		a, b := g.Edges[e].Rels()
+		m.Edge[e] = 1<<uint(a) | 1<<uint(b)
+		m.Adj[a] |= 1 << uint(b)
+		m.Adj[b] |= 1 << uint(a)
+		m.Incident[a][e/64] |= 1 << (uint(e) % 64)
+		m.Incident[b][e/64] |= 1 << (uint(e) % 64)
+	}
+	g.masks = m
+	return m
 }
 
 // AddRelation appends a relation occurrence and returns its index.
@@ -175,30 +224,28 @@ func (g *Graph) ColumnName(c ColumnRef) string {
 // AdjacencyMasks returns, per relation, the bitmask of relations joined
 // to it. Plan generation requires ≤ 64 relations.
 func (g *Graph) AdjacencyMasks() []uint64 {
-	adj := make([]uint64, len(g.Relations))
-	for i := range g.Edges {
-		a, b := g.Edges[i].Rels()
-		adj[a] |= 1 << uint(b)
-		adj[b] |= 1 << uint(a)
-	}
-	return adj
+	return g.EdgeMasks().Adj
 }
 
 // Connected reports whether the relations in mask form a connected
 // subgraph.
 func (g *Graph) Connected(mask uint64) bool {
+	return ConnectedIn(g.EdgeMasks().Adj, mask)
+}
+
+// ConnectedIn reports whether mask is connected under the given
+// per-relation adjacency masks.
+func ConnectedIn(adj []uint64, mask uint64) bool {
 	if mask == 0 {
 		return false
 	}
-	adj := g.AdjacencyMasks()
 	start := mask & -mask
 	seen := start
 	frontier := start
 	for frontier != 0 {
 		var next uint64
 		for m := frontier; m != 0; m &= m - 1 {
-			i := trailingZeros(m)
-			next |= adj[i] & mask &^ seen
+			next |= adj[bits.TrailingZeros64(m)] & mask &^ seen
 		}
 		seen |= next
 		frontier = next
@@ -207,14 +254,32 @@ func (g *Graph) Connected(mask uint64) bool {
 }
 
 // EdgesBetween returns the indexes of edges connecting a relation in
-// maskA with one in maskB.
+// maskA with one in maskB. An edge qualifies when one endpoint lies in
+// maskA and the other in maskB; candidates come from the incident-edge
+// bitsets of maskA's relations and each costs a couple of mask ANDs
+// against its cached 2-relation mask instead of an endpoint rescan.
 func (g *Graph) EdgesBetween(maskA, maskB uint64) []int {
+	m := g.EdgeMasks()
+	if len(m.Edge) == 0 {
+		return nil
+	}
 	var out []int
-	for i := range g.Edges {
-		a, b := g.Edges[i].Rels()
-		if (maskA&(1<<uint(a)) != 0 && maskB&(1<<uint(b)) != 0) ||
-			(maskA&(1<<uint(b)) != 0 && maskB&(1<<uint(a)) != 0) {
-			out = append(out, i)
+	if len(m.Edge) <= 64 {
+		var cand uint64
+		for s := maskA; s != 0; s &= s - 1 {
+			cand |= m.Incident[bits.TrailingZeros64(s)][0]
+		}
+		for c := cand; c != 0; c &= c - 1 {
+			e := bits.TrailingZeros64(c)
+			if em := m.Edge[e]; em&maskB != 0 && em&^(maskA|maskB) == 0 {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	for e, em := range m.Edge {
+		if em&maskA != 0 && em&maskB != 0 && em&^(maskA|maskB) == 0 {
+			out = append(out, e)
 		}
 	}
 	return out
@@ -246,13 +311,4 @@ func (g *Graph) Validate() error {
 		}
 	}
 	return nil
-}
-
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }

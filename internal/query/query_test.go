@@ -2,6 +2,7 @@ package query
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"orderopt/internal/catalog"
@@ -73,6 +74,70 @@ func TestGraphBasics(t *testing.T) {
 	}
 	if es := g.EdgesBetween(0b01, 0b01); len(es) != 0 {
 		t.Errorf("EdgesBetween same side = %v", es)
+	}
+}
+
+func TestEdgeMasks(t *testing.T) {
+	// Chain t0–t1–t2 plus a closing edge t0–t2.
+	c := catalog.New()
+	g := &Graph{}
+	for i := 0; i < 3; i++ {
+		tab := &catalog.Table{
+			Name:    fmt.Sprintf("t%d", i),
+			Columns: []catalog.Column{{Name: "a", Type: catalog.Int, Distinct: 10}},
+			Rows:    100,
+		}
+		c.MustAdd(tab)
+		g.AddRelation(tab.Name, tab)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if err := g.AddJoin(ColumnRef{e[0], 0}, ColumnRef{e[1], 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := g.EdgeMasks()
+	wantEdges := []uint64{0b011, 0b110, 0b101}
+	for e, want := range wantEdges {
+		if m.Edge[e] != want {
+			t.Errorf("Edge[%d] = %b, want %b", e, m.Edge[e], want)
+		}
+	}
+	wantAdj := []uint64{0b110, 0b101, 0b011}
+	for r, want := range wantAdj {
+		if m.Adj[r] != want {
+			t.Errorf("Adj[%d] = %b, want %b", r, m.Adj[r], want)
+		}
+	}
+	wantInc := []uint64{0b101, 0b011, 0b110} // edge-index bitsets
+	for r, want := range wantInc {
+		if m.Incident[r][0] != want {
+			t.Errorf("Incident[%d] = %b, want %b", r, m.Incident[r][0], want)
+		}
+	}
+	// EdgesBetween walks the incident bitsets: t0 vs {t1,t2} crosses
+	// edges 0 (t0–t1) and 2 (t0–t2) but not 1 (t1–t2).
+	if es := g.EdgesBetween(0b001, 0b110); len(es) != 2 || es[0] != 0 || es[1] != 2 {
+		t.Errorf("EdgesBetween(001,110) = %v, want [0 2]", es)
+	}
+	// The cache must invalidate when the graph grows.
+	t3 := &catalog.Table{
+		Name:    "t3",
+		Columns: []catalog.Column{{Name: "a", Type: catalog.Int, Distinct: 10}},
+		Rows:    100,
+	}
+	c.MustAdd(t3)
+	g.AddRelation("t3", t3)
+	if got := len(g.EdgeMasks().Adj); got != 4 {
+		t.Errorf("cached masks not rebuilt: %d relations", got)
+	}
+	if err := g.AddJoin(ColumnRef{2, 0}, ColumnRef{3, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.EdgeMasks().Edge); got != 4 {
+		t.Errorf("cached masks not rebuilt: %d edges", got)
+	}
+	if !g.Connected(0b1111) {
+		t.Error("extended graph should be connected")
 	}
 }
 

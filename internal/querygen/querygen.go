@@ -13,12 +13,62 @@ import (
 	"orderopt/internal/query"
 )
 
+// Shape selects the join-graph topology the generator starts from.
+// The paper only uses chains with extra edges; the other shapes span the
+// spectrum a csg-cmp-pair enumerator is measured on — stars and cliques
+// are where filtering subset splits wastes the most work.
+type Shape uint8
+
+const (
+	// Chain links r0–r1–…–r(n-1) (the paper's §7 starting point).
+	Chain Shape = iota
+	// Star joins r0 to every other relation.
+	Star
+	// Cycle is a chain closed with an edge r0–r(n-1) (needs n ≥ 3).
+	Cycle
+	// Clique joins every relation pair.
+	Clique
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Star:
+		return "star"
+	case Cycle:
+		return "cycle"
+	case Clique:
+		return "clique"
+	default:
+		return "chain"
+	}
+}
+
+// ParseShape maps a shape name to its Shape.
+func ParseShape(name string) (Shape, error) {
+	switch name {
+	case "chain":
+		return Chain, nil
+	case "star":
+		return Star, nil
+	case "cycle":
+		return Cycle, nil
+	case "clique":
+		return Clique, nil
+	}
+	return Chain, fmt.Errorf("querygen: unknown shape %q", name)
+}
+
+// Shapes lists all topologies (for sweeps and cross-check tests).
+func Shapes() []Shape { return []Shape{Chain, Star, Cycle, Clique} }
+
 // Spec describes one random query.
 type Spec struct {
 	// Relations is the number of relations n (the paper uses 5–10).
 	Relations int
-	// ExtraEdges is added on top of the chain's n-1 edges (the paper
-	// uses 0, 1 and 2, labelled n-1, n and n+1).
+	// Shape is the base topology (default Chain).
+	Shape Shape
+	// ExtraEdges is added on top of the shape's base edges (the paper
+	// uses 0, 1 and 2 on chains, labelled n-1, n and n+1).
 	ExtraEdges int
 	// Seed drives all random choices.
 	Seed int64
@@ -65,7 +115,10 @@ func Generate(spec Spec) (*catalog.Catalog, *query.Graph, error) {
 	if spec.Relations > 63 {
 		return nil, nil, fmt.Errorf("querygen: at most 63 relations")
 	}
-	maxExtra := spec.Relations*(spec.Relations-1)/2 - (spec.Relations - 1)
+	if spec.Shape == Cycle && spec.Relations < 3 {
+		return nil, nil, fmt.Errorf("querygen: cycle needs at least 3 relations")
+	}
+	maxExtra := spec.Relations*(spec.Relations-1)/2 - baseEdges(spec.Shape, spec.Relations)
 	if spec.ExtraEdges < 0 || spec.ExtraEdges > maxExtra {
 		return nil, nil, fmt.Errorf("querygen: extra edges %d out of range [0, %d]",
 			spec.ExtraEdges, maxExtra)
@@ -112,18 +165,41 @@ func Generate(spec Spec) (*catalog.Catalog, *query.Graph, error) {
 		return query.ColumnRef{Rel: rel, Col: rng.Intn(spec.ColumnsPerTable)}
 	}
 
-	// Chain edges r0–r1–…–r(n-1).
-	for i := 0; i+1 < spec.Relations; i++ {
-		if err := g.AddJoin(col(i), col(i+1)); err != nil {
-			return nil, nil, err
+	// Base topology edges.
+	addEdge := func(a, b int) error { return g.AddJoin(col(a), col(b)) }
+	switch spec.Shape {
+	case Star:
+		for i := 1; i < spec.Relations; i++ {
+			if err := addEdge(0, i); err != nil {
+				return nil, nil, err
+			}
+		}
+	case Clique:
+		for a := 0; a < spec.Relations; a++ {
+			for b := a + 1; b < spec.Relations; b++ {
+				if err := addEdge(a, b); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	default: // Chain, Cycle
+		for i := 0; i+1 < spec.Relations; i++ {
+			if err := addEdge(i, i+1); err != nil {
+				return nil, nil, err
+			}
+		}
+		if spec.Shape == Cycle {
+			if err := addEdge(0, spec.Relations-1); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
-	// Extra random edges between non-adjacent pairs.
+	// Extra random edges between pairs not yet joined.
 	added := 0
 	for added < spec.ExtraEdges {
 		a := rng.Intn(spec.Relations)
 		b := rng.Intn(spec.Relations)
-		if a == b || a+1 == b || b+1 == a {
+		if a == b {
 			continue
 		}
 		if a > b {
@@ -132,7 +208,7 @@ func Generate(spec Spec) (*catalog.Catalog, *query.Graph, error) {
 		if hasEdge(g, a, b) {
 			continue
 		}
-		if err := g.AddJoin(col(a), col(b)); err != nil {
+		if err := addEdge(a, b); err != nil {
 			return nil, nil, err
 		}
 		added++
@@ -206,6 +282,18 @@ func GenerateData(g *query.Graph, rowsPerTable int, seed int64) map[string][][]i
 		data[t.Name] = rows
 	}
 	return data
+}
+
+// baseEdges returns how many edges the shape itself contributes.
+func baseEdges(s Shape, n int) int {
+	switch s {
+	case Cycle:
+		return n
+	case Clique:
+		return n * (n - 1) / 2
+	default: // Chain, Star
+		return n - 1
+	}
 }
 
 func hasEdge(g *query.Graph, a, b int) bool {

@@ -71,6 +71,55 @@ func TestGenerateAnalyzable(t *testing.T) {
 	}
 }
 
+func TestGenerateShapes(t *testing.T) {
+	for _, shape := range Shapes() {
+		for _, n := range []int{3, 5, 8} {
+			_, g, err := Generate(Spec{Relations: n, Shape: shape, Seed: 21})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", shape, n, err)
+			}
+			if got, want := len(g.Edges), shapeEdges(shape, n); got != want {
+				t.Errorf("%s n=%d: edges = %d, want %d", shape, n, got, want)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s n=%d: invalid graph: %v", shape, n, err)
+			}
+			if _, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true}); err != nil {
+				t.Errorf("%s n=%d: analyze: %v", shape, n, err)
+			}
+		}
+	}
+	// Extra edges compose with every shape that has room for them.
+	_, g, err := Generate(Spec{Relations: 6, Shape: Star, ExtraEdges: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 7 {
+		t.Errorf("star+2: edges = %d, want 7", len(g.Edges))
+	}
+	// Round-trip the shape names.
+	for _, shape := range Shapes() {
+		parsed, err := ParseShape(shape.String())
+		if err != nil || parsed != shape {
+			t.Errorf("ParseShape(%q) = %v, %v", shape.String(), parsed, err)
+		}
+	}
+	if _, err := ParseShape("torus"); err == nil {
+		t.Error("unknown shape must fail")
+	}
+}
+
+func shapeEdges(s Shape, n int) int {
+	switch s {
+	case Cycle:
+		return n
+	case Clique:
+		return n * (n - 1) / 2
+	default:
+		return n - 1
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	if _, _, err := Generate(Spec{Relations: 0}); err == nil {
 		t.Error("0 relations must fail")
@@ -83,6 +132,12 @@ func TestGenerateErrors(t *testing.T) {
 	}
 	if _, _, err := Generate(Spec{Relations: 2, ExtraEdges: -1}); err == nil {
 		t.Error("negative extra edges must fail")
+	}
+	if _, _, err := Generate(Spec{Relations: 2, Shape: Cycle}); err == nil {
+		t.Error("2-relation cycle must fail")
+	}
+	if _, _, err := Generate(Spec{Relations: 4, Shape: Clique, ExtraEdges: 1}); err == nil {
+		t.Error("extra edges on a clique must fail")
 	}
 }
 
