@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test bench
+.PHONY: check build vet fmt test race bench
 
 check: build vet fmt test
 
@@ -16,6 +16,11 @@ fmt:
 
 test:
 	$(GO) test ./...
+
+# race runs the full suite under the race detector — the planner layer
+# is exercised by many goroutines through shared caches and pools.
+race:
+	$(GO) test -race ./...
 
 # bench runs the root-package benchmarks (the paper tables plus the
 # enumerator comparison) and records the machine-readable log so the

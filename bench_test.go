@@ -13,6 +13,9 @@
 //	      moderate here, cmd/experiments runs the full sweep).
 //	BenchmarkAblation*
 //	    — design-choice ablations called out in DESIGN.md.
+//	BenchmarkPlannerThroughput
+//	    — the planner layer on Q8: cold pipeline vs prepared statements
+//	      vs plan-cache hits, serial and parallel.
 package orderopt_test
 
 import (
@@ -24,6 +27,7 @@ import (
 	"orderopt/internal/experiments"
 	"orderopt/internal/optimizer"
 	"orderopt/internal/order"
+	"orderopt/internal/planner"
 	"orderopt/internal/query"
 	"orderopt/internal/querygen"
 	"orderopt/internal/simmen"
@@ -203,6 +207,7 @@ func BenchmarkEnumerator(b *testing.B) {
 		{querygen.Star, 10},
 		{querygen.Cycle, 10},
 		{querygen.Clique, 6},
+		{querygen.Grid, 9},
 	}
 	for _, enum := range []optimizer.Enumerator{optimizer.EnumNaive, optimizer.EnumDPccp} {
 		for _, sh := range shapes {
@@ -503,6 +508,86 @@ func permutedGroupByGraph(b *testing.B) *query.Graph {
 	}
 	g.GroupBy = []query.ColumnRef{{Rel: r1, Col: 0}, {Rel: r1, Col: 1}}
 	return g
+}
+
+// BenchmarkPlannerThroughput measures the planner layer on TPC-R Q8 at
+// its three amortization levels — cold (full pipeline per plan),
+// prepared (prepared statement, DP re-run on pooled scratch) and
+// cachehit (fingerprinted plan cache) — serially and across
+// GOMAXPROCS. Every result is checked against the cold best-plan cost,
+// and the cache-hit path should report near-zero allocations.
+func BenchmarkPlannerThroughput(b *testing.B) {
+	sql := tpcr.Query8SQL
+	ref, err := planner.New(planner.DefaultConfig(tpcr.Schema())).Plan(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	noCacheCfg := planner.DefaultConfig(tpcr.Schema())
+	noCacheCfg.PlanCacheSize = -1
+
+	paths := []struct {
+		name  string
+		setup func(b *testing.B) func() (planner.Planned, error)
+	}{
+		{"cold", func(b *testing.B) func() (planner.Planned, error) {
+			return func() (planner.Planned, error) {
+				return planner.New(noCacheCfg).Plan(sql)
+			}
+		}},
+		{"prepared", func(b *testing.B) func() (planner.Planned, error) {
+			q, err := planner.New(noCacheCfg).Prepare(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return q.Plan
+		}},
+		{"cachehit", func(b *testing.B) func() (planner.Planned, error) {
+			p := planner.New(planner.DefaultConfig(tpcr.Schema()))
+			q, err := p.Prepare(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := q.Plan(); err != nil { // warm the plan cache
+				b.Fatal(err)
+			}
+			return q.Plan
+		}},
+	}
+	for _, path := range paths {
+		b.Run(path.name+"/serial", func(b *testing.B) {
+			fn := path.setup(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fn()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Cost != ref.Cost {
+					b.Fatalf("cost %v, cold reference %v", res.Cost, ref.Cost)
+				}
+			}
+		})
+		b.Run(path.name+"/parallel", func(b *testing.B) {
+			fn := path.setup(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					res, err := fn()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if res.Cost != ref.Cost {
+						b.Errorf("cost %v, cold reference %v", res.Cost, ref.Cost)
+						return
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkNaiveClosure contrasts the naive explicit-set representation

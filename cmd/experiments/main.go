@@ -6,12 +6,16 @@
 //	experiments -table fig13   # Fig. 13: join-graph sweep (time/#plans)
 //	experiments -table fig14   # Fig. 14: memory consumption
 //	experiments -table enum    # DPccp vs naive join enumeration per shape
-//	experiments -table all     # everything except enum (opt-in: clique
-//	                           # points run for seconds)
+//	experiments -table throughput  # planner layer: cold vs prepared vs
+//	                               # plan-cache-hit plans/sec, serial and
+//	                               # parallel
+//	experiments -table all     # everything except enum and throughput
+//	                           # (opt-in: clique points run for seconds)
 //
 // The sweep is configurable: -sizes 5,6,7,8,9,10 -extras 0,1,2 -seeds 5,
 // -enumerator dpccp|naive; the enum table via -enum-shapes and
-// -enum-sizes.
+// -enum-sizes; the throughput table via -tp-queries, -tp-relations,
+// -tp-repeat and -tp-parallel.
 // Absolute numbers depend on the machine; the shape (who wins, by what
 // factor, how factors grow with query size) is what reproduces the
 // paper. Results are deterministic per seed set.
@@ -36,9 +40,13 @@ func main() {
 	seeds := flag.Int("seeds", 5, "queries averaged per configuration")
 	tested := flag.Bool("tested-selections", false, "add the optional O_T selection orders to the Q8 prep input")
 	enumerator := flag.String("enumerator", "dpccp", "join enumeration for the fig13/fig14 sweep: dpccp or naive")
-	enumShapes := flag.String("enum-shapes", "chain,star,cycle,clique", "join-graph shapes for the enum table")
+	enumShapes := flag.String("enum-shapes", "chain,star,cycle,clique,grid", "join-graph shapes for the enum table")
 	enumSizes := flag.String("enum-sizes", "5,6,7", "relation counts for the enum table")
 	enumSeeds := flag.Int("enum-seeds", 1, "queries averaged per enum configuration")
+	tpQueries := flag.Int("tp-queries", 6, "distinct queries in the throughput working set")
+	tpRelations := flag.Int("tp-relations", 7, "relations per throughput query")
+	tpRepeat := flag.Int("tp-repeat", 96, "plans per throughput measurement")
+	tpParallel := flag.String("tp-parallel", "", "goroutine counts for the throughput table (default 1,GOMAXPROCS)")
 	flag.Parse()
 
 	var sweepEnum optimizer.Enumerator
@@ -55,6 +63,7 @@ func main() {
 	runQ8 := *table == "q8" || *table == "all"
 	runSweep := *table == "fig13" || *table == "fig14" || *table == "all"
 	runEnum := *table == "enum"
+	runThroughput := *table == "throughput"
 
 	if runPrep {
 		rows, err := experiments.PrepQ8(*tested)
@@ -104,6 +113,22 @@ func main() {
 		die(err)
 		fmt.Println("=== Join enumeration: naive DPsub vs DPccp (DFSM mode) ===")
 		fmt.Print(experiments.FormatEnum(rows))
+	}
+	if runThroughput {
+		fmt.Println("=== Planner throughput: cold vs prepared vs plan-cache hits ===")
+		var all []experiments.ThroughputRow
+		for _, mode := range []optimizer.Mode{optimizer.ModeDFSM, optimizer.ModeSimmen} {
+			rows, err := experiments.Throughput(experiments.ThroughputSpec{
+				Mode:      mode,
+				Queries:   *tpQueries,
+				Relations: *tpRelations,
+				Repeat:    *tpRepeat,
+				Parallel:  parseInts(*tpParallel),
+			})
+			die(err)
+			all = append(all, rows...)
+		}
+		fmt.Print(experiments.FormatThroughput(all))
 	}
 }
 

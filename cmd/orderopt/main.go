@@ -21,9 +21,10 @@ import (
 
 	"orderopt/internal/core"
 	"orderopt/internal/nfsm"
+	"orderopt/internal/optimizer"
 	"orderopt/internal/order"
+	"orderopt/internal/planner"
 	"orderopt/internal/query"
-	"orderopt/internal/sqlparse"
 	"orderopt/internal/tpcr"
 )
 
@@ -34,17 +35,24 @@ func main() {
 	dot := flag.Bool("dot", false, "emit the NFSM as Graphviz DOT")
 	flag.Parse()
 
-	b, err := buildInput(*example, *sql)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "orderopt:", err)
-		os.Exit(1)
-	}
-
 	opt := core.Options{Pruning: nfsm.NoPruning()}
 	if *pruning {
 		opt.Pruning = nfsm.AllPruning()
 	}
-	fw, err := b.Prepare(opt)
+
+	var fw *core.Framework
+	var err error
+	if *sql != "" {
+		// SQL goes through the planner layer: the prepared query's
+		// framework is exactly what the optimizer would plan with.
+		fw, err = prepareSQL(*sql, opt)
+	} else {
+		var b *core.Builder
+		b, err = buildInput(*example)
+		if err == nil {
+			fw, err = b.Prepare(opt)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "orderopt:", err)
 		os.Exit(1)
@@ -62,23 +70,21 @@ func main() {
 	fmt.Print(fw.DFSM().Dump())
 }
 
-func buildInput(example, sql string) (*core.Builder, error) {
-	switch {
-	case sql != "":
-		stmt, err := sqlparse.Parse(sql)
-		if err != nil {
-			return nil, err
-		}
-		bq, err := sqlparse.Bind(stmt, tpcr.Schema())
-		if err != nil {
-			return nil, err
-		}
-		a, err := query.Analyze(bq.Graph, query.AnalyzeOptions{UseIndexes: true})
-		if err != nil {
-			return nil, err
-		}
-		return a.Builder, nil
+// prepareSQL builds the DFSM for a SQL query via the planner pipeline
+// (parse → bind → analyze → prepare) under the given preparation
+// options.
+func prepareSQL(sql string, opt core.Options) (*core.Framework, error) {
+	cfg := planner.DefaultConfig(tpcr.Schema())
+	cfg.Optimizer = optimizer.Config{Mode: optimizer.ModeDFSM, CoreOptions: opt}
+	q, err := planner.New(cfg).Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return q.Prepared().Framework(), nil
+}
 
+func buildInput(example string) (*core.Builder, error) {
+	switch {
 	case example == "intro":
 		b := core.NewBuilder()
 		bb, d := b.Attr("b"), b.Attr("d")

@@ -1,26 +1,42 @@
-// Command sqlplan optimizes a SQL query against the TPC-R schema with
-// both order-optimization components and prints the chosen plan and the
+// Command sqlplan optimizes a SQL query against the TPC-R schema
+// through the planner layer and prints the chosen plan and the
 // plan-generation statistics:
 //
 //	sqlplan 'select * from orders, lineitem where o_orderkey = l_orderkey order by o_orderkey'
 //	sqlplan -f query.sql
-//	sqlplan -q8            # the paper's TPC-R Query 8
+//	sqlplan -q8                         # the paper's TPC-R Query 8
+//	sqlplan -mode dfsm -q8              # one order framework only
+//	sqlplan -enumerator naive -q8       # reference DPsub enumeration
+//	sqlplan -no-simmen-cache -q8        # untuned baseline
+//	sqlplan -q8 -repeat 1000 -parallel 8  # planner throughput mode
+//
+// The throughput mode plans the query repeatedly through one shared
+// Planner and reports plans/sec together with the planner's cache
+// counters — the service-shaped view of the optimizer (cold vs
+// prepared vs plan-cache hits).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"orderopt/internal/experiments"
 	"orderopt/internal/optimizer"
-	"orderopt/internal/query"
-	"orderopt/internal/sqlparse"
+	"orderopt/internal/planner"
 	"orderopt/internal/tpcr"
 )
 
 func main() {
 	file := flag.String("f", "", "read the query from a file")
 	q8 := flag.Bool("q8", false, "use the paper's TPC-R Query 8")
+	mode := flag.String("mode", "both", "order framework: dfsm, simmen or both")
+	enumerator := flag.String("enumerator", "dpccp", "join enumeration: dpccp or naive")
+	noSimmenCache := flag.Bool("no-simmen-cache", false, "disable the Simmen baseline's reduce cache")
+	noPlanCache := flag.Bool("no-plan-cache", false, "disable the fingerprinted plan cache")
+	repeat := flag.Int("repeat", 1, "plan the query N times (throughput mode when > 1)")
+	parallel := flag.Int("parallel", 1, "goroutines planning concurrently in throughput mode")
 	flag.Parse()
 
 	var sql string
@@ -34,36 +50,92 @@ func main() {
 	case flag.NArg() == 1:
 		sql = flag.Arg(0)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: sqlplan [-f file | -q8 | 'select ...']")
+		fmt.Fprintln(os.Stderr, "usage: sqlplan [flags] [-f file | -q8 | 'select ...']")
 		os.Exit(2)
 	}
 
-	stmt, err := sqlparse.Parse(sql)
-	die(err)
-	bq, err := sqlparse.Bind(stmt, tpcr.Schema())
-	die(err)
-	if len(bq.Residual) > 0 {
-		fmt.Printf("note: %d predicate(s) planned as generic filters:\n", len(bq.Residual))
-		for _, e := range bq.Residual {
-			fmt.Printf("  %s\n", e)
-		}
+	var enum optimizer.Enumerator
+	switch *enumerator {
+	case "dpccp":
+		enum = optimizer.EnumDPccp
+	case "naive":
+		enum = optimizer.EnumNaive
+	default:
+		die(fmt.Errorf("unknown enumerator %q (want dpccp or naive)", *enumerator))
 	}
 
-	for _, mode := range []optimizer.Mode{optimizer.ModeDFSM, optimizer.ModeSimmen} {
-		a, err := query.Analyze(bq.Graph, query.AnalyzeOptions{UseIndexes: true})
-		die(err)
-		res, err := optimizer.Optimize(a, optimizer.DefaultConfig(mode))
-		die(err)
-		fmt.Printf("\n=== %s ===\n", mode)
-		fmt.Printf("prep %v, plan %v, %d plans generated, %d retained, %.1f KB order memory\n",
-			res.PrepTime, res.PlanTime, res.PlansGenerated, res.PlansRetained,
-			float64(res.OrderMemBytes)/1024)
-		if res.Stats != nil {
-			fmt.Printf("DFSM: %d NFSM states → %d DFSM states, %d B precomputed\n",
-				res.Stats.NFSMStates, res.Stats.DFSMStates, res.Stats.PrecomputedBytes)
-		}
-		fmt.Printf("best plan (cost %.1f):\n%s", res.Best.Cost, res.Best)
+	var modes []optimizer.Mode
+	switch *mode {
+	case "both":
+		modes = []optimizer.Mode{optimizer.ModeDFSM, optimizer.ModeSimmen}
+	case "dfsm":
+		modes = []optimizer.Mode{optimizer.ModeDFSM}
+	case "simmen":
+		modes = []optimizer.Mode{optimizer.ModeSimmen}
+	default:
+		die(fmt.Errorf("unknown mode %q (want dfsm, simmen or both)", *mode))
 	}
+
+	for _, m := range modes {
+		cfg := planner.DefaultConfig(tpcr.Schema())
+		cfg.Optimizer = optimizer.DefaultConfig(m)
+		cfg.Optimizer.Enumerator = enum
+		cfg.Optimizer.SimmenCache = !*noSimmenCache
+		if *noPlanCache {
+			cfg.PlanCacheSize = -1
+		}
+		pl := planner.New(cfg)
+
+		q, err := pl.Prepare(sql)
+		die(err)
+		if m == modes[0] && len(q.Residual()) > 0 {
+			fmt.Printf("note: %d predicate(s) planned as generic filters:\n", len(q.Residual()))
+			for _, e := range q.Residual() {
+				fmt.Printf("  %s\n", e)
+			}
+		}
+		res, err := q.Plan()
+		die(err)
+
+		fmt.Printf("\n=== %s (%s enumeration) ===\n", m, enum)
+		r := res.Result
+		fmt.Printf("prep %v, plan %v, %d plans generated, %d retained, %.1f KB order memory\n",
+			r.PrepTime, r.PlanTime, r.PlansGenerated, r.PlansRetained,
+			float64(r.OrderMemBytes)/1024)
+		if r.Stats != nil {
+			fmt.Printf("DFSM: %d NFSM states → %d DFSM states, %d B precomputed\n",
+				r.Stats.NFSMStates, r.Stats.DFSMStates, r.Stats.PrecomputedBytes)
+		}
+		fmt.Printf("best plan (cost %.1f):\n%s", res.Cost, res.Best)
+
+		if *repeat > 1 {
+			throughput(pl, q, res.Cost, *repeat, *parallel)
+		}
+	}
+}
+
+// throughput replans the prepared query repeat times across parallel
+// goroutines through the shared planner and reports the aggregate rate.
+func throughput(pl *planner.Planner, q *planner.PreparedQuery, coldCost float64, repeat, parallel int) {
+	if parallel < 1 {
+		parallel = 1
+	}
+	elapsed, err := experiments.Measure(repeat, parallel, func(int) error {
+		res, err := q.Plan()
+		if err != nil {
+			return err
+		}
+		if res.Cost != coldCost {
+			return fmt.Errorf("replanned cost %.1f differs from cold cost %.1f", res.Cost, coldCost)
+		}
+		return nil
+	})
+	die(err)
+	st := pl.Stats()
+	fmt.Printf("throughput: %d plans × %d goroutines in %v = %.0f plans/sec "+
+		"(%d DP runs, %d plan-cache hits)\n",
+		repeat, parallel, elapsed.Round(time.Microsecond),
+		float64(repeat)/elapsed.Seconds(), st.PlanRuns, st.PlanCacheHits)
 }
 
 func die(err error) {

@@ -39,14 +39,34 @@
 // attributes?" in O(1) — all a group-by operator needs, subsuming all
 // n! permutations of the grouping columns with a single state.
 //
-// The subpackages build a complete test bed around the framework: a
-// bottom-up dynamic-programming plan generator with a pluggable order
-// component and pluggable join enumeration (DPccp csg-cmp pairs or the
-// naive DPsub reference), a reimplementation of the
-// Simmen/Shekita/Malkemus baseline, a SQL front end, an executor used
-// to validate ordering claims on real tuple streams, and an experiment
-// harness regenerating every table and figure of the paper's
-// evaluation. DESIGN.md documents the plan generator's architecture —
-// enumerator choice, DP table layout, node arena — and how to run the
-// benchmarks.
+// The subpackages build a complete test bed — and a service-shaped
+// planning stack — around the framework:
+//
+//	internal/planner     reentrant planning pipeline: prepared
+//	                     statements, fingerprinted concurrent plan
+//	                     cache, pooled optimizer scratch
+//	internal/optimizer   bottom-up DP plan generator, split into an
+//	                     immutable Prepared and pooled per-run scratch;
+//	                     pluggable order component and join enumeration
+//	                     (DPccp csg-cmp pairs or the naive DPsub
+//	                     reference)
+//	internal/plan        physical operators, cost model, resettable
+//	                     node arena, plan cloning
+//	internal/query       join graph, §5.2 analysis, canonical
+//	                     fingerprinting for plan caching
+//	internal/simmen      the Simmen/Shekita/Malkemus baseline
+//	internal/core        this framework (builder + prepared DFSM)
+//	internal/{order,nfsm,dfsm,bitset}  framework internals
+//	internal/sqlparse    SQL front end (parser + binder)
+//	internal/exec        executor validating ordering claims on real
+//	                     tuple streams
+//	internal/{querygen,tpcr,catalog}   workloads: random join graphs
+//	                     (chain/star/cycle/clique/grid) and TPC-R
+//	internal/experiments §6.2/§7 tables, sweeps and the planner
+//	                     throughput experiment
+//	cmd/{orderopt,sqlplan,experiments}  CLIs over all of the above
+//
+// DESIGN.md documents the plan generator's architecture — enumerator
+// choice, DP table layout, node arena, the planner layer's caches and
+// concurrency contract — and how to run the benchmarks.
 package orderopt

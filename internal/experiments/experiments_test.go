@@ -104,8 +104,8 @@ func TestEnumSweepSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 8 {
-		t.Fatalf("rows = %d, want 8", len(rows))
+	if want := 2 * len(querygen.Shapes()); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
 	}
 	for _, r := range rows {
 		if r.Pairs <= 0 || r.Plans <= 0 {

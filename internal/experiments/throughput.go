@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"orderopt/internal/optimizer"
+	"orderopt/internal/planner"
+	"orderopt/internal/query"
+	"orderopt/internal/querygen"
+)
+
+// The throughput experiment measures the planner layer the way a
+// serving system would: a fixed working set of queries planned over and
+// over from many goroutines, reported as plans per second for each
+// amortization level —
+//
+//	cold      full pipeline per plan (analyze + framework prep + DP)
+//	prepared  prepared statements, DP re-run on pooled scratch
+//	cachehit  fingerprinted plan cache returns the cached best plan
+//
+// Cold vs prepared isolates the preparation amortization; prepared vs
+// cachehit isolates the DP itself. The parallel rows show how far each
+// path scales across GOMAXPROCS (the cache-hit path is a read-locked
+// map probe and should scale near-linearly).
+
+// ThroughputSpec parameterizes the planner throughput experiment.
+type ThroughputSpec struct {
+	Mode optimizer.Mode
+	// Queries is the number of distinct random queries in the working
+	// set (default 6; shapes rotate through querygen.Shapes()).
+	Queries int
+	// Relations per query (default 7).
+	Relations int
+	// Repeat is how many plans each measurement performs (default 96).
+	Repeat int
+	// Parallel lists the goroutine counts to measure (default
+	// {1, GOMAXPROCS}).
+	Parallel []int
+	// Seed offsets the workload generation.
+	Seed int64
+}
+
+func (s *ThroughputSpec) defaults() {
+	if s.Queries == 0 {
+		s.Queries = 6
+	}
+	if s.Relations == 0 {
+		s.Relations = 7
+	}
+	if s.Repeat == 0 {
+		s.Repeat = 96
+	}
+	if len(s.Parallel) == 0 {
+		s.Parallel = []int{1}
+		if p := runtime.GOMAXPROCS(0); p > 1 {
+			s.Parallel = append(s.Parallel, p)
+		}
+	}
+}
+
+// ThroughputRow is one measurement: one path at one parallelism level.
+type ThroughputRow struct {
+	Mode     string
+	Path     string // cold, prepared, cachehit
+	Parallel int
+	Plans    int
+	Elapsed  time.Duration
+	// PlansPerSec is the aggregate planning throughput.
+	PlansPerSec float64
+}
+
+// workload is the prebuilt working set for one throughput run.
+type workload struct {
+	graphs []*query.Graph
+	cfg    planner.Config
+}
+
+func buildWorkload(spec ThroughputSpec) (*workload, error) {
+	shapes := querygen.Shapes()
+	w := &workload{
+		cfg: planner.Config{
+			Analyze:   query.AnalyzeOptions{UseIndexes: true},
+			Optimizer: optimizer.DefaultConfig(spec.Mode),
+		},
+	}
+	for i := 0; i < spec.Queries; i++ {
+		shape := shapes[i%len(shapes)]
+		n := spec.Relations
+		if shape == querygen.Cycle && n < 3 {
+			n = 3
+		}
+		if shape == querygen.Clique && n > 5 {
+			// A large clique's plan space dwarfs every other query and
+			// turns the table into a clique benchmark; keep it as the
+			// dense point, not the dominating one.
+			n = 5
+		}
+		_, g, err := querygen.Generate(querygen.Spec{
+			Relations: n,
+			Shape:     shape,
+			Seed:      spec.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.graphs = append(w.graphs, g)
+	}
+	return w, nil
+}
+
+// Throughput runs the planner throughput experiment.
+func Throughput(spec ThroughputSpec) ([]ThroughputRow, error) {
+	spec.defaults()
+	w, err := buildWorkload(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	type path struct {
+		name string
+		run  func(parallel int) (time.Duration, error)
+	}
+	paths := []path{
+		{"cold", func(par int) (time.Duration, error) {
+			// Every plan pays the full pipeline: fresh planner, no caches.
+			cfg := w.cfg
+			cfg.PlanCacheSize = -1
+			return w.measure(spec.Repeat, par, func(i int) error {
+				p := planner.New(cfg)
+				q, err := p.PrepareGraph(w.graphs[i%len(w.graphs)])
+				if err != nil {
+					return err
+				}
+				_, err = q.Plan()
+				return err
+			})
+		}},
+		{"prepared", func(par int) (time.Duration, error) {
+			cfg := w.cfg
+			cfg.PlanCacheSize = -1
+			p := planner.New(cfg)
+			qs, err := w.prepareAll(p)
+			if err != nil {
+				return 0, err
+			}
+			return w.measure(spec.Repeat, par, func(i int) error {
+				_, err := qs[i%len(qs)].Plan()
+				return err
+			})
+		}},
+		{"cachehit", func(par int) (time.Duration, error) {
+			p := planner.New(w.cfg)
+			qs, err := w.prepareAll(p)
+			if err != nil {
+				return 0, err
+			}
+			for _, q := range qs { // warm the plan cache
+				if _, err := q.Plan(); err != nil {
+					return 0, err
+				}
+			}
+			return w.measure(spec.Repeat, par, func(i int) error {
+				res, err := qs[i%len(qs)].Plan()
+				if err != nil {
+					return err
+				}
+				if res.Source != planner.SourceCacheHit {
+					return fmt.Errorf("throughput: warm plan missed the cache (%v)", res.Source)
+				}
+				return nil
+			})
+		}},
+	}
+
+	var rows []ThroughputRow
+	for _, pt := range paths {
+		for _, par := range spec.Parallel {
+			elapsed, err := pt.run(par)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ThroughputRow{
+				Mode:        spec.Mode.String(),
+				Path:        pt.name,
+				Parallel:    par,
+				Plans:       spec.Repeat,
+				Elapsed:     elapsed,
+				PlansPerSec: float64(spec.Repeat) / elapsed.Seconds(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func (w *workload) prepareAll(p *planner.Planner) ([]*planner.PreparedQuery, error) {
+	qs := make([]*planner.PreparedQuery, len(w.graphs))
+	for i, g := range w.graphs {
+		q, err := p.PrepareGraph(g)
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	return qs, nil
+}
+
+// measure runs total iterations of fn split across parallel goroutines
+// and returns the wall-clock time.
+func (w *workload) measure(total, parallel int, fn func(i int) error) (time.Duration, error) {
+	return Measure(total, parallel, fn)
+}
+
+// Measure runs total iterations of fn, striped across parallel
+// goroutines (fn receives the iteration index), and returns the
+// wall-clock time. The first error aborts that goroutine's stripe and
+// is reported after all goroutines finish. Shared by the throughput
+// experiment and cmd/sqlplan's -repeat/-parallel mode.
+func Measure(total, parallel int, fn func(i int) error) (time.Duration, error) {
+	if parallel < 1 {
+		parallel = 1
+	}
+	errs := make(chan error, parallel)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < parallel; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < total; i += parallel {
+				if err := fn(i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// FormatThroughput renders the throughput table.
+func FormatThroughput(rows []ThroughputRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %9s %8s %12s %14s\n",
+		"mode", "path", "parallel", "plans", "elapsed", "plans/sec")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-10s %9d %8d %12s %14.0f\n",
+			r.Mode, r.Path, r.Parallel, r.Plans,
+			r.Elapsed.Round(time.Microsecond), r.PlansPerSec)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"orderopt/internal/optimizer"
+)
+
+// TestThroughputSmall smoke-tests the planner throughput harness: all
+// three paths at two parallelism levels, with plausible rates.
+func TestThroughputSmall(t *testing.T) {
+	rows, err := Throughput(ThroughputSpec{
+		Mode:      optimizer.ModeDFSM,
+		Queries:   3,
+		Relations: 5,
+		Repeat:    12,
+		Parallel:  []int{1, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 2; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	rate := map[string]float64{}
+	for _, r := range rows {
+		if r.PlansPerSec <= 0 {
+			t.Errorf("%s parallel=%d: zero throughput", r.Path, r.Parallel)
+		}
+		if r.Parallel == 1 {
+			rate[r.Path] = r.PlansPerSec
+		}
+	}
+	// The amortization order must hold at parallel=1: prepared beats
+	// cold, cache hits beat prepared.
+	if rate["prepared"] <= rate["cold"] {
+		t.Errorf("prepared (%.0f plans/s) not faster than cold (%.0f)", rate["prepared"], rate["cold"])
+	}
+	if rate["cachehit"] <= rate["prepared"] {
+		t.Errorf("cachehit (%.0f plans/s) not faster than prepared (%.0f)", rate["cachehit"], rate["prepared"])
+	}
+
+	out := FormatThroughput(rows)
+	for _, want := range []string{"cold", "prepared", "cachehit", "plans/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatThroughput missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -33,6 +33,8 @@ func costSizes(mode Mode, shape querygen.Shape) []int {
 			return []int{3, 7}
 		case querygen.Clique:
 			return []int{2, 5}
+		case querygen.Grid:
+			return []int{4, 6}
 		default:
 			return []int{2, 9}
 		}
@@ -44,6 +46,8 @@ func costSizes(mode Mode, shape querygen.Shape) []int {
 		return []int{3, 6, 9}
 	case querygen.Clique:
 		return []int{2, 4, 6}
+	case querygen.Grid:
+		return []int{4, 6, 9}
 	default:
 		return []int{2, 7, 12}
 	}
@@ -153,6 +157,90 @@ func intPow(b, e int) int {
 		out *= b
 	}
 	return out
+}
+
+// TestGridPairCounts cross-checks the csg-cmp pair count on grid graphs
+// three ways: both enumerators, a brute-force reference implemented
+// independently in this test (its own connectivity walk over all subset
+// pairs), and pinned literals for the named lattices. A prime size must
+// collapse to the chain closed form.
+func TestGridPairCounts(t *testing.T) {
+	pinned := map[int]int{
+		4:  18,    // 2×2
+		6:  114,   // 2×3
+		8:  506,   // 2×4
+		9:  1381,  // 3×3
+		12: 12275, // 3×4
+	}
+	for _, n := range []int{4, 6, 8, 9, 12} {
+		g := genGraph(t, querygen.Grid, n, 0, 0)
+		adj := g.AdjacencyMasks()
+		var naive, dpccp int
+		enumerateNaive(n, adj, func(_, _ uint64) { naive++ })
+		enumerateDPccp(n, adj, func(_, _ uint64) { dpccp++ })
+		brute := brutePairCount(adj, n)
+		if naive != brute || dpccp != brute {
+			t.Errorf("grid n=%d: naive %d, dpccp %d, brute force %d", n, naive, dpccp, brute)
+		}
+		if want := pinned[n]; brute != want {
+			t.Errorf("grid n=%d: %d pairs, pinned %d", n, brute, want)
+		}
+	}
+	// 1×7 grid is the chain: (n³−n)/6 pairs.
+	g := genGraph(t, querygen.Grid, 7, 0, 0)
+	var got int
+	enumerateDPccp(7, g.AdjacencyMasks(), func(_, _ uint64) { got++ })
+	if want := (7*7*7 - 7) / 6; got != want {
+		t.Errorf("1×7 grid: %d pairs, chain closed form %d", got, want)
+	}
+}
+
+// brutePairCount counts valid csg-cmp pairs by exhaustive subset
+// enumeration with its own fixpoint connectivity check — deliberately
+// sharing no code with either enumerator.
+func brutePairCount(adj []uint64, n int) int {
+	connected := func(mask uint64) bool {
+		if mask == 0 {
+			return false
+		}
+		seen := mask & -mask
+		for {
+			next := seen
+			for m := seen; m != 0; m &= m - 1 {
+				next |= adj[bits.TrailingZeros64(m)] & mask
+			}
+			if next == seen {
+				return seen == mask
+			}
+			seen = next
+		}
+	}
+	full := uint64(1)<<uint(n) - 1
+	total := 0
+	for s1 := uint64(1); s1 <= full; s1++ {
+		if !connected(s1) {
+			continue
+		}
+		rest := full &^ s1
+		for s2 := rest; s2 != 0; s2 = (s2 - 1) & rest {
+			if s2 > s1 { // unordered pairs: count each once
+				continue
+			}
+			if !connected(s2) {
+				continue
+			}
+			adjacent := false
+			for m := s1; m != 0 && !adjacent; m &= m - 1 {
+				if adj[bits.TrailingZeros64(m)]&s2 != 0 {
+					adjacent = true
+				}
+			}
+			if adjacent {
+				total++
+			}
+		}
+	}
+	return total
 }
 
 // TestDPccpEmitsInDPOrder verifies the property the immediate-join

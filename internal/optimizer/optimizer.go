@@ -6,11 +6,20 @@
 // paper's DFSM framework (O(1) contains/infer, one int per plan) or the
 // Simmen et al. baseline (reduce-based contains, FD sets per plan) — so
 // both can be measured inside the identical plan generator.
+//
+// The generator is split into two phases so repeated planning of one
+// query amortizes everything that does not depend on the run: Prepare
+// compiles the analysis into an immutable Prepared (order framework,
+// cardinality estimates, join-graph bitsets), and Prepared.Run executes
+// the dynamic programming using pooled per-run scratch (node arena, DP
+// table, edge buffers). Run is safe to call from multiple goroutines;
+// Optimize remains the one-shot convenience wrapper.
 package optimizer
 
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"time"
 
 	"orderopt/internal/core"
@@ -69,6 +78,8 @@ func DefaultConfig(m Mode) Config {
 // Result is the outcome of one optimization run, carrying the counters
 // the §7 experiments report.
 type Result struct {
+	// Best is the cheapest final plan, deep-copied out of the run's
+	// arena: it stays valid after the scratch is recycled.
 	Best *plan.Node
 
 	// PlansGenerated counts every plan operator constructed (the
@@ -88,27 +99,68 @@ type Result struct {
 	// (ModeDFSM only; the separate column of Figure 14).
 	DFSMBytes int64
 
+	// PrepTime is the one-time preparation cost of the Prepared this
+	// run executed on (identical across runs of one Prepared).
 	PrepTime time.Duration
 	PlanTime time.Duration
 	// Stats holds the framework preparation statistics (ModeDFSM only).
 	Stats *core.Stats
 }
 
-type optimizer struct {
+// Prepared is the immutable product of Prepare: everything about one
+// analyzed query that does not change between optimization runs. It is
+// safe for concurrent use; each Run checks private mutable scratch out
+// of an internal pool.
+type Prepared struct {
 	a   *query.Analysis
 	g   *query.Graph
 	cfg Config
 
-	fw  *core.Framework
-	sim *simmen.Framework
+	fw    *core.Framework // ModeDFSM; nil in ModeSimmen
+	stats *core.Stats
 
 	relCard []float64 // per relation, after base filters
 	edgeSel []float64 // per edge, product over its predicates
 	colDist [][]float64
 
-	adj       []uint64 // per relation: mask of joined relations
-	edgeMask  []uint64 // per edge: mask of its two endpoint relations
-	edgeBuf   []int    // scratch for edgesBetween, reused per pair
+	adj      []uint64 // per relation: mask of joined relations
+	edgeMask []uint64 // per edge: mask of its two endpoint relations
+
+	prepTime time.Duration
+	pool     sync.Pool // of *optimizer
+}
+
+// Analysis returns the analysis the query was prepared from.
+func (p *Prepared) Analysis() *query.Analysis { return p.a }
+
+// Graph returns the prepared join graph. It must not be mutated.
+func (p *Prepared) Graph() *query.Graph { return p.g }
+
+// Config returns the plan-generator configuration.
+func (p *Prepared) Config() Config { return p.cfg }
+
+// Stats returns the framework preparation statistics (nil in
+// ModeSimmen).
+func (p *Prepared) Stats() *core.Stats { return p.stats }
+
+// Framework returns the prepared DFSM framework (nil in ModeSimmen).
+func (p *Prepared) Framework() *core.Framework { return p.fw }
+
+// PrepTime returns the one-time preparation cost.
+func (p *Prepared) PrepTime() time.Duration { return p.prepTime }
+
+// optimizer is the per-run mutable scratch: the DP state one run needs,
+// recycled through Prepared.pool so warm runs are allocation-lean.
+type optimizer struct {
+	p *Prepared
+
+	// sim is the Simmen baseline instance (ModeSimmen only). It lives
+	// with the scratch — its reduce cache stays valid across runs of
+	// one Prepared — and owns a cloned interner, because reductions
+	// intern new orderings and the analysis interner is shared.
+	sim *simmen.Framework
+
+	edgeBuf   []int // scratch for edgesBetween, reused per pair
 	arena     plan.Arena
 	dp        *dpTable
 	generated int64
@@ -154,6 +206,23 @@ func (t *dpTable) set(mask uint64, list []*plan.Node) {
 	}
 }
 
+// reset truncates every plan list in place, keeping the backing arrays:
+// a rerun of the same query refills identical subsets, so steady-state
+// runs append into recycled capacity.
+func (t *dpTable) reset() {
+	if t.dense != nil {
+		for i, l := range t.dense {
+			if l != nil {
+				t.dense[i] = l[:0]
+			}
+		}
+	} else {
+		for k, l := range t.sparse {
+			t.sparse[k] = l[:0]
+		}
+	}
+}
+
 // retained counts plans surviving dominance pruning across all subsets.
 func (t *dpTable) retained() int {
 	total := 0
@@ -169,55 +238,97 @@ func (t *dpTable) retained() int {
 	return total
 }
 
-// Optimize plans the analyzed query under cfg.
-func Optimize(a *query.Analysis, cfg Config) (*Result, error) {
+// Prepare compiles the analyzed query under cfg into an immutable,
+// concurrency-safe Prepared: the order framework (ModeDFSM), the
+// cardinality and selectivity estimates, and the join-graph bitsets.
+func Prepare(a *query.Analysis, cfg Config) (*Prepared, error) {
 	if len(a.Sets) > 64 {
 		// Plan nodes track applied operators in a 64-bit mask (for the
 		// §5.6 sort-state replay); queries beyond that are outside this
 		// planner's scope.
 		return nil, fmt.Errorf("optimizer: more than 64 FD sets (%d)", len(a.Sets))
 	}
-	o := &optimizer{
-		a: a, g: a.Graph, cfg: cfg,
-		dp: newDPTable(len(a.Graph.Relations), cfg.Enumerator != EnumNaive),
-	}
-	res := &Result{}
+	p := &Prepared{a: a, g: a.Graph, cfg: cfg}
 
-	prepStart := time.Now()
+	start := time.Now()
 	switch cfg.Mode {
 	case ModeDFSM:
 		fw, err := a.Prepare(cfg.CoreOptions)
 		if err != nil {
 			return nil, fmt.Errorf("optimizer: %w", err)
 		}
-		o.fw = fw
+		p.fw = fw
 		st := fw.Stats()
-		res.Stats = &st
+		p.stats = &st
 	case ModeSimmen:
-		o.sim = simmen.New(a.Builder.Interner(), a.Builder.Registry(), cfg.SimmenCache)
+		// The baseline framework is per-scratch (its reduce cache and
+		// counters are mutable); see newScratch.
 	default:
 		return nil, fmt.Errorf("optimizer: unknown mode %d", cfg.Mode)
 	}
-	res.PrepTime = time.Since(prepStart)
+	p.estimate()
+	masks := p.g.EdgeMasks() // force the lazy build while still single-threaded
+	p.adj = masks.Adj
+	p.edgeMask = masks.Edge
+	p.prepTime = time.Since(start)
+	p.pool.New = func() any { return p.newScratch() }
+	return p, nil
+}
 
+func (p *Prepared) newScratch() *optimizer {
+	o := &optimizer{p: p, edgeBuf: make([]int, 0, len(p.edgeMask))}
+	if p.cfg.Mode == ModeSimmen {
+		o.sim = simmen.New(p.a.Builder.Interner().Clone(), p.a.Builder.Registry(), p.cfg.SimmenCache)
+	}
+	return o
+}
+
+// reset readies recycled scratch for the next run.
+func (o *optimizer) reset() {
+	o.generated, o.ccPairs = 0, 0
+	o.arena.Reset()
+	o.edgeBuf = o.edgeBuf[:0]
+	if o.sim != nil {
+		o.sim.BytesAllocated = 0
+		o.sim.ReduceCalls = 0
+		o.sim.CacheHits = 0
+	}
+	n := len(o.p.g.Relations)
+	if o.p.cfg.Enumerator == EnumNaive {
+		// The reference configuration measures the seed's unhinted map:
+		// always start from a fresh one.
+		o.dp = newDPTable(n, false)
+	} else if o.dp == nil {
+		o.dp = newDPTable(n, true)
+	} else {
+		o.dp.reset()
+	}
+}
+
+// Run executes one optimization run on pooled scratch. Safe for
+// concurrent use.
+func (p *Prepared) Run() (*Result, error) {
+	res := &Result{PrepTime: p.prepTime, Stats: p.stats}
+	// PlanTime covers scratch checkout too: on a cold pool that
+	// includes constructing the scratch (for ModeSimmen, the baseline
+	// framework and its interner clone) — real per-run work that warm
+	// runs amortize away.
 	planStart := time.Now()
-	o.estimate()
-	masks := o.g.EdgeMasks()
-	o.adj = masks.Adj
-	o.edgeMask = masks.Edge
-	o.edgeBuf = make([]int, 0, len(masks.Edge))
+	o := p.pool.Get().(*optimizer)
+	defer p.pool.Put(o)
+	o.reset()
 
 	best, err := o.run()
 	if err != nil {
 		return nil, err
 	}
 	res.PlanTime = time.Since(planStart)
-	res.Best = best
+	res.Best = best.Clone() // detach from the pooled arena
 	res.PlansGenerated = o.generated
 	res.CsgCmpPairs = o.ccPairs
 	res.PlansRetained = o.dp.retained()
-	if cfg.Mode == ModeDFSM {
-		res.DFSMBytes = int64(o.fw.Stats().PrecomputedBytes)
+	if p.cfg.Mode == ModeDFSM {
+		res.DFSMBytes = int64(p.stats.PrecomputedBytes)
 		res.OrderMemBytes = 4*o.generated + res.DFSMBytes
 	} else {
 		res.OrderMemBytes = o.sim.BytesAllocated
@@ -225,21 +336,31 @@ func Optimize(a *query.Analysis, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// Optimize plans the analyzed query under cfg: Prepare followed by one
+// Run.
+func Optimize(a *query.Analysis, cfg Config) (*Result, error) {
+	p, err := Prepare(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}
+
 // estimate precomputes per-relation filtered cardinalities, per-edge
 // selectivities and column distinct counts.
-func (o *optimizer) estimate() {
-	o.relCard = make([]float64, len(o.g.Relations))
-	o.colDist = make([][]float64, len(o.g.Relations))
-	for i := range o.g.Relations {
-		r := &o.g.Relations[i]
+func (p *Prepared) estimate() {
+	p.relCard = make([]float64, len(p.g.Relations))
+	p.colDist = make([][]float64, len(p.g.Relations))
+	for i := range p.g.Relations {
+		r := &p.g.Relations[i]
 		card := float64(r.Table.Rows)
-		for _, p := range r.ConstPreds {
-			card *= p.DefaultSelectivity(r.Table)
+		for _, pr := range r.ConstPreds {
+			card *= pr.DefaultSelectivity(r.Table)
 		}
 		if card < 1 {
 			card = 1
 		}
-		o.relCard[i] = card
+		p.relCard[i] = card
 		dist := make([]float64, len(r.Table.Columns))
 		for c := range r.Table.Columns {
 			d := float64(r.Table.Columns[c].Distinct)
@@ -248,21 +369,21 @@ func (o *optimizer) estimate() {
 			}
 			dist[c] = d
 		}
-		o.colDist[i] = dist
+		p.colDist[i] = dist
 	}
-	o.edgeSel = make([]float64, len(o.g.Edges))
-	for e := range o.g.Edges {
+	p.edgeSel = make([]float64, len(p.g.Edges))
+	for e := range p.g.Edges {
 		sel := 1.0
-		for _, p := range o.g.Edges[e].Preds {
-			dl := o.colDist[p.Left.Rel][p.Left.Col]
-			dr := o.colDist[p.Right.Rel][p.Right.Col]
+		for _, pr := range p.g.Edges[e].Preds {
+			dl := p.colDist[pr.Left.Rel][pr.Left.Col]
+			dr := p.colDist[pr.Right.Rel][pr.Right.Col]
 			d := dl
 			if dr > d {
 				d = dr
 			}
 			sel /= d
 		}
-		o.edgeSel[e] = sel
+		p.edgeSel[e] = sel
 	}
 }
 
@@ -270,11 +391,11 @@ func (o *optimizer) estimate() {
 func (o *optimizer) maskCard(mask uint64) float64 {
 	card := 1.0
 	for m := mask; m != 0; m &= m - 1 {
-		card *= o.relCard[bits.TrailingZeros64(m)]
+		card *= o.p.relCard[bits.TrailingZeros64(m)]
 	}
-	for e, em := range o.edgeMask {
+	for e, em := range o.p.edgeMask {
 		if em&^mask == 0 { // both endpoints inside mask
-			card *= o.edgeSel[e]
+			card *= o.p.edgeSel[e]
 		}
 	}
 	if card < 1 {
@@ -284,21 +405,21 @@ func (o *optimizer) maskCard(mask uint64) float64 {
 }
 
 func (o *optimizer) run() (*plan.Node, error) {
-	n := len(o.g.Relations)
+	n := len(o.p.g.Relations)
 	full := uint64(1)<<uint(n) - 1
 
 	// Base plans.
 	for r := 0; r < n; r++ {
 		mask := uint64(1) << uint(r)
 		o.addPlan(mask, o.scanPlan(r, -1))
-		for ix := range o.a.IndexOrders[r] {
+		for ix := range o.p.a.IndexOrders[r] {
 			o.addPlan(mask, o.scanPlan(r, ix))
 		}
 	}
 
 	// Joins over connected subgraph / complement pairs, emitted by the
 	// configured enumerator in an order valid for dynamic programming.
-	EnumeratePairs(o.cfg.Enumerator, n, o.adj, o.joinPair)
+	EnumeratePairs(o.p.cfg.Enumerator, n, o.p.adj, o.joinPair)
 	if len(o.dp.get(full)) == 0 {
 		return nil, fmt.Errorf("optimizer: no plan for relation set %b", full)
 	}
@@ -325,7 +446,7 @@ func (o *optimizer) joinPair(s1, s2 uint64) {
 // into a reused scratch buffer (valid until the next call).
 func (o *optimizer) edgesBetween(s1, s2 uint64) []int {
 	out := o.edgeBuf[:0]
-	for e, em := range o.edgeMask {
+	for e, em := range o.p.edgeMask {
 		if em&s1 != 0 && em&s2 != 0 {
 			out = append(out, e)
 		}
@@ -337,15 +458,15 @@ func (o *optimizer) edgesBetween(s1, s2 uint64) []int {
 // scanPlan builds a table scan (ix < 0) or index scan plan for relation r
 // and applies the relation's selection FDs.
 func (o *optimizer) scanPlan(r, ix int) *plan.Node {
-	t := o.g.Relations[r].Table
+	t := o.p.g.Relations[r].Table
 	rows := float64(t.Rows)
 	node := o.arena.New()
-	*node = plan.Node{Rel: r, Card: o.relCard[r]}
+	*node = plan.Node{Rel: r, Card: o.p.relCard[r]}
 	if ix < 0 {
 		node.Op = plan.TableScan
 		node.Cost = plan.ScanCost(rows)
-		if o.fw != nil {
-			node.State = o.fw.Produce(order.EmptyID)
+		if o.p.fw != nil {
+			node.State = o.p.fw.Produce(order.EmptyID)
 		} else {
 			node.Ann = o.sim.Produce(order.EmptyID)
 		}
@@ -353,19 +474,19 @@ func (o *optimizer) scanPlan(r, ix int) *plan.Node {
 		node.Op = plan.IndexScan
 		node.Index = ix
 		node.Cost = plan.IndexScanCost(rows, t.Indexes[ix].Clustered)
-		ord := o.a.IndexOrders[r][ix]
-		if o.fw != nil {
-			node.State = o.fw.Produce(ord)
+		ord := o.p.a.IndexOrders[r][ix]
+		if o.p.fw != nil {
+			node.State = o.p.fw.Produce(ord)
 		} else {
 			node.Ann = o.sim.Produce(ord)
 		}
 	}
-	if h := o.a.RelFD[r]; h >= 0 {
+	if h := o.p.a.RelFD[r]; h >= 0 {
 		node.FDMask |= 1 << uint(h)
-		if o.fw != nil {
-			node.State = o.fw.Infer(node.State, h)
+		if o.p.fw != nil {
+			node.State = o.p.fw.Infer(node.State, h)
 		} else {
-			node.Ann = o.sim.Infer(node.Ann, o.a.Sets[h])
+			node.Ann = o.sim.Infer(node.Ann, o.p.a.Sets[h])
 		}
 	}
 	o.generated++
@@ -375,20 +496,20 @@ func (o *optimizer) scanPlan(r, ix int) *plan.Node {
 // applyEdges applies the FD sets of the given join edges to a state.
 func (o *optimizer) applyEdges(n *plan.Node, edges []int) {
 	for _, e := range edges {
-		h := o.a.EdgeFD[e]
+		h := o.p.a.EdgeFD[e]
 		n.FDMask |= 1 << uint(h)
-		if o.fw != nil {
-			n.State = o.fw.Infer(n.State, h)
+		if o.p.fw != nil {
+			n.State = o.p.fw.Infer(n.State, h)
 		} else {
-			n.Ann = o.sim.Infer(n.Ann, o.a.Sets[h])
+			n.Ann = o.sim.Infer(n.Ann, o.p.a.Sets[h])
 		}
 	}
 }
 
 // contains asks the active framework whether p satisfies ord.
 func (o *optimizer) contains(p *plan.Node, ord order.ID) bool {
-	if o.fw != nil {
-		return o.fw.Contains(p.State, ord)
+	if o.p.fw != nil {
+		return o.p.fw.Contains(p.State, ord)
 	}
 	return o.sim.Contains(p.Ann, ord)
 }
@@ -401,8 +522,8 @@ func (o *optimizer) sortPlan(p *plan.Node, ord order.ID) *plan.Node {
 		Cost: p.Cost + plan.SortCost(p.Card),
 		Card: p.Card, FDMask: p.FDMask,
 	}
-	if o.fw != nil {
-		n.State = o.fw.SortMask(ord, p.FDMask)
+	if o.p.fw != nil {
+		n.State = o.p.fw.SortMask(ord, p.FDMask)
 	} else {
 		n.Ann = o.sim.Sort(p.Ann, ord)
 	}
@@ -426,7 +547,7 @@ func (o *optimizer) emitJoins(mask, s1 uint64, p1, p2 *plan.Node, edges []int) {
 		}
 		// All join operators here preserve the outer (left/probe)
 		// input's ordering; the edge equations then widen it.
-		if o.fw != nil {
+		if o.p.fw != nil {
 			n.State = left.State
 		} else {
 			n.Ann = left.Ann
@@ -436,19 +557,19 @@ func (o *optimizer) emitJoins(mask, s1 uint64, p1, p2 *plan.Node, edges []int) {
 		o.addPlan(mask, n)
 	}
 
-	if !o.cfg.DisableNLJoin {
+	if !o.p.cfg.DisableNLJoin {
 		join(plan.NestedLoopJoin, p1, p2, plan.NestedLoopCost(p1.Card, p2.Card, out), edges[0], 0)
 	}
-	if !o.cfg.DisableHashJoin {
+	if !o.p.cfg.DisableHashJoin {
 		join(plan.HashJoin, p1, p2, plan.HashJoinCost(p1.Card, p2.Card, out), edges[0], 0)
 	}
 
 	// Merge joins: one candidate per equality predicate, sorting inputs
 	// that are not already suitably ordered.
 	for _, e := range edges {
-		for pi, pred := range o.g.Edges[e].Preds {
-			lOrd := o.a.EdgeOrders[e][0][pi]
-			rOrd := o.a.EdgeOrders[e][1][pi]
+		for pi, pred := range o.p.g.Edges[e].Preds {
+			lOrd := o.p.a.EdgeOrders[e][0][pi]
+			rOrd := o.p.a.EdgeOrders[e][1][pi]
 			// Align predicate sides with (p1, p2).
 			if s1&(1<<uint(pred.Left.Rel)) == 0 {
 				lOrd, rOrd = rOrd, lOrd
@@ -471,8 +592,8 @@ func (o *optimizer) dominates(a, b *plan.Node) bool {
 	if a.Cost > b.Cost {
 		return false
 	}
-	if o.fw != nil {
-		return o.fw.SubsetOf(b.State, a.State)
+	if o.p.fw != nil {
+		return o.p.fw.SubsetOf(b.State, a.State)
 	}
 	return o.sim.Dominates(a.Ann, b.Ann)
 }
@@ -534,10 +655,10 @@ func (o *optimizer) finish(full uint64) (*plan.Node, error) {
 
 func (o *optimizer) finishOne(p *plan.Node) []*plan.Node {
 	cands := []*plan.Node{p}
-	if o.a.GroupByOrd != order.EmptyID {
-		groupOrds := o.a.GroupByOrds
+	if o.p.a.GroupByOrd != order.EmptyID {
+		groupOrds := o.p.a.GroupByOrds
 		if len(groupOrds) == 0 {
-			groupOrds = []order.ID{o.a.GroupByOrd}
+			groupOrds = []order.ID{o.p.a.GroupByOrd}
 		}
 		var grouped []*plan.Node
 		gcard := o.groupCard(p.Card)
@@ -554,8 +675,8 @@ func (o *optimizer) finishOne(p *plan.Node) []*plan.Node {
 			}
 			// Clustered grouping (grouping extension): the stream need
 			// only have equal grouping values adjacent.
-			if !matched && o.fw != nil && o.a.GroupByGrouping != order.EmptyID &&
-				o.fw.ContainsGrouping(c.State, o.a.GroupByGrouping) {
+			if !matched && o.p.fw != nil && o.p.a.GroupByGrouping != order.EmptyID &&
+				o.p.fw.ContainsGrouping(c.State, o.p.a.GroupByGrouping) {
 				grouped = append(grouped, o.groupNode(c, plan.GroupClustered, gcard))
 				matched = true
 			}
@@ -569,13 +690,13 @@ func (o *optimizer) finishOne(p *plan.Node) []*plan.Node {
 		}
 		cands = grouped
 	}
-	if o.a.OrderByOrd != order.EmptyID {
+	if o.p.a.OrderByOrd != order.EmptyID {
 		var ordered []*plan.Node
 		for _, c := range cands {
-			if o.contains(c, o.a.OrderByOrd) {
+			if o.contains(c, o.p.a.OrderByOrd) {
 				ordered = append(ordered, c)
 			} else {
-				ordered = append(ordered, o.sortPlan(c, o.a.OrderByOrd))
+				ordered = append(ordered, o.sortPlan(c, o.p.a.OrderByOrd))
 			}
 		}
 		cands = ordered
@@ -585,8 +706,8 @@ func (o *optimizer) finishOne(p *plan.Node) []*plan.Node {
 
 func (o *optimizer) groupCard(in float64) float64 {
 	card := 1.0
-	for _, c := range o.g.GroupBy {
-		card *= o.colDist[c.Rel][c.Col]
+	for _, c := range o.p.g.GroupBy {
+		card *= o.p.colDist[c.Rel][c.Col]
 	}
 	if card > in {
 		card = in
@@ -608,23 +729,23 @@ func (o *optimizer) groupNode(in *plan.Node, op plan.Op, card float64) *plan.Nod
 	switch {
 	case op == plan.GroupSorted:
 		// Sorted grouping preserves the input ordering.
-		if o.fw != nil {
+		if o.p.fw != nil {
 			n.State = in.State
 		} else {
 			n.Ann = in.Ann
 		}
-	case op == plan.GroupClustered && o.fw != nil:
+	case op == plan.GroupClustered && o.p.fw != nil:
 		// Clustered grouping emits one row per group: the output is
 		// clustered by the grouping keys but unordered.
-		n.State = o.fw.ProduceGrouping(o.a.GroupByGrouping)
+		n.State = o.p.fw.ProduceGrouping(o.p.a.GroupByGrouping)
 	default:
 		// Hash grouping destroys the physical ordering (the output is
 		// still clustered by the keys — one row per group).
-		if o.fw != nil {
-			if o.a.GroupByGrouping != order.EmptyID {
-				n.State = o.fw.ProduceGrouping(o.a.GroupByGrouping)
+		if o.p.fw != nil {
+			if o.p.a.GroupByGrouping != order.EmptyID {
+				n.State = o.p.fw.ProduceGrouping(o.p.a.GroupByGrouping)
 			} else {
-				n.State = o.fw.Produce(order.EmptyID)
+				n.State = o.p.fw.Produce(order.EmptyID)
 			}
 		} else {
 			n.Ann = o.sim.Produce(order.EmptyID)

@@ -68,6 +68,23 @@ func (in *Interner) Intern(seq []Attr) ID {
 	return id
 }
 
+// Clone returns an independent copy of the interner: it contains every
+// ordering interned so far under the same IDs, and orderings interned
+// into the clone afterwards do not affect the original. Concurrent plan
+// generation gives each worker a clone because the Simmen baseline
+// interns reduced orderings on the fly.
+func (in *Interner) Clone() *Interner {
+	cp := &Interner{
+		seqs: make([][]Attr, len(in.seqs)),
+		ids:  make(map[string]ID, len(in.ids)),
+	}
+	copy(cp.seqs, in.seqs) // sequences are immutable once interned
+	for k, v := range in.ids {
+		cp.ids[k] = v
+	}
+	return cp
+}
+
 // Lookup returns the ID of seq if it was interned, else InvalidID.
 func (in *Interner) Lookup(seq []Attr) ID {
 	if id, ok := in.ids[seqKey(seq)]; ok {

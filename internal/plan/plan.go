@@ -92,12 +92,13 @@ type Node struct {
 
 // Arena bump-allocates Nodes in chunks so a plan-generation run costs a
 // handful of allocations instead of one per candidate plan. Nodes handed
-// out remain valid for the arena's lifetime; a surviving node keeps its
-// whole chunk reachable, which is the right trade for an optimizer run
-// where the winning plan is extracted and the rest dies together.
+// out remain valid until the next Reset; every chunk is retained, so an
+// arena recycled across optimizer runs (the planner's scratch pool)
+// reaches a steady state where plan generation allocates nothing.
 // The zero value is ready to use.
 type Arena struct {
-	cur []Node
+	chunks [][]Node
+	active int // index of the chunk New currently fills
 }
 
 const (
@@ -107,18 +108,64 @@ const (
 
 // New returns a pointer to a zeroed Node.
 func (a *Arena) New() *Node {
-	if len(a.cur) == cap(a.cur) {
-		size := 2 * cap(a.cur)
-		if size < arenaMinChunk {
-			size = arenaMinChunk
+	for a.active < len(a.chunks) {
+		c := a.chunks[a.active]
+		if len(c) < cap(c) {
+			c = c[:len(c)+1]
+			a.chunks[a.active] = c
+			n := &c[len(c)-1]
+			*n = Node{} // chunks survive Reset, so recycled slots are dirty
+			return n
 		}
+		a.active++
+	}
+	size := arenaMinChunk
+	if n := len(a.chunks); n > 0 {
+		size = 2 * cap(a.chunks[n-1])
 		if size > arenaMaxChunk {
 			size = arenaMaxChunk
 		}
-		a.cur = make([]Node, 0, size)
 	}
-	a.cur = a.cur[:len(a.cur)+1]
-	return &a.cur[len(a.cur)-1]
+	c := make([]Node, 1, size)
+	a.chunks = append(a.chunks, c)
+	a.active = len(a.chunks) - 1
+	return &c[0]
+}
+
+// Reset rewinds the arena for reuse, retaining every chunk. All nodes
+// previously handed out become invalid; callers keeping a plan beyond
+// the reset must Clone it first.
+func (a *Arena) Reset() {
+	for i := range a.chunks {
+		a.chunks[i] = a.chunks[i][:0]
+	}
+	a.active = 0
+}
+
+// Clone deep-copies the plan into freshly heap-allocated nodes,
+// detaching it from any arena. Shared subplans stay shared (the copy
+// preserves the DAG shape instead of exploding it into a tree).
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	memo := make(map[*Node]*Node)
+	var cp func(*Node) *Node
+	cp = func(x *Node) *Node {
+		if x == nil {
+			return nil
+		}
+		if c, ok := memo[x]; ok {
+			return c
+		}
+		c := &Node{}
+		*c = *x
+		memo[x] = c
+		c.Left = cp(x.Left)
+		c.Right = cp(x.Right)
+		return c
+	}
+	return cp(n)
 }
 
 // String renders the plan tree.

@@ -38,6 +38,68 @@ func TestNodeStringAndOps(t *testing.T) {
 	}
 }
 
+// TestArenaResetReusesChunks: after Reset, the arena hands out zeroed
+// nodes from its retained chunks without growing.
+func TestArenaResetReusesChunks(t *testing.T) {
+	var a Arena
+	const n = 500
+	first := make([]*Node, n)
+	for i := range first {
+		first[i] = a.New()
+		first[i].Rel = i + 1 // dirty the slot
+	}
+	chunksBefore := len(a.chunks)
+	a.Reset()
+	for i := 0; i < n; i++ {
+		nd := a.New()
+		if *nd != (Node{}) {
+			t.Fatalf("node %d not zeroed after Reset: %+v", i, *nd)
+		}
+		nd.Rel = -1
+	}
+	if len(a.chunks) != chunksBefore {
+		t.Errorf("arena grew across Reset: %d chunks, was %d", len(a.chunks), chunksBefore)
+	}
+}
+
+// TestCloneDetachesAndPreservesSharing: Clone survives arena reuse and
+// keeps shared subplans shared.
+func TestCloneDetachesAndPreservesSharing(t *testing.T) {
+	var a Arena
+	scan := a.New()
+	*scan = Node{Op: TableScan, Rel: 3, Cost: 10, Card: 100}
+	left := a.New()
+	*left = Node{Op: Sort, Left: scan, Cost: 20, Card: 100}
+	root := a.New()
+	*root = Node{Op: MergeJoin, Left: left, Right: scan, Cost: 50, Card: 40}
+
+	clone := root.Clone()
+	want := root.String()
+	if clone.String() != want {
+		t.Fatalf("clone differs:\n%s\nvs\n%s", clone, root)
+	}
+	if clone.Left.Left != clone.Right {
+		t.Errorf("shared subplan was duplicated by Clone")
+	}
+	if clone == root || clone.Left == left || clone.Right == scan {
+		t.Errorf("clone still references arena nodes")
+	}
+
+	// Trash the arena: the clone must be unaffected.
+	a.Reset()
+	for i := 0; i < 100; i++ {
+		n := a.New()
+		*n = Node{Op: GroupHash, Cost: 999, Card: 999}
+	}
+	if clone.String() != want {
+		t.Errorf("clone mutated by arena reuse:\n%s\nvs\n%s", clone, want)
+	}
+
+	if (*Node)(nil).Clone() != nil {
+		t.Errorf("nil Clone must be nil")
+	}
+}
+
 func TestCostsPositiveAndMonotone(t *testing.T) {
 	if ScanCost(100) <= 0 || SortCost(100) <= 0 {
 		t.Error("costs must be positive")

@@ -1,0 +1,60 @@
+package planner
+
+import (
+	"bytes"
+	"sync"
+
+	"orderopt/internal/plan"
+)
+
+// planCache maps a query fingerprint to its cached best plan. Reads take
+// an RWMutex read lock and perform one map probe plus a canonical-bytes
+// comparison (the collision guard) — no allocation, so the cache-hit
+// path stays flat under concurrency. Writes evict FIFO beyond max.
+type planCache struct {
+	mu    sync.RWMutex
+	max   int
+	m     map[uint64]*cacheEntry
+	order []uint64
+}
+
+type cacheEntry struct {
+	canon []byte     // canonical graph encoding: rules out fingerprint collisions
+	best  *plan.Node // immutable; shared by every hit
+	cost  float64
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, m: make(map[uint64]*cacheEntry)}
+}
+
+func (c *planCache) lookup(fp uint64, canon []byte) (*cacheEntry, bool) {
+	c.mu.RLock()
+	e := c.m[fp]
+	c.mu.RUnlock()
+	if e == nil || !bytes.Equal(e.canon, canon) {
+		return nil, false
+	}
+	return e, true
+}
+
+func (c *planCache) store(fp uint64, canon []byte, best *plan.Node, cost float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[fp]; ok {
+		return // a concurrent run cached it first; keep the incumbent
+	}
+	for len(c.m) >= c.max && len(c.order) > 0 {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.m[fp] = &cacheEntry{canon: canon, best: best, cost: cost}
+	c.order = append(c.order, fp)
+}
+
+// Len returns the number of cached plans.
+func (c *planCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

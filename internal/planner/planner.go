@@ -1,0 +1,347 @@
+// Package planner owns the end-to-end query-planning pipeline —
+// SQL → parse → bind → analyze → optimize → plan — behind a reentrant,
+// goroutine-safe Planner, the service-shaped layer the one-shot
+// optimizer.Optimize entry point lacks. Three levels of amortization
+// stack up, mirroring the prepared-statement / plan-cache design of
+// production optimizers (the Selinger lineage the paper's §7 test bed
+// imitates):
+//
+//  1. Prepared statements. Prepare(sql) runs the pipeline's per-query
+//     preparation once — parsing, binding against the catalog, the
+//     §5.2 interesting-order analysis, and the DFSM compilation — and
+//     caches the immutable PreparedQuery by SQL text. Re-planning a
+//     prepared query only re-runs the dynamic programming.
+//  2. Pooled optimizer scratch. Each PreparedQuery recycles its DP
+//     scratch (plan-node arena, DP table, edge buffers) through a
+//     sync.Pool, so warm-path planning reaches a steady state with
+//     near-zero allocations and scales across GOMAXPROCS.
+//  3. Plan cache. Queries are fingerprinted canonically (stable hash
+//     over relations, statistics, predicates, edges and required
+//     orders; see query.Fingerprint), and the cheapest plan is cached
+//     under the fingerprint: semantically identical queries — even
+//     spelled differently — return the cached best plan without
+//     running the DP at all. Entries carry the canonical encoding so a
+//     64-bit collision cannot surface a wrong plan.
+//
+// One Planner carries one Config; the plan cache never mixes plans from
+// different analyze/optimizer configurations, which is why the
+// fingerprint alone is a sufficient key.
+package planner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"orderopt/internal/catalog"
+	"orderopt/internal/optimizer"
+	"orderopt/internal/plan"
+	"orderopt/internal/query"
+	"orderopt/internal/sqlparse"
+)
+
+// Default cache capacities (entries). Both caches evict FIFO: the
+// workloads this repo serves are steady sets of repeated queries, where
+// recency tracking buys nothing over insertion order.
+const (
+	DefaultPlanCacheSize     = 1024
+	DefaultPreparedCacheSize = 256
+)
+
+// Config fixes a Planner's pipeline: the catalog SQL binds against, the
+// analysis options, and the plan-generator configuration. All queries
+// planned through one Planner share it, so cached plans are always
+// comparable.
+type Config struct {
+	// Catalog resolves table names during binding. Required for the
+	// SQL entry points; PrepareGraph works without it.
+	Catalog *catalog.Catalog
+	// Analyze tunes the §5.2 interesting-order analysis.
+	Analyze query.AnalyzeOptions
+	// Optimizer tunes the plan generator (mode, enumerator, operators).
+	Optimizer optimizer.Config
+	// PlanCacheSize bounds the fingerprinted plan cache: 0 means
+	// DefaultPlanCacheSize, negative disables plan caching.
+	PlanCacheSize int
+	// PreparedCacheSize bounds the SQL-text prepared-statement cache:
+	// 0 means DefaultPreparedCacheSize, negative disables it (every
+	// Prepare runs the full pipeline).
+	PreparedCacheSize int
+}
+
+// DefaultConfig plans against cat with the experiments' optimizer
+// defaults (DFSM mode, DPccp enumeration, index orders on).
+func DefaultConfig(cat *catalog.Catalog) Config {
+	return Config{
+		Catalog:   cat,
+		Analyze:   query.AnalyzeOptions{UseIndexes: true},
+		Optimizer: optimizer.DefaultConfig(optimizer.ModeDFSM),
+	}
+}
+
+// Stats is a snapshot of a Planner's counters.
+type Stats struct {
+	// Prepares counts full pipeline runs (prepared-cache misses plus
+	// graph preparations); PreparedHits counts Prepare/Plan calls
+	// served from the prepared-statement cache.
+	Prepares     int64
+	PreparedHits int64
+	// PlanCalls counts Plan invocations, split into PlanCacheHits
+	// (served from the plan cache) and PlanRuns (dynamic programming
+	// executed).
+	PlanCalls     int64
+	PlanCacheHits int64
+	PlanRuns      int64
+}
+
+// Planner is the reentrant planning service. All methods are safe for
+// concurrent use by multiple goroutines.
+type Planner struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	prepared map[string]*PreparedQuery
+	order    []string // FIFO eviction over prepared
+
+	plans *planCache // nil when disabled
+
+	prepares      atomic.Int64
+	preparedHits  atomic.Int64
+	planCalls     atomic.Int64
+	planCacheHits atomic.Int64
+	planRuns      atomic.Int64
+}
+
+// New returns a Planner for cfg.
+func New(cfg Config) *Planner {
+	p := &Planner{cfg: cfg}
+	if cfg.PreparedCacheSize >= 0 {
+		p.prepared = make(map[string]*PreparedQuery)
+	}
+	if cfg.PlanCacheSize >= 0 {
+		size := cfg.PlanCacheSize
+		if size == 0 {
+			size = DefaultPlanCacheSize
+		}
+		p.plans = newPlanCache(size)
+	}
+	return p
+}
+
+// Config returns the planner's configuration.
+func (p *Planner) Config() Config { return p.cfg }
+
+// Stats returns a snapshot of the planner's counters.
+func (p *Planner) Stats() Stats {
+	return Stats{
+		Prepares:      p.prepares.Load(),
+		PreparedHits:  p.preparedHits.Load(),
+		PlanCalls:     p.planCalls.Load(),
+		PlanCacheHits: p.planCacheHits.Load(),
+		PlanRuns:      p.planRuns.Load(),
+	}
+}
+
+// Source says where a Planned came from.
+type Source uint8
+
+const (
+	// SourceCold: this call ran the full pipeline (parse, bind,
+	// analyze, DFSM preparation) and the dynamic programming.
+	SourceCold Source = iota
+	// SourcePrepared: a cached PreparedQuery re-ran the dynamic
+	// programming on pooled scratch.
+	SourcePrepared
+	// SourceCacheHit: the best plan came straight from the plan cache.
+	SourceCacheHit
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourcePrepared:
+		return "prepared"
+	case SourceCacheHit:
+		return "cachehit"
+	default:
+		return "cold"
+	}
+}
+
+// Planned is the outcome of one Plan call. Best is immutable and shared
+// (cache hits return the same nodes to every caller); it must not be
+// modified.
+type Planned struct {
+	Best   *plan.Node
+	Cost   float64
+	Source Source
+	// Result carries the optimization counters when the DP ran; nil on
+	// cache hits.
+	Result *optimizer.Result
+}
+
+// PreparedQuery is an immutable prepared statement: the bound graph, the
+// interesting-order analysis, and the prepared optimizer inputs. It is
+// safe for concurrent Plan calls.
+type PreparedQuery struct {
+	pl       *Planner
+	sql      string // "" when prepared from a graph
+	residual []sqlparse.Expr
+	analysis *query.Analysis
+	prep     *optimizer.Prepared
+	fp       uint64
+	canon    []byte
+}
+
+// SQL returns the statement text ("" when prepared from a graph).
+func (q *PreparedQuery) SQL() string { return q.sql }
+
+// Residual lists bound WHERE conjuncts the plan generator treats as
+// generic filters (no FDs, no interesting orders).
+func (q *PreparedQuery) Residual() []sqlparse.Expr { return q.residual }
+
+// Analysis returns the interesting-order analysis.
+func (q *PreparedQuery) Analysis() *query.Analysis { return q.analysis }
+
+// Prepared returns the prepared optimizer inputs (framework statistics,
+// preparation time).
+func (q *PreparedQuery) Prepared() *optimizer.Prepared { return q.prep }
+
+// Fingerprint returns the query's canonical fingerprint — the plan-cache
+// key.
+func (q *PreparedQuery) Fingerprint() uint64 { return q.fp }
+
+// Prepare runs the pipeline's preparation for sql, serving repeated
+// statements from the prepared cache.
+func (p *Planner) Prepare(sql string) (*PreparedQuery, error) {
+	q, _, err := p.prepare(sql)
+	return q, err
+}
+
+func (p *Planner) prepare(sql string) (q *PreparedQuery, hit bool, err error) {
+	if p.prepared != nil {
+		p.mu.RLock()
+		q = p.prepared[sql]
+		p.mu.RUnlock()
+		if q != nil {
+			p.preparedHits.Add(1)
+			return q, true, nil
+		}
+	}
+	q, err = p.prepareSQL(sql)
+	if err != nil {
+		return nil, false, err
+	}
+	if p.prepared == nil {
+		return q, false, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if exist := p.prepared[sql]; exist != nil {
+		// A concurrent Prepare won the race; its result is as good.
+		// This call both ran the full pipeline (already counted in
+		// Prepares) and is served from the cache, so it counts in
+		// PreparedHits too — the counters record work done and cache
+		// service, not a partition of calls.
+		p.preparedHits.Add(1)
+		return exist, true, nil
+	}
+	size := p.cfg.PreparedCacheSize
+	if size == 0 {
+		size = DefaultPreparedCacheSize
+	}
+	for len(p.prepared) >= size && len(p.order) > 0 {
+		delete(p.prepared, p.order[0])
+		p.order = p.order[1:]
+	}
+	p.prepared[sql] = q
+	p.order = append(p.order, sql)
+	return q, false, nil
+}
+
+func (p *Planner) prepareSQL(sql string) (*PreparedQuery, error) {
+	if p.cfg.Catalog == nil {
+		return nil, fmt.Errorf("planner: no catalog configured for SQL planning")
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	bq, err := sqlparse.Bind(stmt, p.cfg.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.prepareGraph(bq.Graph)
+	if err != nil {
+		return nil, err
+	}
+	q.sql = sql
+	q.residual = bq.Residual
+	return q, nil
+}
+
+// PrepareGraph prepares an already-built join graph (generated
+// workloads, tests). The graph must not be mutated afterwards; the
+// resulting PreparedQuery is not entered into the SQL-text cache, but
+// its plans share the planner's plan cache via the fingerprint.
+func (p *Planner) PrepareGraph(g *query.Graph) (*PreparedQuery, error) {
+	return p.prepareGraph(g)
+}
+
+func (p *Planner) prepareGraph(g *query.Graph) (*PreparedQuery, error) {
+	p.prepares.Add(1)
+	a, err := query.Analyze(g, p.cfg.Analyze)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := optimizer.Prepare(a, p.cfg.Optimizer)
+	if err != nil {
+		return nil, err
+	}
+	canon := g.AppendCanonical(nil)
+	return &PreparedQuery{
+		pl:       p,
+		analysis: a,
+		prep:     prep,
+		fp:       query.CanonicalFingerprint(canon),
+		canon:    canon,
+	}, nil
+}
+
+// Plan plans sql end to end: prepared-statement cache, then plan cache,
+// then dynamic programming on pooled scratch.
+func (p *Planner) Plan(sql string) (Planned, error) {
+	q, hit, err := p.prepare(sql)
+	if err != nil {
+		return Planned{}, err
+	}
+	src := SourceCold
+	if hit {
+		src = SourcePrepared
+	}
+	return q.plan(src)
+}
+
+// Plan plans the prepared query: plan cache first, then the DP.
+func (q *PreparedQuery) Plan() (Planned, error) {
+	return q.plan(SourcePrepared)
+}
+
+func (q *PreparedQuery) plan(src Source) (Planned, error) {
+	p := q.pl
+	p.planCalls.Add(1)
+	if p.plans != nil {
+		if e, ok := p.plans.lookup(q.fp, q.canon); ok {
+			p.planCacheHits.Add(1)
+			return Planned{Best: e.best, Cost: e.cost, Source: SourceCacheHit}, nil
+		}
+	}
+	res, err := q.prep.Run()
+	if err != nil {
+		return Planned{}, err
+	}
+	p.planRuns.Add(1)
+	if p.plans != nil {
+		p.plans.store(q.fp, q.canon, res.Best, res.Best.Cost)
+	}
+	return Planned{Best: res.Best, Cost: res.Best.Cost, Source: src, Result: res}, nil
+}

@@ -10,6 +10,7 @@ package query
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"orderopt/internal/catalog"
 )
@@ -116,7 +117,11 @@ type Graph struct {
 	// rebuilt lazily whenever relations or edges were added since the
 	// last build; adding predicates to an existing edge keeps it valid
 	// because the endpoints are fixed by the edge's first predicate.
-	masks *EdgeMasks
+	// masksMu guards the lazy build so read-only sharing of one graph
+	// (concurrent planner preparation) is safe; the mutators remain
+	// single-threaded-only.
+	masksMu sync.Mutex
+	masks   *EdgeMasks
 }
 
 // EdgeMasks is the precomputed bitset view of a join graph. All hot-path
@@ -132,10 +137,13 @@ type EdgeMasks struct {
 }
 
 // EdgeMasks returns the cached bitset view, rebuilding it if the graph
-// gained relations or edges since the last call. The lazy cache makes
-// Graph methods unsafe for concurrent use (as are its append-based
-// mutators); optimizer runs each own their graph.
+// gained relations or edges since the last call. The lazy build is
+// mutex-guarded, so a fully built graph may be shared read-only by
+// concurrent optimizer preparations; the append-based mutators remain
+// unsafe for concurrent use.
 func (g *Graph) EdgeMasks() *EdgeMasks {
+	g.masksMu.Lock()
+	defer g.masksMu.Unlock()
 	if m := g.masks; m != nil && len(m.Edge) == len(g.Edges) && len(m.Adj) == len(g.Relations) {
 		return m
 	}

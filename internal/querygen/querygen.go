@@ -28,6 +28,12 @@ const (
 	Cycle
 	// Clique joins every relation pair.
 	Clique
+	// Grid arranges the relations in the most-square r×c lattice with
+	// r·c = n (GridDims), joining horizontal and vertical neighbors —
+	// the moderate-density middle ground between chain and clique,
+	// where subgraph connectivity is genuinely two-dimensional. A prime
+	// n degenerates to a 1×n grid, i.e. a chain.
+	Grid
 )
 
 func (s Shape) String() string {
@@ -38,6 +44,8 @@ func (s Shape) String() string {
 		return "cycle"
 	case Clique:
 		return "clique"
+	case Grid:
+		return "grid"
 	default:
 		return "chain"
 	}
@@ -54,12 +62,27 @@ func ParseShape(name string) (Shape, error) {
 		return Cycle, nil
 	case "clique":
 		return Clique, nil
+	case "grid":
+		return Grid, nil
 	}
 	return Chain, fmt.Errorf("querygen: unknown shape %q", name)
 }
 
 // Shapes lists all topologies (for sweeps and cross-check tests).
-func Shapes() []Shape { return []Shape{Chain, Star, Cycle, Clique} }
+func Shapes() []Shape { return []Shape{Chain, Star, Cycle, Clique, Grid} }
+
+// GridDims returns the lattice dimensions of a Grid over n relations:
+// the most-square factorization r×c with r ≤ c and r·c = n. Relation i
+// sits at row i/c, column i%c.
+func GridDims(n int) (rows, cols int) {
+	rows = 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			rows = d
+		}
+	}
+	return rows, n / rows
+}
 
 // Spec describes one random query.
 type Spec struct {
@@ -182,6 +205,20 @@ func Generate(spec Spec) (*catalog.Catalog, *query.Graph, error) {
 				}
 			}
 		}
+	case Grid:
+		_, cols := GridDims(spec.Relations)
+		for i := 0; i < spec.Relations; i++ {
+			if (i+1)%cols != 0 { // right neighbor, same row
+				if err := addEdge(i, i+1); err != nil {
+					return nil, nil, err
+				}
+			}
+			if i+cols < spec.Relations { // neighbor below
+				if err := addEdge(i, i+cols); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
 	default: // Chain, Cycle
 		for i := 0; i+1 < spec.Relations; i++ {
 			if err := addEdge(i, i+1); err != nil {
@@ -291,6 +328,9 @@ func baseEdges(s Shape, n int) int {
 		return n
 	case Clique:
 		return n * (n - 1) / 2
+	case Grid:
+		r, c := GridDims(n)
+		return r*(c-1) + c*(r-1)
 	default: // Chain, Star
 		return n - 1
 	}

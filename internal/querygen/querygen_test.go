@@ -115,8 +115,75 @@ func shapeEdges(s Shape, n int) int {
 		return n
 	case Clique:
 		return n * (n - 1) / 2
+	case Grid:
+		r, c := GridDims(n)
+		return r*(c-1) + c*(r-1)
 	default:
 		return n - 1
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	cases := []struct{ n, r, c int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {6, 2, 3}, {7, 1, 7},
+		{8, 2, 4}, {9, 3, 3}, {12, 3, 4}, {16, 4, 4},
+	}
+	for _, tc := range cases {
+		r, c := GridDims(tc.n)
+		if r != tc.r || c != tc.c {
+			t.Errorf("GridDims(%d) = %d×%d, want %d×%d", tc.n, r, c, tc.r, tc.c)
+		}
+	}
+}
+
+// TestGridShape pins the lattice structure: edge count matches the
+// closed form, the graph is connected, every relation's degree is
+// between 2 and 4 on a full 2-D grid, and a prime size degenerates to
+// the chain.
+func TestGridShape(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 9, 12, 16} {
+		_, g, err := Generate(Spec{Relations: n, Shape: Grid, Seed: 3})
+		if err != nil {
+			t.Fatalf("grid n=%d: %v", n, err)
+		}
+		r, c := GridDims(n)
+		if want := r*(c-1) + c*(r-1); len(g.Edges) != want {
+			t.Errorf("grid n=%d: %d edges, want %d", n, len(g.Edges), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("grid n=%d: %v", n, err)
+		}
+		if r > 1 {
+			adj := g.AdjacencyMasks()
+			for i, m := range adj {
+				deg := 0
+				for x := m; x != 0; x &= x - 1 {
+					deg++
+				}
+				if deg < 2 || deg > 4 {
+					t.Errorf("grid n=%d: relation %d has degree %d, want 2..4", n, i, deg)
+				}
+			}
+		}
+	}
+	// Prime sizes are 1×n grids: identical edge set to the chain.
+	_, grid, err := Generate(Spec{Relations: 7, Shape: Grid, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chain, err := Generate(Spec{Relations: 7, Shape: Chain, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Edges) != len(chain.Edges) {
+		t.Fatalf("1×7 grid has %d edges, chain has %d", len(grid.Edges), len(chain.Edges))
+	}
+	for i := range grid.Edges {
+		ga, gb := grid.Edges[i].Rels()
+		ca, cb := chain.Edges[i].Rels()
+		if ga != ca || gb != cb {
+			t.Errorf("edge %d: grid (%d,%d) vs chain (%d,%d)", i, ga, gb, ca, cb)
+		}
 	}
 }
 
