@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench
+.PHONY: check build vet fmt test race bench bench-serve
 
 check: build vet fmt test
 
@@ -27,3 +27,9 @@ race:
 # perf trajectory is tracked from PR to PR.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -json . | tee BENCH_plangen.json
+
+# bench-serve measures *served* planning throughput: a closed-loop load
+# generator against a real loopback HTTP planning server, per cache
+# path (cold / prepared / cachehit). See docs/benchmarks.md.
+bench-serve:
+	$(GO) run ./cmd/experiments -table serve | tee BENCH_serve.txt

@@ -9,13 +9,18 @@
 //	experiments -table throughput  # planner layer: cold vs prepared vs
 //	                               # plan-cache-hit plans/sec, serial and
 //	                               # parallel
-//	experiments -table all     # everything except enum and throughput
-//	                           # (opt-in: clique points run for seconds)
+//	experiments -table serve   # served throughput: closed-loop load
+//	                           # generator against a real HTTP planning
+//	                           # server (cold/prepared/cachehit QPS)
+//	experiments -table all     # everything except enum, throughput and
+//	                           # serve (opt-in: clique points run for
+//	                           # seconds)
 //
 // The sweep is configurable: -sizes 5,6,7,8,9,10 -extras 0,1,2 -seeds 5,
 // -enumerator dpccp|naive; the enum table via -enum-shapes and
 // -enum-sizes; the throughput table via -tp-queries, -tp-relations,
-// -tp-repeat and -tp-parallel.
+// -tp-repeat and -tp-parallel; the serve table via -serve-workers,
+// -serve-requests, -serve-qps, -serve-queries and -serve-relations.
 // Absolute numbers depend on the machine; the shape (who wins, by what
 // factor, how factors grow with query size) is what reproduces the
 // paper. Results are deterministic per seed set.
@@ -34,7 +39,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "prep, q8, fig13, fig14, enum or all")
+	table := flag.String("table", "all", "prep, q8, fig13, fig14, enum, throughput, serve or all")
 	sizes := flag.String("sizes", "5,6,7,8,9,10", "relation counts for the sweep")
 	extras := flag.String("extras", "0,1,2", "extra edges beyond the chain (0→n-1 edges, 1→n, 2→n+1)")
 	seeds := flag.Int("seeds", 5, "queries averaged per configuration")
@@ -47,6 +52,16 @@ func main() {
 	tpRelations := flag.Int("tp-relations", 7, "relations per throughput query")
 	tpRepeat := flag.Int("tp-repeat", 96, "plans per throughput measurement")
 	tpParallel := flag.String("tp-parallel", "", "goroutine counts for the throughput table (default 1,GOMAXPROCS)")
+	serveWorkers := flag.Int("serve-workers", 0, "closed-loop client goroutines for the serve table (default 2*GOMAXPROCS)")
+	serveRequests := flag.Int("serve-requests", 300, "requests per serve measurement")
+	serveQPS := flag.Float64("serve-qps", 0, "aggregate QPS target for the serve table (0: unthrottled)")
+	serveQueries := flag.Int("serve-queries", 4, "generated queries in the serve table's mixed workload")
+	serveRelations := flag.Int("serve-relations", 6, "relations per generated serve query")
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(),
+			"experiments regenerates the paper's evaluation tables — see README.md and docs/benchmarks.md.")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	var sweepEnum optimizer.Enumerator
@@ -64,6 +79,7 @@ func main() {
 	runSweep := *table == "fig13" || *table == "fig14" || *table == "all"
 	runEnum := *table == "enum"
 	runThroughput := *table == "throughput"
+	runServe := *table == "serve"
 
 	if runPrep {
 		rows, err := experiments.PrepQ8(*tested)
@@ -129,6 +145,19 @@ func main() {
 			all = append(all, rows...)
 		}
 		fmt.Print(experiments.FormatThroughput(all))
+	}
+	if runServe {
+		fmt.Println("=== Served throughput: HTTP planning service under closed-loop load ===")
+		rows, err := experiments.Serve(experiments.ServeSpec{
+			Mode:      optimizer.ModeDFSM,
+			Queries:   *serveQueries,
+			Relations: *serveRelations,
+			Workers:   *serveWorkers,
+			TargetQPS: *serveQPS,
+			Requests:  *serveRequests,
+		})
+		die(err)
+		fmt.Print(experiments.FormatServe(rows))
 	}
 }
 

@@ -30,9 +30,14 @@ import (
 
 func main() {
 	example := flag.String("example", "", "worked example: intro, running, simple, q8")
-	sql := flag.String("sql", "", "SQL query against the TPC-R schema")
-	pruning := flag.Bool("pruning", false, "apply the §5.7 pruning techniques")
-	dot := flag.Bool("dot", false, "emit the NFSM as Graphviz DOT")
+	sql := flag.String("sql", "", "SQL query against the TPC-R schema (takes precedence over -example)")
+	pruning := flag.Bool("pruning", false, "apply the §5.7 pruning techniques during preparation (works with -example and -sql)")
+	dot := flag.Bool("dot", false, "emit the NFSM as Graphviz DOT instead of the state dumps")
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(),
+			"usage: orderopt [-example intro|running|simple|q8 | -sql 'select ...'] [flags] — inspect the order-optimization state machines; see README.md.")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	opt := core.Options{Pruning: nfsm.NoPruning()}

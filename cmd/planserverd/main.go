@@ -1,0 +1,115 @@
+// Command planserverd serves the query planner over HTTP/JSON against
+// the TPC-R schema — the traffic-facing daemon over the reentrant
+// planner layer:
+//
+//	planserverd                      # listen on :7432
+//	planserverd -addr :8080 -max-inflight 128
+//	planserverd -mode simmen         # baseline order framework
+//	planserverd -no-plan-cache       # every request re-runs the DP
+//
+//	curl -s localhost:7432/plan -d '{"sql": "select * from nation, region where n_regionkey = r_regionkey order by n_name"}'
+//	curl -s 'localhost:7432/explain?q=select * from orders, customer where o_custkey = c_custkey'
+//	curl -s localhost:7432/stats
+//	curl -s localhost:7432/healthz
+//
+// SIGTERM/SIGINT drain gracefully: /healthz flips to 503 so load
+// balancers stop routing, new planning requests are rejected, and the
+// process exits once in-flight requests finish (bounded by
+// -drain-timeout). See README.md for the endpoint reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"orderopt/internal/optimizer"
+	"orderopt/internal/planner"
+	"orderopt/internal/server"
+	"orderopt/internal/tpcr"
+)
+
+func main() {
+	addr := flag.String("addr", ":7432", "listen address")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight,
+		"max concurrent planning requests before 429 shedding (negative disables)")
+	mode := flag.String("mode", "dfsm", "order framework: dfsm or simmen")
+	enumerator := flag.String("enumerator", "dpccp", "join enumeration: dpccp or naive")
+	planCache := flag.Int("plan-cache", planner.DefaultPlanCacheSize,
+		"plan cache entries (negative disables)")
+	preparedCache := flag.Int("prepared-cache", planner.DefaultPreparedCacheSize,
+		"prepared-statement cache entries (negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second,
+		"how long a SIGTERM drain waits for in-flight requests")
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(),
+			"planserverd serves /plan, /explain, /stats and /healthz over the TPC-R schema — see README.md.")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var m optimizer.Mode
+	switch *mode {
+	case "dfsm":
+		m = optimizer.ModeDFSM
+	case "simmen":
+		m = optimizer.ModeSimmen
+	default:
+		log.Fatalf("planserverd: unknown mode %q (want dfsm or simmen)", *mode)
+	}
+	var enum optimizer.Enumerator
+	switch *enumerator {
+	case "dpccp":
+		enum = optimizer.EnumDPccp
+	case "naive":
+		enum = optimizer.EnumNaive
+	default:
+		log.Fatalf("planserverd: unknown enumerator %q (want dpccp or naive)", *enumerator)
+	}
+
+	cfg := planner.DefaultConfig(tpcr.Schema())
+	cfg.Optimizer = optimizer.DefaultConfig(m)
+	cfg.Optimizer.Enumerator = enum
+	cfg.PlanCacheSize = *planCache
+	cfg.PreparedCacheSize = *preparedCache
+
+	srv := server.New(server.Config{
+		Planner:     planner.New(cfg),
+		MaxInFlight: *maxInFlight,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Shutdown makes ListenAndServe return immediately while in-flight
+	// handlers are still finishing, so main must wait on drained — not
+	// just on ListenAndServe — before exiting.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("planserverd: draining (up to %v)", *drainTimeout)
+		srv.Drain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("planserverd: drain incomplete: %v", err)
+			httpSrv.Close()
+		}
+	}()
+
+	log.Printf("planserverd: serving TPC-R planning on %s (mode=%s enumerator=%s max-inflight=%d)",
+		*addr, m, enum, *maxInFlight)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("planserverd: %v", err)
+	}
+	<-drained
+	log.Printf("planserverd: drained, exiting")
+}

@@ -31,12 +31,17 @@ import (
 func main() {
 	file := flag.String("f", "", "read the query from a file")
 	q8 := flag.Bool("q8", false, "use the paper's TPC-R Query 8")
-	mode := flag.String("mode", "both", "order framework: dfsm, simmen or both")
-	enumerator := flag.String("enumerator", "dpccp", "join enumeration: dpccp or naive")
-	noSimmenCache := flag.Bool("no-simmen-cache", false, "disable the Simmen baseline's reduce cache")
-	noPlanCache := flag.Bool("no-plan-cache", false, "disable the fingerprinted plan cache")
-	repeat := flag.Int("repeat", 1, "plan the query N times (throughput mode when > 1)")
-	parallel := flag.Int("parallel", 1, "goroutines planning concurrently in throughput mode")
+	mode := flag.String("mode", "both", "order framework: dfsm, simmen or both (both plans the query once per framework)")
+	enumerator := flag.String("enumerator", "dpccp", "join enumeration for every mode: dpccp or naive")
+	noSimmenCache := flag.Bool("no-simmen-cache", false, "disable the Simmen baseline's reduce cache (simmen/both modes only)")
+	noPlanCache := flag.Bool("no-plan-cache", false, "disable the fingerprinted plan cache (with -repeat, replans run the DP instead of hitting the cache)")
+	repeat := flag.Int("repeat", 1, "with N > 1, replan the query N times through the shared planner and report plans/sec")
+	parallel := flag.Int("parallel", 1, "goroutines replanning concurrently (only with -repeat > 1)")
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(),
+			"usage: sqlplan [flags] [-f file | -q8 | 'select ...'] — plans SQL against the TPC-R schema; see README.md.")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	var sql string
@@ -50,7 +55,7 @@ func main() {
 	case flag.NArg() == 1:
 		sql = flag.Arg(0)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: sqlplan [flags] [-f file | -q8 | 'select ...']")
+		flag.Usage()
 		os.Exit(2)
 	}
 

@@ -12,25 +12,13 @@
 // state machine whose states stand for sets of logical orderings. A plan
 // node then carries one int32.
 //
-// Usage follows the paper's two phases. First collect the preparation
-// input and prepare:
-//
-//	b := orderopt.NewBuilder()
-//	attrB, attrC := b.Attr("b"), b.Attr("c")
-//	ordB := b.OrderingOf("b")
-//	ordAB := b.OrderingOf("a", "b")
-//	b.AddProduced(ordB)                      // O_P: some operator emits it
-//	b.AddProduced(ordAB)
-//	b.AddTested(b.OrderingOf("a", "b", "c")) // O_T: only required
-//	h := b.AddFDSet(orderopt.NewFDSet(orderopt.NewFD(attrC, attrB)))
-//	fw, err := b.Prepare(orderopt.DefaultOptions())
-//
-// Then, during plan generation, every operation is a constant-time
-// lookup:
-//
-//	s := fw.Produce(ordAB)      // ADT constructor (sort/index scan)
-//	s = fw.Infer(s, h)          // operator introducing b → c applied
-//	fw.Contains(s, ordABC)      // does the stream satisfy (a,b,c)? → true
+// Usage follows the paper's two phases: collect the preparation input
+// (interesting orders, FD sets) into a Builder, Prepare the DFSM once,
+// then drive plan generation with constant-time Produce / Infer /
+// Contains lookups. The package Example is the runnable version of the
+// paper's §5.6 walkthrough; planner.Planner's Examples show the same
+// framework behind prepared statements and a plan cache, and
+// server.Client's Example plans over HTTP (all run under go test).
 //
 // Beyond the paper, the machine also tracks groupings (the authors'
 // follow-up extension): Builder.AddTestedGrouping registers an attribute
@@ -42,6 +30,9 @@
 // The subpackages build a complete test bed — and a service-shaped
 // planning stack — around the framework:
 //
+//	internal/server      HTTP/JSON planning service over the planner:
+//	                     /plan, /explain, /stats, /healthz, bounded
+//	                     admission with 429 shedding, graceful drain
 //	internal/planner     reentrant planning pipeline: prepared
 //	                     statements, fingerprinted concurrent plan
 //	                     cache, pooled optimizer scratch
@@ -62,11 +53,15 @@
 //	                     tuple streams
 //	internal/{querygen,tpcr,catalog}   workloads: random join graphs
 //	                     (chain/star/cycle/clique/grid) and TPC-R
-//	internal/experiments §6.2/§7 tables, sweeps and the planner
-//	                     throughput experiment
+//	internal/experiments §6.2/§7 tables, sweeps, the planner throughput
+//	                     experiment and the served-throughput load
+//	                     generator
 //	cmd/{orderopt,sqlplan,experiments}  CLIs over all of the above
+//	cmd/planserverd      the planning service daemon (TPC-R schema)
 //
-// DESIGN.md documents the plan generator's architecture — enumerator
-// choice, DP table layout, node arena, the planner layer's caches and
-// concurrency contract — and how to run the benchmarks.
+// README.md is the front door (quickstart for every binary); DESIGN.md
+// documents the plan generator's architecture — enumerator choice, DP
+// table layout, node arena, the planner layer's caches and concurrency
+// contract, the serving layer's request lifecycle — and
+// docs/benchmarks.md how to run and compare the benchmarks.
 package orderopt

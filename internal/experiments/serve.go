@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orderopt/internal/catalog"
+	"orderopt/internal/optimizer"
+	"orderopt/internal/planner"
+	"orderopt/internal/querygen"
+	"orderopt/internal/server"
+	"orderopt/internal/tpcr"
+)
+
+// The serve experiment measures *served* planning throughput: a real
+// HTTP server over the planner, hammered by a closed-loop load
+// generator, so the numbers include request decoding, admission control
+// and response rendering — everything a production planning service
+// pays, not just the in-process microbenchmark path. Two workloads run
+// against every amortization level:
+//
+//	q8     TPC-R Query 8 only (the paper's §6.2/§7 query; the
+//	       cache-hit vs cold ratio on this class is the acceptance
+//	       number for the serving layer)
+//	mixed  Q8 plus generated multi-shape queries rendered to SQL
+//	       (querygen.SQL) against a merged catalog
+//
+// and the three paths mirror the throughput experiment: cold (caches
+// disabled, every request runs the full pipeline), prepared (statement
+// cache on, plan cache off — the DP re-runs per request on pooled
+// scratch) and cachehit (both caches on, warmed).
+
+// ServeSpec parameterizes the served-throughput experiment.
+type ServeSpec struct {
+	Mode optimizer.Mode
+	// Queries is the number of generated queries mixed into the
+	// "mixed" workload next to Q8 (default 4).
+	Queries int
+	// Relations per generated query (default 6).
+	Relations int
+	// Workers is the number of closed-loop client goroutines
+	// (default 2×GOMAXPROCS, min 4).
+	Workers int
+	// TargetQPS paces the aggregate request rate; 0 (default) runs
+	// unthrottled — each worker issues its next request as soon as the
+	// previous one returns.
+	TargetQPS float64
+	// Requests per measurement (default 300).
+	Requests int
+	// MaxInFlight is the server's admission bound (0: server default).
+	MaxInFlight int
+	// Seed offsets workload generation.
+	Seed int64
+}
+
+func (s *ServeSpec) defaults() {
+	if s.Queries == 0 {
+		s.Queries = 4
+	}
+	if s.Relations == 0 {
+		s.Relations = 6
+	}
+	if s.Workers == 0 {
+		s.Workers = 2 * runtime.GOMAXPROCS(0)
+		if s.Workers < 4 {
+			s.Workers = 4
+		}
+	}
+	if s.Requests == 0 {
+		s.Requests = 300
+	}
+}
+
+// ServeRow is one measurement: one workload planned over one path.
+type ServeRow struct {
+	Mode     string
+	Workload string // q8 or mixed
+	Path     string // cold, prepared, cachehit
+	Workers  int
+	Requests int
+	// Shed counts 429 admission rejections (0 unless Workers exceeds
+	// the server's MaxInFlight).
+	Shed    int64
+	Elapsed time.Duration
+	// QPS is the served planning throughput (successful plans/sec).
+	QPS float64
+	// MeanLatencyUs is the client-observed mean request latency.
+	MeanLatencyUs float64
+}
+
+// serveWorkload is one named set of SQL statements plus the catalog
+// they bind against.
+type serveWorkload struct {
+	name string
+	cat  *catalog.Catalog
+	sqls []string
+}
+
+func buildServeWorkloads(spec ServeSpec) ([]serveWorkload, error) {
+	q8 := serveWorkload{name: "q8", cat: tpcr.Schema(), sqls: []string{tpcr.Query8SQL}}
+
+	mixed := serveWorkload{name: "mixed", sqls: []string{tpcr.Query8SQL}}
+	merged := catalog.New()
+	for _, t := range tpcr.Schema().Tables() {
+		if err := merged.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	shapes := querygen.Shapes()
+	for i := 0; i < spec.Queries; i++ {
+		cat, g, err := querygen.Generate(querygen.Spec{
+			Relations:   spec.Relations,
+			Shape:       shapes[i%len(shapes)],
+			Seed:        spec.Seed + int64(i),
+			TablePrefix: fmt.Sprintf("q%d_", i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range cat.Tables() {
+			if err := merged.Add(t); err != nil {
+				return nil, err
+			}
+		}
+		sql, err := querygen.SQL(g)
+		if err != nil {
+			return nil, err
+		}
+		mixed.sqls = append(mixed.sqls, sql)
+	}
+	mixed.cat = merged
+	return []serveWorkload{q8, mixed}, nil
+}
+
+// Serve runs the served-throughput experiment and returns one row per
+// workload × path.
+func Serve(spec ServeSpec) ([]ServeRow, error) {
+	spec.defaults()
+	workloads, err := buildServeWorkloads(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	type path struct {
+		name string
+		cfg  func(planner.Config) planner.Config
+		warm bool
+	}
+	paths := []path{
+		{"cold", func(c planner.Config) planner.Config {
+			c.PreparedCacheSize = -1
+			c.PlanCacheSize = -1
+			return c
+		}, false},
+		{"prepared", func(c planner.Config) planner.Config {
+			c.PlanCacheSize = -1
+			return c
+		}, true},
+		{"cachehit", func(c planner.Config) planner.Config { return c }, true},
+	}
+
+	var rows []ServeRow
+	for _, w := range workloads {
+		for _, pt := range paths {
+			cfg := planner.Config{
+				Catalog:   w.cat,
+				Analyze:   planner.DefaultConfig(w.cat).Analyze,
+				Optimizer: optimizer.DefaultConfig(spec.Mode),
+			}
+			row, err := serveOne(spec, w, pt.name, pt.cfg(cfg), pt.warm)
+			if err != nil {
+				return nil, fmt.Errorf("serve %s/%s: %w", w.name, pt.name, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func serveOne(spec ServeSpec, w serveWorkload, pathName string,
+	cfg planner.Config, warm bool) (ServeRow, error) {
+
+	srv := server.New(server.Config{
+		Planner:     planner.New(cfg),
+		MaxInFlight: spec.MaxInFlight,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServeRow{}, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	client := &server.Client{
+		BaseURL: "http://" + ln.Addr().String(),
+		HTTPClient: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        spec.Workers,
+			MaxIdleConnsPerHost: spec.Workers,
+		}},
+	}
+	if warm {
+		for _, sql := range w.sqls {
+			if _, err := client.Plan(sql); err != nil {
+				return ServeRow{}, fmt.Errorf("warming %q: %w", sql, err)
+			}
+		}
+	}
+
+	// Closed-loop pacing: with a QPS target the workers share one tick
+	// stream and each request waits for its tick; unthrottled workers
+	// fire back to back.
+	var ticks chan struct{}
+	var stopPacer chan struct{}
+	if spec.TargetQPS > 0 {
+		ticks = make(chan struct{})
+		stopPacer = make(chan struct{})
+		interval := time.Duration(float64(time.Second) / spec.TargetQPS)
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					select {
+					case ticks <- struct{}{}:
+					case <-stopPacer:
+						return
+					}
+				case <-stopPacer:
+					return
+				}
+			}
+		}()
+		defer close(stopPacer)
+	}
+
+	var (
+		next    atomic.Int64
+		shed    atomic.Int64
+		totalNs atomic.Int64
+		wg      sync.WaitGroup
+	)
+	errs := make(chan error, spec.Workers)
+	wantSource := pathName
+	start := time.Now()
+	for g := 0; g < spec.Workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= spec.Requests {
+					return
+				}
+				if ticks != nil {
+					<-ticks
+				}
+				sql := w.sqls[i%len(w.sqls)]
+				begin := time.Now()
+				resp, err := client.Plan(sql)
+				totalNs.Add(time.Since(begin).Nanoseconds())
+				if err != nil {
+					if server.IsShed(err) {
+						shed.Add(1)
+						continue
+					}
+					errs <- err
+					return
+				}
+				if resp.Source != wantSource {
+					errs <- fmt.Errorf("request %d: source %q, want %q", i, resp.Source, wantSource)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return ServeRow{}, err
+	}
+
+	served := spec.Requests - int(shed.Load())
+	return ServeRow{
+		Mode:          cfg.Optimizer.Mode.String(),
+		Workload:      w.name,
+		Path:          pathName,
+		Workers:       spec.Workers,
+		Requests:      spec.Requests,
+		Shed:          shed.Load(),
+		Elapsed:       elapsed,
+		QPS:           float64(served) / elapsed.Seconds(),
+		MeanLatencyUs: float64(totalNs.Load()) / float64(spec.Requests) / 1e3,
+	}, nil
+}
+
+// FormatServe renders the served-throughput table plus the cache-hit
+// vs cold speedup per workload (the serving layer's headline number).
+func FormatServe(rows []ServeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-8s %-10s %8s %9s %6s %12s %12s %14s\n",
+		"mode", "workload", "path", "workers", "requests", "shed", "elapsed", "qps", "mean-lat(us)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-8s %-10s %8d %9d %6d %12s %12.0f %14.0f\n",
+			r.Mode, r.Workload, r.Path, r.Workers, r.Requests, r.Shed,
+			r.Elapsed.Round(time.Microsecond), r.QPS, r.MeanLatencyUs)
+	}
+	qps := map[string]float64{}
+	for _, r := range rows {
+		qps[r.Workload+"/"+r.Path] = r.QPS
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[r.Workload] {
+			continue
+		}
+		seen[r.Workload] = true
+		cold, hit := qps[r.Workload+"/cold"], qps[r.Workload+"/cachehit"]
+		if cold > 0 && hit > 0 {
+			fmt.Fprintf(&b, "%s: cachehit/cold served-QPS ratio = %.1fx\n",
+				r.Workload, hit/cold)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"orderopt/internal/optimizer"
+)
+
+// TestServe runs a scaled-down served-throughput experiment against a
+// real loopback server and checks the rows are complete, error-free and
+// ordered the way the amortization levels promise: cached plans must
+// serve faster than cold full-pipeline planning even with HTTP overhead
+// on top. (The ≥10x Q8 acceptance ratio is asserted loosely here — CI
+// machines are noisy; `make bench-serve` reports the real number.)
+func TestServe(t *testing.T) {
+	spec := ServeSpec{
+		Mode:      optimizer.ModeDFSM,
+		Queries:   2,
+		Relations: 5,
+		Workers:   4,
+		Requests:  48,
+	}
+	rows, err := Serve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (2 workloads x 3 paths)", len(rows))
+	}
+	qps := map[string]float64{}
+	for _, r := range rows {
+		if r.Shed != 0 {
+			t.Errorf("%s/%s: %d shed requests with workers <= max in-flight", r.Workload, r.Path, r.Shed)
+		}
+		if r.QPS <= 0 || r.MeanLatencyUs <= 0 {
+			t.Errorf("%s/%s: empty measurement: %+v", r.Workload, r.Path, r)
+		}
+		qps[r.Workload+"/"+r.Path] = r.QPS
+	}
+	for _, w := range []string{"q8", "mixed"} {
+		if qps[w+"/cachehit"] <= qps[w+"/cold"] {
+			t.Errorf("%s: cachehit QPS %.0f not above cold QPS %.0f",
+				w, qps[w+"/cachehit"], qps[w+"/cold"])
+		}
+	}
+	if s := FormatServe(rows); s == "" {
+		t.Error("empty table")
+	}
+}
+
+// TestServePaced checks the closed-loop pacing path: a low QPS target
+// must stretch the run to roughly requests/target seconds.
+func TestServePaced(t *testing.T) {
+	spec := ServeSpec{
+		Mode:      optimizer.ModeDFSM,
+		Queries:   1,
+		Relations: 4,
+		Workers:   2,
+		Requests:  10,
+		TargetQPS: 50,
+	}
+	rows, err := Serve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.QPS > 1.5*spec.TargetQPS {
+			t.Errorf("%s/%s: %.0f qps blows through the %.0f target", r.Workload, r.Path, r.QPS, spec.TargetQPS)
+		}
+	}
+}

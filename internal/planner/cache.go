@@ -22,6 +22,12 @@ type cacheEntry struct {
 	canon []byte     // canonical graph encoding: rules out fingerprint collisions
 	best  *plan.Node // immutable; shared by every hit
 	cost  float64
+	// origin is the prepared query whose optimizer run produced best.
+	// The tree's order annotations (Node.State, Node.SortOrd) are
+	// handles into *that* query's interner and DFSM; fingerprint-equal
+	// queries spelled differently get permuted handle spaces, so
+	// consumers decoding the plan must decode through origin.
+	origin *PreparedQuery
 }
 
 func newPlanCache(max int) *planCache {
@@ -38,7 +44,7 @@ func (c *planCache) lookup(fp uint64, canon []byte) (*cacheEntry, bool) {
 	return e, true
 }
 
-func (c *planCache) store(fp uint64, canon []byte, best *plan.Node, cost float64) {
+func (c *planCache) store(fp uint64, canon []byte, best *plan.Node, cost float64, origin *PreparedQuery) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.m[fp]; ok {
@@ -48,7 +54,7 @@ func (c *planCache) store(fp uint64, canon []byte, best *plan.Node, cost float64
 		delete(c.m, c.order[0])
 		c.order = c.order[1:]
 	}
-	c.m[fp] = &cacheEntry{canon: canon, best: best, cost: cost}
+	c.m[fp] = &cacheEntry{canon: canon, best: best, cost: cost, origin: origin}
 	c.order = append(c.order, fp)
 }
 

@@ -92,6 +92,11 @@ type Stats struct {
 	PlanCalls     int64
 	PlanCacheHits int64
 	PlanRuns      int64
+	// PlanCacheEntries and PreparedEntries are the caches' current
+	// occupancy (not monotone counters) — the serving layer's /stats
+	// endpoint reports them next to the hit counters.
+	PlanCacheEntries int
+	PreparedEntries  int
 }
 
 // Planner is the reentrant planning service. All methods are safe for
@@ -133,13 +138,22 @@ func (p *Planner) Config() Config { return p.cfg }
 
 // Stats returns a snapshot of the planner's counters.
 func (p *Planner) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Prepares:      p.prepares.Load(),
 		PreparedHits:  p.preparedHits.Load(),
 		PlanCalls:     p.planCalls.Load(),
 		PlanCacheHits: p.planCacheHits.Load(),
 		PlanRuns:      p.planRuns.Load(),
 	}
+	if p.plans != nil {
+		s.PlanCacheEntries = p.plans.Len()
+	}
+	if p.prepared != nil {
+		p.mu.RLock()
+		s.PreparedEntries = len(p.prepared)
+		p.mu.RUnlock()
+	}
+	return s
 }
 
 // Source says where a Planned came from.
@@ -177,6 +191,16 @@ type Planned struct {
 	// Result carries the optimization counters when the DP ran; nil on
 	// cache hits.
 	Result *optimizer.Result
+	// Origin is the prepared query whose optimizer run produced Best.
+	// Best's order annotations (plan.Node.State, plan.Node.SortOrd) are
+	// handles into Origin's interner and DFSM — and fingerprint-equal
+	// queries spelled differently get permuted handle spaces — so
+	// anything decoding the tree (rendering sort orders, asking the
+	// framework about the root state) must go through Origin, not
+	// through the query that was planned. On cache hits Origin is the
+	// query that originally ran the DP; otherwise it is the planned
+	// query itself.
+	Origin *PreparedQuery
 }
 
 // PreparedQuery is an immutable prepared statement: the bound graph, the
@@ -310,15 +334,25 @@ func (p *Planner) prepareGraph(g *query.Graph) (*PreparedQuery, error) {
 // Plan plans sql end to end: prepared-statement cache, then plan cache,
 // then dynamic programming on pooled scratch.
 func (p *Planner) Plan(sql string) (Planned, error) {
+	pd, _, err := p.PlanQuery(sql)
+	return pd, err
+}
+
+// PlanQuery is Plan returning the prepared statement the plan came from
+// as well, for callers that need the bound graph, analysis or framework
+// next to the result — the serving layer renders relation aliases and
+// order properties from it.
+func (p *Planner) PlanQuery(sql string) (Planned, *PreparedQuery, error) {
 	q, hit, err := p.prepare(sql)
 	if err != nil {
-		return Planned{}, err
+		return Planned{}, nil, err
 	}
 	src := SourceCold
 	if hit {
 		src = SourcePrepared
 	}
-	return q.plan(src)
+	pd, err := q.plan(src)
+	return pd, q, err
 }
 
 // Plan plans the prepared query: plan cache first, then the DP.
@@ -332,7 +366,7 @@ func (q *PreparedQuery) plan(src Source) (Planned, error) {
 	if p.plans != nil {
 		if e, ok := p.plans.lookup(q.fp, q.canon); ok {
 			p.planCacheHits.Add(1)
-			return Planned{Best: e.best, Cost: e.cost, Source: SourceCacheHit}, nil
+			return Planned{Best: e.best, Cost: e.cost, Source: SourceCacheHit, Origin: e.origin}, nil
 		}
 	}
 	res, err := q.prep.Run()
@@ -341,7 +375,7 @@ func (q *PreparedQuery) plan(src Source) (Planned, error) {
 	}
 	p.planRuns.Add(1)
 	if p.plans != nil {
-		p.plans.store(q.fp, q.canon, res.Best, res.Best.Cost)
+		p.plans.store(q.fp, q.canon, res.Best, res.Best.Cost, q)
 	}
-	return Planned{Best: res.Best, Cost: res.Best.Cost, Source: src, Result: res}, nil
+	return Planned{Best: res.Best, Cost: res.Best.Cost, Source: src, Result: res, Origin: q}, nil
 }

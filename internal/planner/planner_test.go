@@ -376,7 +376,7 @@ func TestPlanCacheEviction(t *testing.T) {
 // canonical encoding must miss instead of returning a wrong plan.
 func TestPlanCacheCollisionGuard(t *testing.T) {
 	c := newPlanCache(8)
-	c.store(7, []byte("canon-a"), nil, 1)
+	c.store(7, []byte("canon-a"), nil, 1, nil)
 	if _, ok := c.lookup(7, []byte("canon-b")); ok {
 		t.Errorf("colliding fingerprint with different canonical bytes hit the cache")
 	}

@@ -95,6 +95,11 @@ type Spec struct {
 	ExtraEdges int
 	// Seed drives all random choices.
 	Seed int64
+	// TablePrefix prefixes every generated table and index name
+	// (default "", tables r0…r(n-1)). Distinctly prefixed queries can
+	// be merged into one catalog — the serving workload generates many
+	// queries and binds their SQL against a single schema.
+	TablePrefix string
 
 	// RowsMin/RowsMax bound table cardinalities (defaults 1000/100000).
 	RowsMin, RowsMax int64
@@ -167,14 +172,14 @@ func Generate(spec Spec) (*catalog.Catalog, *query.Graph, error) {
 			}
 		}
 		t := &catalog.Table{
-			Name:    fmt.Sprintf("r%d", i),
+			Name:    fmt.Sprintf("%sr%d", spec.TablePrefix, i),
 			Columns: cols,
 			Rows:    rows,
 		}
 		// Every table has a clustered index on its first column, so
 		// index scans produce interesting orders.
 		t.Indexes = []catalog.Index{{
-			Name:      fmt.Sprintf("r%d_c0", i),
+			Name:      fmt.Sprintf("%sr%d_c0", spec.TablePrefix, i),
 			Columns:   []string{"c0"},
 			Clustered: true,
 		}}

@@ -1,0 +1,72 @@
+package querygen
+
+import (
+	"fmt"
+	"strings"
+
+	"orderopt/internal/query"
+)
+
+// SQL renders a generated join graph back into the SQL dialect the
+// sqlparse front end accepts, so generated workloads can be planned
+// through the serving layer (which only speaks SQL). Binding the
+// rendered text against the generating catalog reproduces the graph —
+// same relations, edges, predicate kinds and required orders — except
+// that the binder drops predicate literals (it plans from statistics,
+// not values); TestSQLRoundTrip pins the equivalence.
+func SQL(g *query.Graph) (string, error) {
+	var b strings.Builder
+	b.WriteString("select * from ")
+	for i := range g.Relations {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(g.Relations[i].Alias)
+	}
+
+	col := func(c query.ColumnRef) string {
+		rel := &g.Relations[c.Rel]
+		return rel.Alias + "." + rel.Table.Columns[c.Col].Name
+	}
+
+	var conj []string
+	for i := range g.Edges {
+		for _, p := range g.Edges[i].Preds {
+			conj = append(conj, fmt.Sprintf("%s = %s", col(p.Left), col(p.Right)))
+		}
+	}
+	for r := range g.Relations {
+		for _, p := range g.Relations[r].ConstPreds {
+			switch p.Kind {
+			case query.EqConst:
+				conj = append(conj, fmt.Sprintf("%s = %d", col(p.Col), p.Literal))
+			case query.RangePred:
+				// ConstPred.Matches treats a range literal as a lower
+				// bound, so >= is the faithful spelling.
+				conj = append(conj, fmt.Sprintf("%s >= %d", col(p.Col), p.Literal))
+			default:
+				return "", fmt.Errorf("querygen: cannot render %v predicate as SQL", p.Kind)
+			}
+		}
+	}
+	if len(conj) > 0 {
+		b.WriteString(" where ")
+		b.WriteString(strings.Join(conj, " and "))
+	}
+
+	writeCols := func(kw string, cols []query.ColumnRef) {
+		if len(cols) == 0 {
+			return
+		}
+		b.WriteString(kw)
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(col(c))
+		}
+	}
+	writeCols(" group by ", g.GroupBy)
+	writeCols(" order by ", g.OrderBy)
+	return b.String(), nil
+}

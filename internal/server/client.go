@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"orderopt/internal/planner"
+)
+
+// Wire types shared by the server handlers and the client.
+
+// PlanRequest is the body of POST /plan and POST /explain.
+type PlanRequest struct {
+	SQL string `json:"sql"`
+}
+
+// PlanNode is one operator of the returned plan tree.
+type PlanNode struct {
+	Op   string  `json:"op"`
+	Cost float64 `json:"cost"`
+	Card float64 `json:"card"`
+	// Relation and Index name the scanned table occurrence (scans only).
+	Relation string `json:"relation,omitempty"`
+	Index    string `json:"index,omitempty"`
+	// SortOrder is the target ordering of a Sort, e.g. "(n.n_name)".
+	SortOrder string    `json:"sortOrder,omitempty"`
+	Left      *PlanNode `json:"left,omitempty"`
+	Right     *PlanNode `json:"right,omitempty"`
+}
+
+// PlanResponse is the result of /plan.
+type PlanResponse struct {
+	SQL    string  `json:"sql"`
+	Source string  `json:"source"` // cold, prepared or cachehit
+	Cost   float64 `json:"cost"`
+	// PlanNs is the dynamic-programming time; 0 on plan-cache hits
+	// (no DP ran).
+	PlanNs   int64     `json:"planNs,omitempty"`
+	Residual []string  `json:"residual,omitempty"`
+	Plan     *PlanNode `json:"plan"`
+}
+
+// ExplainResponse is the result of /explain.
+type ExplainResponse struct {
+	SQL    string  `json:"sql"`
+	Source string  `json:"source"`
+	Cost   float64 `json:"cost"`
+	Mode   string  `json:"mode"` // dfsm or simmen
+	// Text is the rendered physical plan tree.
+	Text string `json:"text"`
+	// OrderBy is the required result ordering, e.g. "(o.o_orderkey)".
+	OrderBy string `json:"orderBy,omitempty"`
+	// OrderBySatisfied reports the framework's O(1) Contains verdict on
+	// the final plan's DFSM state (DFSM mode only; nil otherwise).
+	OrderBySatisfied *bool    `json:"orderBySatisfied,omitempty"`
+	GroupBy          []string `json:"groupBy,omitempty"`
+	// Optimization counters, present when the DP ran (not a cache hit).
+	PlansGenerated int64 `json:"plansGenerated,omitempty"`
+	PlansRetained  int   `json:"plansRetained,omitempty"`
+	PrepNs         int64 `json:"prepNs,omitempty"`
+	PlanNs         int64 `json:"planNs,omitempty"`
+	// DFSM sizes (DFSM mode only).
+	NFSMStates int `json:"nfsmStates,omitempty"`
+	DFSMStates int `json:"dfsmStates,omitempty"`
+}
+
+// EndpointStats are one endpoint's served-traffic counters. Requests
+// counts requests that reached planning (Errors of them failed there);
+// Shed counts 429 admission rejections and Rejected everything turned
+// away before planning (malformed request, wrong method, draining).
+// Latency aggregates cover Requests only.
+type EndpointStats struct {
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	Shed          int64   `json:"shed"`
+	Rejected      int64   `json:"rejected"`
+	MeanLatencyUs float64 `json:"meanLatencyUs"`
+	MaxLatencyUs  float64 `json:"maxLatencyUs"`
+}
+
+// StatsResponse is the result of /stats.
+type StatsResponse struct {
+	UptimeSec   float64                  `json:"uptimeSec"`
+	InFlight    int64                    `json:"inFlight"`
+	MaxInFlight int                      `json:"maxInFlight"`
+	Draining    bool                     `json:"draining"`
+	Planner     planner.Stats            `json:"planner"`
+	Endpoints   map[string]EndpointStats `json:"endpoints"`
+}
+
+// HealthResponse is the result of /healthz.
+type HealthResponse struct {
+	Status    string  `json:"status"` // ok or draining
+	UptimeSec float64 `json:"uptimeSec"`
+	InFlight  int64   `json:"inFlight"`
+}
+
+// ErrorResponse is the body of every non-2xx planning response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatusError is a non-2xx response decoded into an error. The load
+// generator matches on Code to count shed requests.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+// IsShed reports whether err is a 429 admission rejection.
+func IsShed(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusTooManyRequests
+}
+
+// Client calls a planning server. The zero HTTPClient means
+// http.DefaultClient; Client is safe for concurrent use.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the server at base (e.g.
+// "http://127.0.0.1:7432").
+func NewClient(base string) *Client {
+	return &Client{BaseURL: base}
+}
+
+// Plan plans sql on the server.
+func (c *Client) Plan(sql string) (*PlanResponse, error) {
+	var resp PlanResponse
+	if err := c.post("/plan", sql, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Explain plans sql and returns the rendered plan and its order
+// properties.
+func (c *Client) Explain(sql string) (*ExplainResponse, error) {
+	var resp ExplainResponse
+	if err := c.post("/explain", sql, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.get("/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches /healthz. Both "ok" (200) and "draining" (503) decode
+// into a response; other failures return an error.
+func (c *Client) Health() (*HealthResponse, error) {
+	res, err := c.httpClient().Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	var resp HealthResponse
+	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("server: decoding /healthz: %w", err)
+	}
+	return &resp, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) post(path, sql string, out any) error {
+	body, err := json.Marshal(PlanRequest{SQL: sql})
+	if err != nil {
+		return err
+	}
+	res, err := c.httpClient().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decode(res, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	u, err := url.JoinPath(c.BaseURL, path)
+	if err != nil {
+		return err
+	}
+	res, err := c.httpClient().Get(u)
+	if err != nil {
+		return err
+	}
+	return decode(res, out)
+}
+
+func decode(res *http.Response, out any) error {
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if err := json.NewDecoder(res.Body).Decode(&e); err != nil || e.Error == "" {
+			e.Error = "(no error body)"
+		}
+		return &StatusError{Code: res.StatusCode, Message: e.Error}
+	}
+	return json.NewDecoder(res.Body).Decode(out)
+}

@@ -1,0 +1,383 @@
+// Package server exposes the reentrant planner as an HTTP/JSON planning
+// service — the network-facing layer that turns the library into the
+// traffic-serving system the ROADMAP asks for. The paper's framework
+// earns its O(1) order-property operations in exactly this setting: a
+// planning loop answering a sustained stream of queries, where the
+// prepared-statement and plan caches convert repeated statements into
+// sub-microsecond lookups.
+//
+// Endpoints:
+//
+//	POST /plan     {"sql": "select ..."} → plan tree + cost + source
+//	               (cold | prepared | cachehit); GET /plan?q=... works too
+//	POST /explain  same request → rendered physical plan and the
+//	               order/grouping properties of the chosen plan
+//	GET  /stats    planner counters, cache occupancy and per-endpoint
+//	               latency/throughput/shed counters
+//	GET  /healthz  liveness; 503 once draining
+//
+// Admission is bounded: at most Config.MaxInFlight planning requests run
+// concurrently, and requests beyond the bound are shed immediately with
+// 429 (Retry-After: 1) instead of queueing — under overload a planning
+// service must degrade by rejecting, not by growing latency for
+// everyone. /stats and /healthz bypass admission so the service stays
+// observable while saturated. Drain flips /healthz to 503 and rejects
+// new planning work with 503 while in-flight requests finish; pair it
+// with http.Server.Shutdown for a graceful SIGTERM (see cmd/planserverd).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"orderopt/internal/plan"
+	"orderopt/internal/planner"
+)
+
+// DefaultMaxInFlight bounds concurrent planning requests when
+// Config.MaxInFlight is 0.
+const DefaultMaxInFlight = 64
+
+// Config parameterizes a Server.
+type Config struct {
+	// Planner handles every planning request. Required.
+	Planner *planner.Planner
+	// MaxInFlight is the admission bound for /plan and /explain:
+	// 0 means DefaultMaxInFlight, negative disables admission control.
+	MaxInFlight int
+}
+
+// Server is the HTTP planning service. It is an http.Handler; all state
+// is safe for concurrent use.
+type Server struct {
+	pl          *planner.Planner
+	maxInFlight int
+	sem         chan struct{} // nil when admission control is disabled
+	mux         *http.ServeMux
+	start       time.Time
+	draining    atomic.Bool
+	inFlight    atomic.Int64
+
+	planMetrics    endpointMetrics
+	explainMetrics endpointMetrics
+
+	// admitted, when set, runs while an admission slot is held —
+	// the shedding tests park requests in it deterministically.
+	admitted func()
+}
+
+// endpointMetrics aggregates one endpoint's counters. Latency is
+// tracked as a running (count, sum, max) over requests that actually
+// planned; shed (429) and rejected (bad request shape, draining, wrong
+// method) requests are counted separately and contribute no latency —
+// folding their ~0ns handling into the mean would drive the reported
+// latency toward zero exactly when the service is misbehaving.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	shed     atomic.Int64
+	rejected atomic.Int64
+	totalNs  atomic.Int64
+	maxNs    atomic.Int64
+}
+
+func (m *endpointMetrics) record(d time.Duration, failed bool) {
+	m.requests.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	m.totalNs.Add(ns)
+	for {
+		cur := m.maxNs.Load()
+		if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+func (m *endpointMetrics) snapshot() EndpointStats {
+	s := EndpointStats{
+		Requests: m.requests.Load(),
+		Errors:   m.errors.Load(),
+		Shed:     m.shed.Load(),
+		Rejected: m.rejected.Load(),
+	}
+	if s.Requests > 0 {
+		s.MeanLatencyUs = float64(m.totalNs.Load()) / float64(s.Requests) / 1e3
+	}
+	s.MaxLatencyUs = float64(m.maxNs.Load()) / 1e3
+	return s
+}
+
+// New returns a Server over cfg.Planner.
+func New(cfg Config) *Server {
+	if cfg.Planner == nil {
+		panic("server: Config.Planner is required")
+	}
+	max := cfg.MaxInFlight
+	if max == 0 {
+		max = DefaultMaxInFlight
+	}
+	s := &Server{
+		pl:          cfg.Planner,
+		maxInFlight: max,
+		start:       time.Now(),
+		mux:         http.NewServeMux(),
+	}
+	if max > 0 {
+		s.sem = make(chan struct{}, max)
+	}
+	s.mux.HandleFunc("/plan", func(w http.ResponseWriter, r *http.Request) {
+		s.servePlanning(w, r, &s.planMetrics, s.planResponse)
+	})
+	s.mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		s.servePlanning(w, r, &s.explainMetrics, s.explainResponse)
+	})
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain puts the server into draining mode: /healthz turns 503 so load
+// balancers stop routing here, and new planning requests are rejected
+// with 503 while in-flight ones finish. Draining is irreversible.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Planner returns the planner the server serves.
+func (s *Server) Planner() *planner.Planner { return s.pl }
+
+// servePlanning is the shared request path of /plan and /explain:
+// extract the SQL, check draining, admit (or shed), run, record.
+func (s *Server) servePlanning(w http.ResponseWriter, r *http.Request,
+	m *endpointMetrics, respond func(sql string) (any, int, error)) {
+
+	sql, ok := requestSQL(w, r, m)
+	if !ok {
+		return
+	}
+	if s.draining.Load() {
+		m.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			m.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("planning capacity exhausted (%d in flight)", s.maxInFlight))
+			return
+		}
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	if s.admitted != nil {
+		s.admitted()
+	}
+
+	begin := time.Now()
+	resp, code, err := respond(sql)
+	if err != nil {
+		m.record(time.Since(begin), true)
+		writeError(w, code, err.Error())
+		return
+	}
+	m.record(time.Since(begin), false)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// requestSQL extracts the statement from a GET ?q= or a POST JSON body.
+func requestSQL(w http.ResponseWriter, r *http.Request, m *endpointMetrics) (string, bool) {
+	fail := func(code int, msg string) (string, bool) {
+		m.rejected.Add(1)
+		writeError(w, code, msg)
+		return "", false
+	}
+	var sql string
+	switch r.Method {
+	case http.MethodGet:
+		sql = r.URL.Query().Get("q")
+	case http.MethodPost:
+		var req PlanRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return fail(http.StatusBadRequest, "invalid request body: "+err.Error())
+		}
+		sql = req.SQL
+	default:
+		return fail(http.StatusMethodNotAllowed, "use GET ?q=... or POST {\"sql\": ...}")
+	}
+	if strings.TrimSpace(sql) == "" {
+		return fail(http.StatusBadRequest, "empty sql")
+	}
+	return sql, true
+}
+
+func (s *Server) planResponse(sql string) (any, int, error) {
+	pd, q, err := s.pl.PlanQuery(sql)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	resp := &PlanResponse{
+		SQL:    sql,
+		Source: pd.Source.String(),
+		Cost:   pd.Cost,
+		Plan:   planJSON(pd.Best, origin(pd, q)),
+	}
+	if pd.Result != nil {
+		resp.PlanNs = pd.Result.PlanTime.Nanoseconds()
+	}
+	for _, e := range q.Residual() {
+		resp.Residual = append(resp.Residual, fmt.Sprint(e))
+	}
+	return resp, 0, nil
+}
+
+func (s *Server) explainResponse(sql string) (any, int, error) {
+	pd, q, err := s.pl.PlanQuery(sql)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	// Decode everything through the query whose DP run produced the
+	// tree: on a plan-cache hit from a differently spelled statement,
+	// the requesting query's interner numbers orderings differently
+	// and would render wrong names and verdicts.
+	org := origin(pd, q)
+	a := org.Analysis()
+	g := org.Prepared().Graph()
+	reg, in := a.Builder.Registry(), a.Builder.Interner()
+	resp := &ExplainResponse{
+		SQL:    sql,
+		Source: pd.Source.String(),
+		Cost:   pd.Cost,
+		Mode:   s.pl.Config().Optimizer.Mode.String(),
+		Text:   pd.Best.String(),
+	}
+	if a.OrderByOrd != 0 {
+		resp.OrderBy = in.Format(reg, a.OrderByOrd)
+	}
+	for _, c := range g.GroupBy {
+		resp.GroupBy = append(resp.GroupBy, g.ColumnName(c))
+	}
+	// Order properties are O(1) DFSM lookups on the root's state; the
+	// Simmen baseline's annotations live in per-run scratch, so the
+	// flags are reported in DFSM mode only.
+	if fw := org.Prepared().Framework(); fw != nil {
+		if a.OrderByOrd != 0 {
+			v := fw.Contains(pd.Best.State, a.OrderByOrd)
+			resp.OrderBySatisfied = &v
+		}
+		st := org.Prepared().Stats()
+		resp.NFSMStates = st.NFSMStates
+		resp.DFSMStates = st.DFSMStates
+	}
+	if r := pd.Result; r != nil {
+		resp.PlansGenerated = r.PlansGenerated
+		resp.PlansRetained = r.PlansRetained
+		resp.PrepNs = r.PrepTime.Nanoseconds()
+		resp.PlanNs = r.PlanTime.Nanoseconds()
+	}
+	return resp, 0, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		UptimeSec:   time.Since(s.start).Seconds(),
+		InFlight:    s.inFlight.Load(),
+		MaxInFlight: s.maxInFlight,
+		Draining:    s.draining.Load(),
+		Planner:     s.pl.Stats(),
+		Endpoints: map[string]EndpointStats{
+			"plan":    s.planMetrics.snapshot(),
+			"explain": s.explainMetrics.snapshot(),
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := &HealthResponse{
+		Status:    "ok",
+		UptimeSec: time.Since(s.start).Seconds(),
+		InFlight:  s.inFlight.Load(),
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// origin returns the prepared query the plan's order annotations must
+// be decoded with (see planner.Planned.Origin); q is the fallback for
+// planners with the plan cache disabled on entries predating tracking.
+func origin(pd planner.Planned, q *planner.PreparedQuery) *planner.PreparedQuery {
+	if pd.Origin != nil {
+		return pd.Origin
+	}
+	return q
+}
+
+// planJSON converts a physical plan into its wire tree, resolving
+// relation and index names and sort orderings through the prepared
+// query whose optimizer run produced the tree.
+func planJSON(n *plan.Node, q *planner.PreparedQuery) *PlanNode {
+	if n == nil {
+		return nil
+	}
+	g := q.Prepared().Graph()
+	a := q.Analysis()
+	reg, in := a.Builder.Registry(), a.Builder.Interner()
+	var conv func(n *plan.Node) *PlanNode
+	conv = func(n *plan.Node) *PlanNode {
+		if n == nil {
+			return nil
+		}
+		out := &PlanNode{
+			Op:   n.Op.String(),
+			Cost: n.Cost,
+			Card: n.Card,
+		}
+		switch n.Op {
+		case plan.TableScan, plan.IndexScan:
+			rel := &g.Relations[n.Rel]
+			out.Relation = rel.Alias
+			if n.Op == plan.IndexScan {
+				out.Index = rel.Table.Indexes[n.Index].Name
+			}
+		case plan.Sort:
+			out.SortOrder = in.Format(reg, n.SortOrd)
+		}
+		out.Left = conv(n.Left)
+		out.Right = conv(n.Right)
+		return out
+	}
+	return conv(n)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, &ErrorResponse{Error: msg})
+}

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"orderopt/internal/planner"
+	"orderopt/internal/tpcr"
+)
+
+const (
+	nationRegionSQL = "select * from nation, region where n_regionkey = r_regionkey order by n_name"
+	ordersSQL       = "select * from orders, customer where o_custkey = c_custkey order by o_orderdate"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client, func()) {
+	t.Helper()
+	if cfg.Planner == nil {
+		cfg.Planner = planner.New(planner.DefaultConfig(tpcr.Schema()))
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	return s, NewClient(ts.URL), ts.Close
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+
+	cold, err := c.Plan(tpcr.Query8SQL)
+	if err != nil {
+		t.Fatalf("cold plan: %v", err)
+	}
+	if cold.Source != "cold" {
+		t.Errorf("first plan source = %q, want cold", cold.Source)
+	}
+	if cold.Plan == nil || cold.Cost <= 0 {
+		t.Fatalf("cold plan missing tree or cost: %+v", cold)
+	}
+	if cold.PlanNs <= 0 {
+		t.Errorf("cold plan reports no DP time")
+	}
+
+	warm, err := c.Plan(tpcr.Query8SQL)
+	if err != nil {
+		t.Fatalf("warm plan: %v", err)
+	}
+	if warm.Source != "cachehit" {
+		t.Errorf("second plan source = %q, want cachehit", warm.Source)
+	}
+	if warm.Cost != cold.Cost {
+		t.Errorf("warm cost %v != cold cost %v", warm.Cost, cold.Cost)
+	}
+
+	// The tree must resolve scans to catalog names.
+	var sawScan bool
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		if n == nil {
+			return
+		}
+		if n.Op == "TableScan" || n.Op == "IndexScan" {
+			sawScan = true
+			if n.Relation == "" {
+				t.Errorf("scan node without relation name: %+v", n)
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(cold.Plan)
+	if !sawScan {
+		t.Error("plan tree contains no scan nodes")
+	}
+}
+
+func TestPlanGet(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	res, err := c.httpClient().Get(c.BaseURL + "/plan?q=" +
+		"select+*+from+nation,+region+where+n_regionkey+=+r_regionkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /plan?q= status %d", res.StatusCode)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+
+	for _, bad := range []string{"", "select * from no_such_table", "not sql at all"} {
+		_, err := c.Plan(bad)
+		var se *StatusError
+		if err == nil {
+			t.Fatalf("plan %q: no error", bad)
+		}
+		if !asStatus(err, &se) || se.Code != http.StatusBadRequest {
+			t.Errorf("plan %q: got %v, want 400", bad, err)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodPut, c.BaseURL+"/plan", nil)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /plan status %d, want 405", res.StatusCode)
+	}
+}
+
+func asStatus(err error, se **StatusError) bool {
+	s, ok := err.(*StatusError)
+	if ok {
+		*se = s
+	}
+	return ok
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+
+	resp, err := c.Explain(nationRegionSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != "dfsm" {
+		t.Errorf("mode = %q, want dfsm", resp.Mode)
+	}
+	if !strings.Contains(resp.Text, "Scan") {
+		t.Errorf("explain text has no scans:\n%s", resp.Text)
+	}
+	if resp.OrderBy == "" || !strings.Contains(resp.OrderBy, "n_name") {
+		t.Errorf("orderBy = %q, want the n_name requirement", resp.OrderBy)
+	}
+	if resp.OrderBySatisfied == nil || !*resp.OrderBySatisfied {
+		t.Errorf("final plan does not satisfy ORDER BY: %+v", resp.OrderBySatisfied)
+	}
+	if resp.PlansGenerated <= 0 || resp.DFSMStates <= 0 {
+		t.Errorf("missing optimization counters: %+v", resp)
+	}
+}
+
+// TestConcurrentPlans hammers one server from many goroutines over a
+// mixed workload and checks every response against the serial cold
+// reference — the acceptance gate for the serving layer under -race.
+func TestConcurrentPlans(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+
+	queries := []string{tpcr.Query8SQL, nationRegionSQL, ordersSQL}
+	want := map[string]float64{}
+	ref := planner.New(planner.DefaultConfig(tpcr.Schema()))
+	for _, q := range queries {
+		pd, err := ref.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = pd.Cost
+	}
+
+	const goroutines = 12
+	const perG = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				q := queries[(g+i)%len(queries)]
+				resp, err := c.Plan(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Cost != want[q] {
+					t.Errorf("goroutine %d: cost %v != reference %v", g, resp.Cost, want[q])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Planner.PlanCacheHits == 0 {
+		t.Error("no plan-cache hits across the concurrent run")
+	}
+	ep := stats.Endpoints["plan"]
+	if ep.Requests != goroutines*perG {
+		t.Errorf("plan endpoint served %d requests, want %d", ep.Requests, goroutines*perG)
+	}
+	if ep.Errors != 0 || ep.Shed != 0 {
+		t.Errorf("unexpected errors/shed: %+v", ep)
+	}
+	if stats.Planner.PlanCacheEntries == 0 {
+		t.Error("stats report an empty plan cache after serving")
+	}
+}
+
+// TestCacheHitAcrossSpellings plans two spellings of one query (the
+// WHERE conjuncts swapped). They share a canonical fingerprint, so the
+// second is served from the plan cache — but its own interner numbers
+// orderings differently than the query that ran the DP, so the server
+// must decode the cached tree through the origin query. Before that
+// fix, the cache hit rendered wrong Sort labels and a wrong ORDER BY
+// verdict.
+func TestCacheHitAcrossSpellings(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+
+	spellA := "select * from customer, nation, region " +
+		"where n_regionkey = r_regionkey and c_nationkey = n_nationkey order by n_name"
+	spellB := "select * from customer, nation, region " +
+		"where c_nationkey = n_nationkey and n_regionkey = r_regionkey order by n_name"
+
+	ra, err := c.Plan(spellA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := c.Plan(spellB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Source != "cachehit" {
+		t.Fatalf("second spelling source = %q, want cachehit (fingerprints should match)", rb.Source)
+	}
+	var sorts func(n *PlanNode) []string
+	sorts = func(n *PlanNode) []string {
+		if n == nil {
+			return nil
+		}
+		var out []string
+		if n.Op == "Sort" {
+			out = append(out, n.SortOrder)
+		}
+		out = append(out, sorts(n.Left)...)
+		return append(out, sorts(n.Right)...)
+	}
+	sa, sb := sorts(ra.Plan), sorts(rb.Plan)
+	if len(sa) == 0 {
+		t.Fatal("expected at least one Sort in the plan")
+	}
+	if fmt.Sprint(sa) != fmt.Sprint(sb) {
+		t.Errorf("cache hit renders different sort orders: %v vs %v", sa, sb)
+	}
+
+	eb, err := c.Explain(spellB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.Source != "cachehit" {
+		t.Errorf("explain source = %q, want cachehit", eb.Source)
+	}
+	if !strings.Contains(eb.OrderBy, "n_name") {
+		t.Errorf("cache-hit explain orderBy = %q, want the n_name requirement", eb.OrderBy)
+	}
+	if eb.OrderBySatisfied == nil || !*eb.OrderBySatisfied {
+		t.Errorf("cache-hit explain verdict = %v, want satisfied", eb.OrderBySatisfied)
+	}
+}
+
+// TestShedding parks one admitted request in the test hook and checks
+// that the next request is rejected with 429 instead of queueing.
+func TestShedding(t *testing.T) {
+	s, c, done := newTestServer(t, Config{MaxInFlight: 1})
+	defer done()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.admitted = func() {
+		close(entered)
+		<-release
+	}
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Plan(nationRegionSQL)
+		first <- err
+	}()
+	<-entered
+	s.admitted = nil
+
+	_, err := c.Plan(nationRegionSQL)
+	if !IsShed(err) {
+		t.Fatalf("second request: got %v, want a 429 shed", err)
+	}
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("parked request failed: %v", err)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Endpoints["plan"].Shed; got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s, c, done := newTestServer(t, Config{})
+	defer done()
+
+	if h, err := c.Health(); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz before drain: %v %v", h, err)
+	}
+	s.Drain()
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("healthz status = %q, want draining", h.Status)
+	}
+	_, err = c.Plan(nationRegionSQL)
+	var se *StatusError
+	if err == nil || !asStatus(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Errorf("plan while draining: got %v, want 503", err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Draining {
+		t.Error("stats do not report draining")
+	}
+}
