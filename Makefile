@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-serve
+# pipefail so a failing benchmark run (or cmd/benchfmt rejecting an
+# empty stream) fails the bench targets instead of tee masking it.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: check build vet fmt test race bench bench-large bench-serve bench-smoke
 
 check: build vet fmt test
 
@@ -23,13 +28,25 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the root-package benchmarks (the paper tables plus the
-# enumerator comparison) and records the machine-readable log so the
-# perf trajectory is tracked from PR to PR.
+# enumerator comparison) and records the compact machine-readable log
+# (one JSON object per result via cmd/benchfmt — see docs/benchmarks.md)
+# so the perf trajectory is tracked from PR to PR.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -json . | tee BENCH_plangen.json
+	$(GO) test -run '^$$' -bench . -benchmem -json . | $(GO) run ./cmd/benchfmt | tee BENCH_plangen.json
+
+# bench-large records the adaptive large-query tier: exact vs linearized
+# DP times and cost ratios around the exact horizon, linearized-only
+# beyond it. Same compact schema as BENCH_plangen.json.
+bench-large:
+	$(GO) test -run '^$$' -bench '^BenchmarkLargeQuery$$' -benchmem -json . | $(GO) run ./cmd/benchfmt | tee BENCH_large.json
 
 # bench-serve measures *served* planning throughput: a closed-loop load
 # generator against a real loopback HTTP planning server, per cache
 # path (cold / prepared / cachehit). See docs/benchmarks.md.
 bench-serve:
 	$(GO) run ./cmd/experiments -table serve | tee BENCH_serve.txt
+
+# bench-smoke compiles and runs every benchmark once (no timing) so
+# benchmark code cannot rot; CI runs it on every push.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -16,6 +16,10 @@
 //	BenchmarkPlannerThroughput
 //	    — the planner layer on Q8: cold pipeline vs prepared statements
 //	      vs plan-cache hits, serial and parallel.
+//	BenchmarkLargeQuery
+//	    — the adaptive tier: exact vs linearized DP around the exact
+//	      horizon (with cost-ratio metrics), linearized-only beyond it
+//	      (make bench-large → BENCH_large.json).
 package orderopt_test
 
 import (
@@ -175,6 +179,7 @@ func BenchmarkPlanGenQ8(b *testing.B) {
 					}
 					cfg := optimizer.DefaultConfig(mode)
 					cfg.Enumerator = enum
+					cfg.Strategy = optimizer.StrategyExact // the enumerators only run in the exact tier
 					res, err := optimizer.Optimize(a, cfg)
 					if err != nil {
 						b.Fatal(err)
@@ -227,6 +232,7 @@ func BenchmarkEnumerator(b *testing.B) {
 					}
 					cfg := optimizer.DefaultConfig(optimizer.ModeDFSM)
 					cfg.Enumerator = enum
+					cfg.Strategy = optimizer.StrategyExact // the enumerators only run in the exact tier
 					res, err := optimizer.Optimize(a, cfg)
 					if err != nil {
 						b.Fatal(err)
@@ -586,6 +592,90 @@ func BenchmarkPlannerThroughput(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkLargeQuery measures the adaptive planning tier on join
+// graphs around and beyond the exact-DP horizon, on the prepared path
+// (Prepare once, Run per iteration — the serving layer's steady state;
+// this is what BENCH_large.json records via make bench-large). Points
+// within the horizon run under both strategies, and the linearized run
+// reports its cost ratio against the exact optimum; the large points
+// run linearized only — the exact DP would take minutes to forever,
+// which is the tier's reason to exist.
+func BenchmarkLargeQuery(b *testing.B) {
+	points := []struct {
+		shape querygen.Shape
+		n     int
+		exact bool
+	}{
+		{querygen.Chain, 10, true},
+		{querygen.Star, 10, true},
+		{querygen.Cycle, 10, true},
+		{querygen.Grid, 9, true},
+		{querygen.Clique, 8, true},
+		{querygen.Chain, 20, false},
+		{querygen.Star, 30, false},
+		{querygen.Cycle, 24, false},
+		{querygen.Grid, 25, false},
+		{querygen.Clique, 20, false},
+	}
+	prepFor := func(b *testing.B, shape querygen.Shape, n int, strat optimizer.Strategy) *optimizer.Prepared {
+		b.Helper()
+		_, g, err := querygen.Generate(querygen.Spec{Relations: n, Shape: shape, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := optimizer.DefaultConfig(optimizer.ModeDFSM)
+		cfg.Strategy = strat
+		prep, err := optimizer.Prepare(a, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return prep
+	}
+	for _, pt := range points {
+		var exactCost float64
+		if pt.exact {
+			b.Run(fmt.Sprintf("%s-%d/exact", pt.shape, pt.n), func(b *testing.B) {
+				prep := prepFor(b, pt.shape, pt.n, optimizer.StrategyExact)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var plans int64
+				for i := 0; i < b.N; i++ {
+					res, err := prep.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					exactCost = res.Best.Cost
+					plans = res.PlansGenerated
+				}
+				b.ReportMetric(float64(plans), "plans")
+			})
+		}
+		b.Run(fmt.Sprintf("%s-%d/linearized", pt.shape, pt.n), func(b *testing.B) {
+			prep := prepFor(b, pt.shape, pt.n, optimizer.StrategyLinearized)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var cost float64
+			var plans int64
+			for i := 0; i < b.N; i++ {
+				res, err := prep.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Best.Cost
+				plans = res.PlansGenerated
+			}
+			b.ReportMetric(float64(plans), "plans")
+			if exactCost > 0 {
+				b.ReportMetric(cost/exactCost, "cost-ratio")
+			}
 		})
 	}
 }

@@ -1,0 +1,146 @@
+// Command benchfmt compacts a `go test -json -bench` event stream into
+// the benchmark-artifact schema the repo commits (see
+// docs/benchmarks.md): one JSON object per benchmark result line with
+// the name, iteration count, ns/op, B/op, allocs/op and any custom
+// metrics (plans, cost-ratio, ...), instead of the raw multi-megabyte
+// test2json stream.
+//
+//	go test -run '^$' -bench . -benchmem -json . | benchfmt > BENCH.json
+//
+// Non-benchmark events (test framework chatter, pass/fail markers) are
+// dropped; a failing input stream (any "fail" action) makes benchfmt
+// exit non-zero so a broken benchmark run cannot silently produce an
+// empty-but-committed artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json schema benchfmt reads.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// result is one compacted benchmark measurement.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+
+	failed := false
+	results := 0
+	// test2json usually splits a benchmark result into two output
+	// events — the name when the benchmark starts, the measurements when
+	// it finishes — so a bare "BenchmarkX-8" line is held and stitched
+	// onto the next measurement line.
+	pending := ""
+	for in.Scan() {
+		line := in.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // not a test2json line (e.g. plain `go test` output)
+		}
+		if ev.Action == "fail" {
+			failed = true
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		text := strings.TrimSpace(ev.Output)
+		if strings.HasPrefix(text, "Benchmark") && len(strings.Fields(text)) == 1 {
+			pending = text
+			continue
+		}
+		if pending != "" && !strings.HasPrefix(text, "Benchmark") {
+			text = pending + " " + text
+		}
+		r, ok := parseBenchLine(text)
+		if !ok {
+			continue
+		}
+		pending = ""
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfmt:", err)
+			os.Exit(1)
+		}
+		results++
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchfmt: benchmark run reported failures")
+		os.Exit(1)
+	}
+	if results == 0 {
+		fmt.Fprintln(os.Stderr, "benchfmt: no benchmark results in input")
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine compacts one standard benchmark result line:
+//
+//	BenchmarkName/sub-8   123  456.7 ns/op  89 B/op  1 allocs/op  2.5 plans
+func parseBenchLine(line string) (*result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return nil, false
+	}
+	fields := strings.Fields(line)
+	// Name, iterations, then (value, unit) pairs — at least ns/op.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return nil, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	r := &result{Name: fields[0], Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			r.BPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		case "MB/s":
+			addMetric(r, "mb_per_s", v)
+		default:
+			addMetric(r, unit, v)
+		}
+	}
+	return r, sawNs
+}
+
+func addMetric(r *result, name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}

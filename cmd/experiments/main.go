@@ -12,9 +12,12 @@
 //	experiments -table serve   # served throughput: closed-loop load
 //	                           # generator against a real HTTP planning
 //	                           # server (cold/prepared/cachehit QPS)
-//	experiments -table all     # everything except enum, throughput and
-//	                           # serve (opt-in: clique points run for
-//	                           # seconds)
+//	experiments -table large   # adaptive tier: exact vs linearized DP on
+//	                           # large join graphs (time, plans, cost
+//	                           # ratio where both run)
+//	experiments -table all     # everything except enum, throughput,
+//	                           # serve and large (opt-in: clique points
+//	                           # run for seconds)
 //
 // The sweep is configurable: -sizes 5,6,7,8,9,10 -extras 0,1,2 -seeds 5,
 // -enumerator dpccp|naive; the enum table via -enum-shapes and
@@ -39,7 +42,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "prep, q8, fig13, fig14, enum, throughput, serve or all")
+	table := flag.String("table", "all", "prep, q8, fig13, fig14, enum, throughput, serve, large or all")
 	sizes := flag.String("sizes", "5,6,7,8,9,10", "relation counts for the sweep")
 	extras := flag.String("extras", "0,1,2", "extra edges beyond the chain (0→n-1 edges, 1→n, 2→n+1)")
 	seeds := flag.Int("seeds", 5, "queries averaged per configuration")
@@ -57,6 +60,10 @@ func main() {
 	serveQPS := flag.Float64("serve-qps", 0, "aggregate QPS target for the serve table (0: unthrottled)")
 	serveQueries := flag.Int("serve-queries", 4, "generated queries in the serve table's mixed workload")
 	serveRelations := flag.Int("serve-relations", 6, "relations per generated serve query")
+	largeShapes := flag.String("large-shapes", "chain,star,cycle,clique,grid", "join-graph shapes for the large table")
+	largeSizes := flag.String("large-sizes", "10,16,20,24,30", "relation counts for the large table")
+	largeSeeds := flag.Int("large-seeds", 3, "queries averaged per large configuration")
+	largeCompareMax := flag.Int("large-compare-max", 10, "largest n on which the exact tier also runs for the cost-ratio column")
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(),
 			"experiments regenerates the paper's evaluation tables — see README.md and docs/benchmarks.md.")
@@ -80,6 +87,7 @@ func main() {
 	runEnum := *table == "enum"
 	runThroughput := *table == "throughput"
 	runServe := *table == "serve"
+	runLarge := *table == "large"
 
 	if runPrep {
 		rows, err := experiments.PrepQ8(*tested)
@@ -145,6 +153,24 @@ func main() {
 			all = append(all, rows...)
 		}
 		fmt.Print(experiments.FormatThroughput(all))
+	}
+	if runLarge {
+		var shapes []querygen.Shape
+		for _, name := range strings.Split(*largeShapes, ",") {
+			shape, err := querygen.ParseShape(strings.TrimSpace(name))
+			die(err)
+			shapes = append(shapes, shape)
+		}
+		rows, err := experiments.Large(experiments.LargeSpec{
+			Shapes:     shapes,
+			Sizes:      parseInts(*largeSizes),
+			Seeds:      *largeSeeds,
+			CompareMax: *largeCompareMax,
+			Mode:       optimizer.ModeDFSM,
+		})
+		die(err)
+		fmt.Println("=== Adaptive large-query planning: exact vs linearized DP ===")
+		fmt.Print(experiments.FormatLarge(rows))
 	}
 	if runServe {
 		fmt.Println("=== Served throughput: HTTP planning service under closed-loop load ===")

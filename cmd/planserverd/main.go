@@ -42,6 +42,7 @@ func main() {
 		"max concurrent planning requests before 429 shedding (negative disables)")
 	mode := flag.String("mode", "dfsm", "order framework: dfsm or simmen")
 	enumerator := flag.String("enumerator", "dpccp", "join enumeration: dpccp or naive")
+	strategy := flag.String("strategy", "auto", "planning tier: exact, linearized or auto (exact within the exact-DP horizon, linearized beyond)")
 	planCache := flag.Int("plan-cache", planner.DefaultPlanCacheSize,
 		"plan cache entries (negative disables)")
 	preparedCache := flag.Int("prepared-cache", planner.DefaultPreparedCacheSize,
@@ -74,9 +75,15 @@ func main() {
 		log.Fatalf("planserverd: unknown enumerator %q (want dpccp or naive)", *enumerator)
 	}
 
+	strat, err := optimizer.ParseStrategy(*strategy)
+	if err != nil {
+		log.Fatalf("planserverd: %v", err)
+	}
+
 	cfg := planner.DefaultConfig(tpcr.Schema())
 	cfg.Optimizer = optimizer.DefaultConfig(m)
 	cfg.Optimizer.Enumerator = enum
+	cfg.Optimizer.Strategy = strat
 	cfg.PlanCacheSize = *planCache
 	cfg.PreparedCacheSize = *preparedCache
 
@@ -105,8 +112,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("planserverd: serving TPC-R planning on %s (mode=%s enumerator=%s max-inflight=%d)",
-		*addr, m, enum, *maxInFlight)
+	log.Printf("planserverd: serving TPC-R planning on %s (mode=%s enumerator=%s strategy=%s max-inflight=%d)",
+		*addr, m, enum, strat, *maxInFlight)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("planserverd: %v", err)
 	}

@@ -7,6 +7,7 @@
 //	sqlplan -q8                         # the paper's TPC-R Query 8
 //	sqlplan -mode dfsm -q8              # one order framework only
 //	sqlplan -enumerator naive -q8       # reference DPsub enumeration
+//	sqlplan -strategy linearized -q8    # force the large-query tier
 //	sqlplan -no-simmen-cache -q8        # untuned baseline
 //	sqlplan -q8 -repeat 1000 -parallel 8  # planner throughput mode
 //
@@ -33,6 +34,7 @@ func main() {
 	q8 := flag.Bool("q8", false, "use the paper's TPC-R Query 8")
 	mode := flag.String("mode", "both", "order framework: dfsm, simmen or both (both plans the query once per framework)")
 	enumerator := flag.String("enumerator", "dpccp", "join enumeration for every mode: dpccp or naive")
+	strategy := flag.String("strategy", "auto", "planning tier: exact, linearized or auto (exact within the exact-DP horizon, linearized beyond)")
 	noSimmenCache := flag.Bool("no-simmen-cache", false, "disable the Simmen baseline's reduce cache (simmen/both modes only)")
 	noPlanCache := flag.Bool("no-plan-cache", false, "disable the fingerprinted plan cache (with -repeat, replans run the DP instead of hitting the cache)")
 	repeat := flag.Int("repeat", 1, "with N > 1, replan the query N times through the shared planner and report plans/sec")
@@ -68,6 +70,8 @@ func main() {
 	default:
 		die(fmt.Errorf("unknown enumerator %q (want dpccp or naive)", *enumerator))
 	}
+	strat, err := optimizer.ParseStrategy(*strategy)
+	die(err)
 
 	var modes []optimizer.Mode
 	switch *mode {
@@ -85,6 +89,7 @@ func main() {
 		cfg := planner.DefaultConfig(tpcr.Schema())
 		cfg.Optimizer = optimizer.DefaultConfig(m)
 		cfg.Optimizer.Enumerator = enum
+		cfg.Optimizer.Strategy = strat
 		cfg.Optimizer.SimmenCache = !*noSimmenCache
 		if *noPlanCache {
 			cfg.PlanCacheSize = -1
@@ -102,7 +107,7 @@ func main() {
 		res, err := q.Plan()
 		die(err)
 
-		fmt.Printf("\n=== %s (%s enumeration) ===\n", m, enum)
+		fmt.Printf("\n=== %s (%s enumeration, %s strategy) ===\n", m, enum, q.Prepared().Strategy())
 		r := res.Result
 		fmt.Printf("prep %v, plan %v, %d plans generated, %d retained, %.1f KB order memory\n",
 			r.PrepTime, r.PlanTime, r.PlansGenerated, r.PlansRetained,

@@ -38,9 +38,11 @@
 //	                     cache, pooled optimizer scratch
 //	internal/optimizer   bottom-up DP plan generator, split into an
 //	                     immutable Prepared and pooled per-run scratch;
-//	                     pluggable order component and join enumeration
+//	                     pluggable order component, join enumeration
 //	                     (DPccp csg-cmp pairs or the naive DPsub
-//	                     reference)
+//	                     reference) and planning strategy (exact DP,
+//	                     GOO-linearized polynomial DP for large join
+//	                     graphs, or auto)
 //	internal/plan        physical operators, cost model, resettable
 //	                     node arena, plan cloning
 //	internal/query       join graph, §5.2 analysis, canonical

@@ -282,6 +282,9 @@ func Sweep(spec SweepSpec) ([]GraphRow, error) {
 					}
 					cfg := optimizer.DefaultConfig(mode)
 					cfg.Enumerator = spec.Enumerator
+					// The sweep measures the exact tier; auto must not
+					// silently switch large points to the linearized DP.
+					cfg.Strategy = optimizer.StrategyExact
 					res, err := optimizer.Optimize(a, cfg)
 					if err != nil {
 						return nil, err
@@ -387,6 +390,9 @@ func EnumSweep(spec EnumSweepSpec) ([]EnumRow, error) {
 					}
 					cfg := optimizer.DefaultConfig(optimizer.ModeDFSM)
 					cfg.Enumerator = enum
+					// The comparison is between the exact enumerators;
+					// the linearized tier enumerates intervals instead.
+					cfg.Strategy = optimizer.StrategyExact
 					res, err := optimizer.Optimize(a, cfg)
 					if err != nil {
 						return nil, err

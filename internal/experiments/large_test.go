@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"orderopt/internal/querygen"
+)
+
+// TestLarge runs a miniature large-query comparison: exact columns on
+// the small size only, linearized everywhere, ratios ≥ 1.
+func TestLarge(t *testing.T) {
+	rows, err := Large(LargeSpec{
+		Shapes:     []querygen.Shape{querygen.Chain, querygen.Clique},
+		Sizes:      []int{6, 16},
+		Seeds:      1,
+		CompareMax: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.LinTime <= 0 || r.LinPlans <= 0 {
+			t.Errorf("%s-%d: linearized tier did not run: %+v", r.Shape, r.N, r)
+		}
+		switch {
+		case r.N <= 6:
+			if r.ExactTime <= 0 {
+				t.Errorf("%s-%d: exact tier missing", r.Shape, r.N)
+			}
+			if r.CostRatio < 1-1e-9 {
+				t.Errorf("%s-%d: cost ratio %f below 1 — exact DP is not optimal?", r.Shape, r.N, r.CostRatio)
+			}
+		default:
+			if r.ExactTime != 0 || r.CostRatio != 0 {
+				t.Errorf("%s-%d: exact columns populated beyond CompareMax: %+v", r.Shape, r.N, r)
+			}
+		}
+	}
+	out := FormatLarge(rows)
+	if !strings.Contains(out, "clique") || !strings.Contains(out, "ratio") {
+		t.Errorf("FormatLarge output incomplete:\n%s", out)
+	}
+}

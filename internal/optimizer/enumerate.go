@@ -161,3 +161,99 @@ func enumerateCmpRec(adj []uint64, s1, s2, x uint64, emit func(s1, s2 uint64)) {
 		}
 	}
 }
+
+// countPairsUpTo counts the csg-cmp pairs of the join graph by DPccp
+// enumeration, aborting as soon as the count exceeds limit. It is the
+// auto-strategy probe: the cost is O(min(pairs, limit)) enumeration
+// steps — independent of plan generation — so asking "is this query
+// within the exact-DP horizon?" stays cheap even when the answer is a
+// resounding no (a clique's pair count is exponential, but the probe
+// walks only the first limit+1 pairs of it).
+func countPairsUpTo(n int, adj []uint64, limit int64) (count int64, exceeded bool) {
+	c := &pairCounter{adj: adj, limit: limit}
+	for i := n - 1; i >= 0; i-- {
+		v := uint64(1) << uint(i)
+		if !c.emitCsg(v) || !c.csgRec(v, v|(v-1)) {
+			return c.count, true
+		}
+	}
+	return c.count, false
+}
+
+// pairCounter mirrors the DPccp recursion with every step reporting
+// whether the budget still holds; a false return unwinds immediately.
+type pairCounter struct {
+	adj          []uint64
+	limit, count int64
+}
+
+func (c *pairCounter) emit() bool {
+	c.count++
+	return c.count <= c.limit
+}
+
+func (c *pairCounter) csgRec(s, x uint64) bool {
+	nb := neighborhood(c.adj, s) &^ x
+	if nb == 0 {
+		return true
+	}
+	for sub := nb & -nb; ; sub = (sub - nb) & nb {
+		if !c.emitCsg(s | sub) {
+			return false
+		}
+		if sub == nb {
+			break
+		}
+	}
+	for sub := nb & -nb; ; sub = (sub - nb) & nb {
+		if !c.csgRec(s|sub, x|nb) {
+			return false
+		}
+		if sub == nb {
+			break
+		}
+	}
+	return true
+}
+
+func (c *pairCounter) emitCsg(s1 uint64) bool {
+	min := s1 & -s1
+	x := s1 | (min - 1)
+	nb := neighborhood(c.adj, s1) &^ x
+	for m := nb; m != 0; {
+		i := bits.Len64(m) - 1
+		v := uint64(1) << uint(i)
+		m &^= v
+		if !c.emit() {
+			return false
+		}
+		if !c.cmpRec(s1, v, x|(nb&(v|(v-1)))) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *pairCounter) cmpRec(s1, s2, x uint64) bool {
+	nb := neighborhood(c.adj, s2) &^ x
+	if nb == 0 {
+		return true
+	}
+	for sub := nb & -nb; ; sub = (sub - nb) & nb {
+		if !c.emit() {
+			return false
+		}
+		if sub == nb {
+			break
+		}
+	}
+	for sub := nb & -nb; ; sub = (sub - nb) & nb {
+		if !c.cmpRec(s1, s2|sub, x|nb) {
+			return false
+		}
+		if sub == nb {
+			break
+		}
+	}
+	return true
+}

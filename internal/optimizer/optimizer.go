@@ -51,8 +51,27 @@ type Config struct {
 	Mode Mode
 	// Enumerator selects the join-pair enumeration algorithm (the zero
 	// value is EnumDPccp paired with the dense DP table; EnumNaive keeps
-	// the reference DPsub path over the seed's map-backed table).
+	// the reference DPsub path over the seed's map-backed table). The
+	// linearized tier enumerates intervals instead and ignores it.
 	Enumerator Enumerator
+	// Strategy selects the planning tier: the exhaustive DP (the zero
+	// value), the linearized heuristic DP, or auto, which resolves per
+	// query at Prepare time (see linearize.go).
+	Strategy Strategy
+	// AutoMaxExactRelations caps the relation count StrategyAuto will
+	// consider for the exact tier (0 means
+	// DefaultAutoMaxExactRelations); beyond it the pair probe is skipped
+	// and the query plans linearized.
+	AutoMaxExactRelations int
+	// AutoPairBudget bounds the csg-cmp-pair probe StrategyAuto runs at
+	// Prepare time (0 means DefaultAutoPairBudget): queries whose pair
+	// count exceeds it plan linearized.
+	AutoPairBudget int64
+	// LinearizedBeam bounds the undominated plans kept per relation
+	// subset in the linearized tier (0 means DefaultLinearizedBeam,
+	// negative unbounded). The exact tier never truncates — dominance
+	// pruning alone keeps its lists exact.
+	LinearizedBeam int
 	// CoreOptions configures preparation in ModeDFSM.
 	CoreOptions core.Options
 	// SimmenCache enables the baseline's reduce cache (the paper's
@@ -67,12 +86,13 @@ type Config struct {
 
 // DefaultConfig returns the configuration used by the experiments: all
 // join operators enabled, full pruning, empty-ordering tracking on,
-// Simmen cache on.
+// Simmen cache on, adaptive strategy selection (exact within the
+// exact-DP horizon, linearized beyond it).
 func DefaultConfig(m Mode) Config {
 	co := core.DefaultOptions()
 	co.TrackEmptyOrdering = true
 	co.MaxSimulationStates = 512
-	return Config{Mode: m, CoreOptions: co, SimmenCache: true}
+	return Config{Mode: m, CoreOptions: co, SimmenCache: true, Strategy: StrategyAuto}
 }
 
 // Result is the outcome of one optimization run, carrying the counters
@@ -103,6 +123,9 @@ type Result struct {
 	// run executed on (identical across runs of one Prepared).
 	PrepTime time.Duration
 	PlanTime time.Duration
+	// Strategy is the planning tier that ran — the resolved strategy
+	// (never StrategyAuto).
+	Strategy Strategy
 	// Stats holds the framework preparation statistics (ModeDFSM only).
 	Stats *core.Stats
 }
@@ -126,6 +149,22 @@ type Prepared struct {
 	adj      []uint64 // per relation: mask of joined relations
 	edgeMask []uint64 // per edge: mask of its two endpoint relations
 
+	// strategy is the resolved planning tier (StrategyAuto is decided
+	// here, once, so every Run of one Prepared uses the same tier).
+	strategy Strategy
+	linSeq   []int    // linearized relation sequence (linearized tier)
+	linPre   []uint64 // linPre[i]: mask of the first i sequence relations
+
+	// edgeOrderCols caches, per edge / side / predicate, the DFSM
+	// contains-matrix column of the predicate's ordering (-1 when the
+	// analysis did not register it), and edgeMergeable whether any
+	// predicate of the edge has a registered side. The merge-join gate
+	// runs once per crossing predicate per plan pair — on dense graphs
+	// millions of times per run — so it must not re-resolve orderings.
+	// Both are nil in ModeSimmen.
+	edgeOrderCols [][2][]int
+	edgeMergeable []bool
+
 	prepTime time.Duration
 	pool     sync.Pool // of *optimizer
 }
@@ -146,6 +185,15 @@ func (p *Prepared) Stats() *core.Stats { return p.stats }
 // Framework returns the prepared DFSM framework (nil in ModeSimmen).
 func (p *Prepared) Framework() *core.Framework { return p.fw }
 
+// Strategy returns the resolved planning tier (never StrategyAuto):
+// what Config.Strategy fixed, or what the auto probe chose for this
+// query at Prepare time.
+func (p *Prepared) Strategy() Strategy { return p.strategy }
+
+// Linearization returns the linearized relation sequence (nil when the
+// exact tier runs). It must not be mutated.
+func (p *Prepared) Linearization() []int { return p.linSeq }
+
 // PrepTime returns the one-time preparation cost.
 func (p *Prepared) PrepTime() time.Duration { return p.prepTime }
 
@@ -165,6 +213,11 @@ type optimizer struct {
 	dp        *dpTable
 	generated int64
 	ccPairs   int64
+
+	// lin and beam configure the run for the linearized tier: gated
+	// merge-join generation and beam-bounded plan lists (0: unbounded).
+	lin  bool
+	beam int
 }
 
 // dpTable maps a relation-subset mask to its cost-sorted, undominated
@@ -242,12 +295,19 @@ func (t *dpTable) retained() int {
 // concurrency-safe Prepared: the order framework (ModeDFSM), the
 // cardinality and selectivity estimates, and the join-graph bitsets.
 func Prepare(a *query.Analysis, cfg Config) (*Prepared, error) {
-	if len(a.Sets) > 64 {
-		// Plan nodes track applied operators in a 64-bit mask (for the
-		// §5.6 sort-state replay); queries beyond that are outside this
-		// planner's scope.
-		return nil, fmt.Errorf("optimizer: more than 64 FD sets (%d)", len(a.Sets))
+	if len(a.Graph.Relations) > 64 {
+		// Relation subsets are uint64 masks throughout the DP; anything
+		// bigger would truncate silently.
+		return nil, fmt.Errorf("optimizer: %w", query.ErrTooManyRelations)
 	}
+	// Plan nodes track applied operators in a 64-bit mask (for the §5.6
+	// sort-state replay). Queries with more FD sets than that — dense
+	// join graphs far beyond the paper's sizes, a clique-20 carries 190
+	// edge FD sets — degrade gracefully instead of failing: handles ≥ 64
+	// are still inferred when their operator is applied, they just are
+	// not replayed after a sort (the sorted stream then under-reports
+	// derivable orderings, which costs sort opportunities, never
+	// correctness).
 	p := &Prepared{a: a, g: a.Graph, cfg: cfg}
 
 	start := time.Now()
@@ -270,6 +330,37 @@ func Prepare(a *query.Analysis, cfg Config) (*Prepared, error) {
 	masks := p.g.EdgeMasks() // force the lazy build while still single-threaded
 	p.adj = masks.Adj
 	p.edgeMask = masks.Edge
+	if p.fw != nil {
+		p.edgeOrderCols = make([][2][]int, len(p.g.Edges))
+		p.edgeMergeable = make([]bool, len(p.g.Edges))
+		for e := range p.g.Edges {
+			for side := 0; side < 2; side++ {
+				cols := make([]int, len(a.EdgeOrders[e][side]))
+				for pi, ord := range a.EdgeOrders[e][side] {
+					cols[pi] = p.fw.Column(ord)
+					if cols[pi] >= 0 {
+						p.edgeMergeable[e] = true
+					}
+				}
+				p.edgeOrderCols[e][side] = cols
+			}
+		}
+	}
+	switch cfg.Strategy {
+	case StrategyExact, StrategyLinearized:
+		p.strategy = cfg.Strategy
+	case StrategyAuto:
+		p.strategy = p.chooseStrategy()
+	default:
+		return nil, fmt.Errorf("optimizer: unknown strategy %d", cfg.Strategy)
+	}
+	if p.strategy == StrategyLinearized {
+		p.linSeq = p.linearize()
+		p.linPre = make([]uint64, len(p.linSeq)+1)
+		for i, r := range p.linSeq {
+			p.linPre[i+1] = p.linPre[i] | 1<<uint(r)
+		}
+	}
 	p.prepTime = time.Since(start)
 	p.pool.New = func() any { return p.newScratch() }
 	return p, nil
@@ -294,13 +385,28 @@ func (o *optimizer) reset() {
 		o.sim.CacheHits = 0
 	}
 	n := len(o.p.g.Relations)
-	if o.p.cfg.Enumerator == EnumNaive {
+	o.lin = o.p.strategy == StrategyLinearized
+	o.beam = 0
+	switch {
+	case o.lin:
+		o.beam = o.p.cfg.LinearizedBeam
+		if o.beam == 0 {
+			o.beam = DefaultLinearizedBeam
+		} else if o.beam < 0 {
+			o.beam = 0
+		}
+		if o.dp == nil {
+			o.dp = newLinearizedDPTable(n)
+		} else {
+			o.dp.reset()
+		}
+	case o.p.cfg.Enumerator == EnumNaive:
 		// The reference configuration measures the seed's unhinted map:
 		// always start from a fresh one.
 		o.dp = newDPTable(n, false)
-	} else if o.dp == nil {
+	case o.dp == nil:
 		o.dp = newDPTable(n, true)
-	} else {
+	default:
 		o.dp.reset()
 	}
 }
@@ -323,6 +429,7 @@ func (p *Prepared) Run() (*Result, error) {
 		return nil, err
 	}
 	res.PlanTime = time.Since(planStart)
+	res.Strategy = p.strategy
 	res.Best = best.Clone() // detach from the pooled arena
 	res.PlansGenerated = o.generated
 	res.CsgCmpPairs = o.ccPairs
@@ -387,15 +494,16 @@ func (p *Prepared) estimate() {
 	}
 }
 
-// maskCard estimates the cardinality of joining all relations in mask.
-func (o *optimizer) maskCard(mask uint64) float64 {
+// maskCard estimates the cardinality of joining all relations in mask
+// (used by the per-run join costing and the Prepare-time linearization).
+func (p *Prepared) maskCard(mask uint64) float64 {
 	card := 1.0
 	for m := mask; m != 0; m &= m - 1 {
-		card *= o.p.relCard[bits.TrailingZeros64(m)]
+		card *= p.relCard[bits.TrailingZeros64(m)]
 	}
-	for e, em := range o.p.edgeMask {
+	for e, em := range p.edgeMask {
 		if em&^mask == 0 { // both endpoints inside mask
-			card *= o.p.edgeSel[e]
+			card *= p.edgeSel[e]
 		}
 	}
 	if card < 1 {
@@ -405,17 +513,13 @@ func (o *optimizer) maskCard(mask uint64) float64 {
 }
 
 func (o *optimizer) run() (*plan.Node, error) {
+	if o.p.strategy == StrategyLinearized {
+		return o.runLinearized()
+	}
 	n := len(o.p.g.Relations)
 	full := uint64(1)<<uint(n) - 1
 
-	// Base plans.
-	for r := 0; r < n; r++ {
-		mask := uint64(1) << uint(r)
-		o.addPlan(mask, o.scanPlan(r, -1))
-		for ix := range o.p.a.IndexOrders[r] {
-			o.addPlan(mask, o.scanPlan(r, ix))
-		}
-	}
+	o.basePlans(n)
 
 	// Joins over connected subgraph / complement pairs, emitted by the
 	// configured enumerator in an order valid for dynamic programming.
@@ -427,17 +531,35 @@ func (o *optimizer) run() (*plan.Node, error) {
 	return o.finish(full)
 }
 
-// joinPair consumes one csg-cmp pair: both inputs already have their
-// final plan lists, so every plan combination is joined in both
-// directions (each join operator here preserves its outer ordering).
+// basePlans seeds the DP table with the single-relation scan plans.
+func (o *optimizer) basePlans(n int) {
+	for r := 0; r < n; r++ {
+		mask := uint64(1) << uint(r)
+		o.addPlan(mask, o.scanPlan(r, -1))
+		for ix := range o.p.a.IndexOrders[r] {
+			o.addPlan(mask, o.scanPlan(r, ix))
+		}
+	}
+}
+
+// joinPair consumes one csg-cmp pair emitted by the exact enumerators.
 func (o *optimizer) joinPair(s1, s2 uint64) {
 	o.ccPairs++
-	edges := o.edgesBetween(s1, s2)
+	o.joinLists(s1, s2, o.edgesBetween(s1, s2))
+}
+
+// joinLists joins every plan combination of the disjoint subsets s1 and
+// s2 in both directions (each join operator here preserves its outer
+// ordering); both inputs already have their final plan lists. The
+// output cardinality depends only on the union mask, so it is estimated
+// once per pair, not once per plan combination.
+func (o *optimizer) joinLists(s1, s2 uint64, edges []int) {
 	mask := s1 | s2
+	out := o.p.maskCard(mask)
 	for _, p1 := range o.dp.get(s1) {
 		for _, p2 := range o.dp.get(s2) {
-			o.emitJoins(mask, s1, p1, p2, edges)
-			o.emitJoins(mask, s2, p2, p1, edges)
+			o.emitJoins(mask, s1, p1, p2, edges, out)
+			o.emitJoins(mask, s2, p2, p1, edges, out)
 		}
 	}
 }
@@ -482,7 +604,9 @@ func (o *optimizer) scanPlan(r, ix int) *plan.Node {
 		}
 	}
 	if h := o.p.a.RelFD[r]; h >= 0 {
-		node.FDMask |= 1 << uint(h)
+		if h < 64 {
+			node.FDMask |= 1 << uint(h)
+		}
 		if o.p.fw != nil {
 			node.State = o.p.fw.Infer(node.State, h)
 		} else {
@@ -494,10 +618,17 @@ func (o *optimizer) scanPlan(r, ix int) *plan.Node {
 }
 
 // applyEdges applies the FD sets of the given join edges to a state.
+// Handles ≥ 64 do not fit the sort-replay mask and are only inferred
+// here (see Prepare).
 func (o *optimizer) applyEdges(n *plan.Node, edges []int) {
 	for _, e := range edges {
 		h := o.p.a.EdgeFD[e]
-		n.FDMask |= 1 << uint(h)
+		if h < 0 {
+			continue // edge beyond the analysis FD caps: no inference
+		}
+		if h < 64 {
+			n.FDMask |= 1 << uint(h)
+		}
 		if o.p.fw != nil {
 			n.State = o.p.fw.Infer(n.State, h)
 		} else {
@@ -533,11 +664,18 @@ func (o *optimizer) sortPlan(p *plan.Node, ord order.ID) *plan.Node {
 
 // emitJoins generates the join candidates for (p1 ⋈ p2) over edges and
 // offers them to dp[mask]. p1 is the outer/left input covering the
-// relations in s1.
-func (o *optimizer) emitJoins(mask, s1 uint64, p1, p2 *plan.Node, edges []int) {
-	out := o.maskCard(mask)
-
+// relations in s1; out is the pair's output cardinality estimate.
+func (o *optimizer) emitJoins(mask, s1 uint64, p1, p2 *plan.Node, edges []int, out float64) {
 	join := func(op plan.Op, left, right *plan.Node, opCost float64, edge, pred int) {
+		if o.beam > 0 {
+			// Cost-based fast rejection before any node is built: with a
+			// saturated beam, a candidate no cheaper than the list's last
+			// entry can neither enter nor dominate anything.
+			if list := o.dp.get(mask); len(list) >= o.beam &&
+				left.Cost+right.Cost+opCost >= list[o.beam-1].Cost {
+				return
+			}
+		}
 		n := o.arena.New()
 		*n = plan.Node{
 			Op: op, Left: left, Right: right, Edge: edge, Pred: pred,
@@ -565,20 +703,44 @@ func (o *optimizer) emitJoins(mask, s1 uint64, p1, p2 *plan.Node, edges []int) {
 	}
 
 	// Merge joins: one candidate per equality predicate, sorting inputs
-	// that are not already suitably ordered.
+	// that are not already suitably ordered. The linearized tier only
+	// considers predicates whose outer input already delivers its side's
+	// order — on the dense graphs that tier serves, generating sorting
+	// merges per crossing predicate (a clique split crosses dozens)
+	// would dominate the runtime while hash and nested-loop joins cover
+	// the no-order-to-exploit case, and an inner-only ordering is picked
+	// up by the mirrored emitJoins call with the inputs swapped.
 	for _, e := range edges {
+		if o.lin && o.p.edgeMergeable != nil && !o.p.edgeMergeable[e] {
+			continue // no side of any predicate is a registered order
+		}
 		for pi, pred := range o.p.g.Edges[e].Preds {
 			lOrd := o.p.a.EdgeOrders[e][0][pi]
 			rOrd := o.p.a.EdgeOrders[e][1][pi]
+			swapped := s1&(1<<uint(pred.Left.Rel)) == 0
 			// Align predicate sides with (p1, p2).
-			if s1&(1<<uint(pred.Left.Rel)) == 0 {
+			if swapped {
 				lOrd, rOrd = rOrd, lOrd
 			}
+			var lHas, rHas bool
+			if cols := o.p.edgeOrderCols; cols != nil {
+				lc, rc := cols[e][0][pi], cols[e][1][pi]
+				if swapped {
+					lc, rc = rc, lc
+				}
+				lHas = lc >= 0 && o.p.fw.ContainsColumn(p1.State, lc)
+				rHas = rc >= 0 && o.p.fw.ContainsColumn(p2.State, rc)
+			} else {
+				lHas, rHas = o.contains(p1, lOrd), o.contains(p2, rOrd)
+			}
+			if o.lin && !lHas {
+				continue
+			}
 			left, right := p1, p2
-			if !o.contains(left, lOrd) {
+			if !lHas {
 				left = o.sortPlan(left, lOrd)
 			}
-			if !o.contains(right, rOrd) {
+			if !rHas {
 				right = o.sortPlan(right, rOrd)
 			}
 			join(plan.MergeJoin, left, right, plan.MergeJoinCost(left.Card, right.Card, out), e, pi)
@@ -602,9 +764,13 @@ func (o *optimizer) dominates(a, b *plan.Node) bool {
 // pruning. Lists are kept sorted by cost: only the prefix of entries no
 // more expensive than the candidate can dominate it (scanning stops at
 // the first costlier entry), and only the tail from the first equal-cost
-// entry can be dominated by it.
+// entry can be dominated by it. The linearized tier additionally bounds
+// each list to the beam width, keeping the cheapest plans.
 func (o *optimizer) addPlan(mask uint64, cand *plan.Node) {
 	list := o.dp.get(mask)
+	if o.beam > 0 && len(list) >= o.beam && cand.Cost >= list[o.beam-1].Cost {
+		return // saturated beam: no cheaper than the last kept plan
+	}
 	t := len(list) // insertion point: first entry with cost ≥ cand's
 	for i, q := range list {
 		if q.Cost >= cand.Cost {
@@ -630,6 +796,9 @@ func (o *optimizer) addPlan(mask uint64, cand *plan.Node) {
 	list = append(list[:w], nil)
 	copy(list[t+1:], list[t:])
 	list[t] = cand
+	if o.beam > 0 && len(list) > o.beam {
+		list = list[:o.beam]
+	}
 	o.dp.set(mask, list)
 }
 

@@ -92,6 +92,11 @@ type Stats struct {
 	PlanCalls     int64
 	PlanCacheHits int64
 	PlanRuns      int64
+	// PlanRunsExact and PlanRunsLinearized split PlanRuns by the
+	// planning tier the prepared query resolved to (the optimizer's
+	// auto strategy decides once, at Prepare time).
+	PlanRunsExact      int64
+	PlanRunsLinearized int64
 	// PlanCacheEntries and PreparedEntries are the caches' current
 	// occupancy (not monotone counters) — the serving layer's /stats
 	// endpoint reports them next to the hit counters.
@@ -110,11 +115,13 @@ type Planner struct {
 
 	plans *planCache // nil when disabled
 
-	prepares      atomic.Int64
-	preparedHits  atomic.Int64
-	planCalls     atomic.Int64
-	planCacheHits atomic.Int64
-	planRuns      atomic.Int64
+	prepares           atomic.Int64
+	preparedHits       atomic.Int64
+	planCalls          atomic.Int64
+	planCacheHits      atomic.Int64
+	planRuns           atomic.Int64
+	planRunsExact      atomic.Int64
+	planRunsLinearized atomic.Int64
 }
 
 // New returns a Planner for cfg.
@@ -139,11 +146,13 @@ func (p *Planner) Config() Config { return p.cfg }
 // Stats returns a snapshot of the planner's counters.
 func (p *Planner) Stats() Stats {
 	s := Stats{
-		Prepares:      p.prepares.Load(),
-		PreparedHits:  p.preparedHits.Load(),
-		PlanCalls:     p.planCalls.Load(),
-		PlanCacheHits: p.planCacheHits.Load(),
-		PlanRuns:      p.planRuns.Load(),
+		Prepares:           p.prepares.Load(),
+		PreparedHits:       p.preparedHits.Load(),
+		PlanCalls:          p.planCalls.Load(),
+		PlanCacheHits:      p.planCacheHits.Load(),
+		PlanRuns:           p.planRuns.Load(),
+		PlanRunsExact:      p.planRunsExact.Load(),
+		PlanRunsLinearized: p.planRunsLinearized.Load(),
 	}
 	if p.plans != nil {
 		s.PlanCacheEntries = p.plans.Len()
@@ -374,6 +383,11 @@ func (q *PreparedQuery) plan(src Source) (Planned, error) {
 		return Planned{}, err
 	}
 	p.planRuns.Add(1)
+	if q.prep.Strategy() == optimizer.StrategyLinearized {
+		p.planRunsLinearized.Add(1)
+	} else {
+		p.planRunsExact.Add(1)
+	}
 	if p.plans != nil {
 		p.plans.store(q.fp, q.canon, res.Best, res.Best.Cost, q)
 	}

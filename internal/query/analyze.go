@@ -34,7 +34,46 @@ type AnalyzeOptions struct {
 	// any ordering over the grouping columns implies the grouping via
 	// an ε edge. This is the follow-up work's extension.
 	TrackGroupings bool
+	// MaxEdgeOrders caps how many join-equality predicates register
+	// their column orderings as produced interesting orders: 0 means
+	// DefaultMaxEdgeOrders, negative means unlimited. NFSM/DFSM
+	// preparation is worst-case exponential in the interesting-order
+	// count, so the dense join graphs of the adaptive large-query tier
+	// (a clique-20 carries 190 predicates) would explode preparation
+	// without a cap. Capped predicates keep their FD sets — join-time
+	// order inference stays exact — but merge joins on them sort both
+	// inputs instead of exploiting pre-existing orderings. Two further
+	// structural rules apply unless unlimited: predicates touching a
+	// relation with more than maxEdgeOrderDegree incident predicates
+	// never register (hub and clique concentration is what degenerates
+	// the DFSM powerset — equations between the hub's orders reach
+	// everything), and index orders beyond the maxProducedOrders budget
+	// are skipped the same way. Queries within the paper's sizes (every
+	// shape the experiments sweep) stay under all caps and are analyzed
+	// exactly as before.
+	MaxEdgeOrders int
 }
+
+// DefaultMaxEdgeOrders is the default cap on join predicates registered
+// as produced interesting orders (see AnalyzeOptions.MaxEdgeOrders).
+const DefaultMaxEdgeOrders = 16
+
+// maxEdgeOrderDegree excludes relations with more incident join
+// predicates than this from edge-order and edge-FD registration: their
+// columns equate with too many others, and every registered order and
+// equation multiplies the DFSM powerset (the paper's shapes have degree
+// ≤ 6; a star hub or a clique member far exceeds it).
+const maxEdgeOrderDegree = 6
+
+// maxProducedOrders bounds the total produced interesting orders (edge
+// orders count two per predicate, then index orders consume what
+// remains; GROUP BY / ORDER BY always register).
+const maxProducedOrders = 48
+
+// maxEdgeFDSets bounds how many edges register their equation FD sets
+// with the framework builder (joins on edges beyond the cap skip order
+// inference — see Analysis.EdgeFD).
+const maxEdgeFDSets = 48
 
 // Analysis is the outcome of preparation step 1 for a query graph: the
 // shared attribute space, the interesting orders, and the FD set of each
@@ -48,7 +87,10 @@ type Analysis struct {
 	// both frameworks (core.FDHandle(i) for ours, Sets[i] for Simmen).
 	Sets []order.FDSet
 
-	// EdgeFD[e] is the FD handle of join edge e.
+	// EdgeFD[e] is the FD handle of join edge e, or -1 when the edge's
+	// equations were not registered (dense graphs beyond the analysis
+	// caps): joins on such edges apply no order inference, which loses
+	// derivable orderings but never claims wrong ones.
 	EdgeFD []core.FDHandle
 	// RelFD[r] is the FD handle of relation r's selection, or -1 when
 	// the relation has no constant predicates.
@@ -138,9 +180,36 @@ func Analyze(g *Graph, opt AnalyzeOptions) (*Analysis, error) {
 
 	// Join edges: interesting orders on both sides of every equality
 	// (produced: sort or index scan can emit them; merge join tests
-	// them), and one FD set per edge with the equations.
+	// them), and one FD set per edge with the equations. Registration
+	// respects the edge-order caps: beyond them the orderings are still
+	// interned (EdgeOrders stays complete, merge joins remain possible)
+	// but not registered as produced, so they never enter the NFSM.
+	capTotal := opt.MaxEdgeOrders
+	capDegree := maxEdgeOrderDegree
+	producedBudget := maxProducedOrders
+	fdBudget := maxEdgeFDSets
+	switch {
+	case capTotal < 0:
+		const unlimited = int(^uint(0) >> 2)
+		capTotal = unlimited
+		capDegree = unlimited
+		producedBudget = unlimited
+		fdBudget = unlimited
+	case capTotal == 0:
+		capTotal = DefaultMaxEdgeOrders
+	}
+	degree := make([]int, len(g.Relations))
+	for e := range g.Edges {
+		for _, p := range g.Edges[e].Preds {
+			degree[p.Left.Rel]++
+			degree[p.Right.Rel]++
+		}
+	}
+	registered := 0
 	a.EdgeOrders = make([][2][]order.ID, len(g.Edges))
 	for e := range g.Edges {
+		ea, eb := g.Edges[e].Rels()
+		lowDegree := degree[ea] <= capDegree && degree[eb] <= capDegree
 		var fds []order.FD
 		var lefts, rights []order.ID
 		for _, p := range g.Edges[e].Preds {
@@ -148,14 +217,23 @@ func Analyze(g *Graph, opt AnalyzeOptions) (*Analysis, error) {
 			fds = append(fds, order.NewEquation(l, r))
 			lo := a.Builder.Ordering(l)
 			ro := a.Builder.Ordering(r)
-			a.Builder.AddProduced(lo)
-			a.Builder.AddProduced(ro)
+			if lowDegree && registered < capTotal {
+				a.Builder.AddProduced(lo)
+				a.Builder.AddProduced(ro)
+				registered++
+			}
 			lefts = append(lefts, lo)
 			rights = append(rights, ro)
 		}
 		a.EdgeOrders[e] = [2][]order.ID{lefts, rights}
-		a.EdgeFD = append(a.EdgeFD, addSet(order.NewFDSet(fds...)))
+		if lowDegree && fdBudget > 0 {
+			fdBudget--
+			a.EdgeFD = append(a.EdgeFD, addSet(order.NewFDSet(fds...)))
+		} else {
+			a.EdgeFD = append(a.EdgeFD, -1)
+		}
 	}
+	producedBudget -= 2 * registered
 
 	// Selections: one FD set per relation with constant predicates.
 	for r := range g.Relations {
@@ -175,7 +253,9 @@ func Analyze(g *Graph, opt AnalyzeOptions) (*Analysis, error) {
 		}
 	}
 
-	// Indexes: their column sequences are produced orderings.
+	// Indexes: their column sequences are produced orderings (within the
+	// produced-order budget; unregistered index orders keep their scans
+	// usable, just order-blind).
 	a.IndexOrders = make([][]order.ID, len(g.Relations))
 	if opt.UseIndexes {
 		for r := range g.Relations {
@@ -186,7 +266,10 @@ func Analyze(g *Graph, opt AnalyzeOptions) (*Analysis, error) {
 					cols[i] = ColumnRef{Rel: r, Col: t.ColumnIndex(name)}
 				}
 				o := a.Ordering(cols...)
-				a.Builder.AddProduced(o)
+				if producedBudget > 0 {
+					a.Builder.AddProduced(o)
+					producedBudget--
+				}
 				a.IndexOrders[r] = append(a.IndexOrders[r], o)
 			}
 		}

@@ -8,12 +8,19 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
 
 	"orderopt/internal/catalog"
 )
+
+// ErrTooManyRelations is returned when a query exceeds the planner's
+// 64-relation limit: relation subsets are uint64 masks throughout the
+// plan generator, so larger queries cannot be represented without
+// silent truncation. Callers detect it with errors.Is.
+var ErrTooManyRelations = errors.New("query: more than 64 relations (relation-set masks are uint64)")
 
 // ColumnRef identifies a column of one relation occurrence in the query.
 type ColumnRef struct {
@@ -300,7 +307,7 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("query: no relations")
 	}
 	if len(g.Relations) > 64 {
-		return fmt.Errorf("query: more than 64 relations")
+		return ErrTooManyRelations
 	}
 	if len(g.Relations) > 1 {
 		full := uint64(1)<<uint(len(g.Relations)) - 1

@@ -140,8 +140,10 @@ func Generate(spec Spec) (*catalog.Catalog, *query.Graph, error) {
 	if spec.Relations < 1 {
 		return nil, nil, fmt.Errorf("querygen: need at least one relation")
 	}
-	if spec.Relations > 63 {
-		return nil, nil, fmt.Errorf("querygen: at most 63 relations")
+	if spec.Relations > 64 {
+		// The planner's relation-subset masks are uint64 — surface the
+		// typed limit instead of generating a graph nothing can plan.
+		return nil, nil, fmt.Errorf("querygen: %w", query.ErrTooManyRelations)
 	}
 	if spec.Shape == Cycle && spec.Relations < 3 {
 		return nil, nil, fmt.Errorf("querygen: cycle needs at least 3 relations")

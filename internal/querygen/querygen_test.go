@@ -1,6 +1,7 @@
 package querygen
 
 import (
+	"errors"
 	"testing"
 
 	"orderopt/internal/query"
@@ -187,12 +188,35 @@ func TestGridShape(t *testing.T) {
 	}
 }
 
+// TestGenerateLargeShapes covers the adaptive planning tier's workload:
+// every shape at large relation counts — up to the full 64-relation mask
+// width — must generate a valid, connected graph.
+func TestGenerateLargeShapes(t *testing.T) {
+	for _, shape := range Shapes() {
+		for _, n := range []int{16, 20, 24, 30, 64} {
+			_, g, err := Generate(Spec{Relations: n, Shape: shape, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", shape, n, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s n=%d: invalid graph: %v", shape, n, err)
+			}
+			if len(g.Relations) != n {
+				t.Fatalf("%s n=%d: got %d relations", shape, n, len(g.Relations))
+			}
+		}
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	if _, _, err := Generate(Spec{Relations: 0}); err == nil {
 		t.Error("0 relations must fail")
 	}
-	if _, _, err := Generate(Spec{Relations: 64}); err == nil {
-		t.Error("64 relations must fail")
+	if _, _, err := Generate(Spec{Relations: 64}); err != nil {
+		t.Errorf("64 relations must generate (uint64 masks hold them): %v", err)
+	}
+	if _, _, err := Generate(Spec{Relations: 65}); !errors.Is(err, query.ErrTooManyRelations) {
+		t.Errorf("65 relations: want ErrTooManyRelations, got %v", err)
 	}
 	if _, _, err := Generate(Spec{Relations: 3, ExtraEdges: 99}); err == nil {
 		t.Error("too many extra edges must fail")

@@ -34,9 +34,12 @@ type PlanNode struct {
 
 // PlanResponse is the result of /plan.
 type PlanResponse struct {
-	SQL    string  `json:"sql"`
-	Source string  `json:"source"` // cold, prepared or cachehit
-	Cost   float64 `json:"cost"`
+	SQL    string `json:"sql"`
+	Source string `json:"source"` // cold, prepared or cachehit
+	// Strategy is the planning tier that produced the plan: exact
+	// (exhaustive DP) or linearized (the adaptive large-query tier).
+	Strategy string  `json:"strategy"`
+	Cost     float64 `json:"cost"`
 	// PlanNs is the dynamic-programming time; 0 on plan-cache hits
 	// (no DP ran).
 	PlanNs   int64     `json:"planNs,omitempty"`
@@ -46,10 +49,11 @@ type PlanResponse struct {
 
 // ExplainResponse is the result of /explain.
 type ExplainResponse struct {
-	SQL    string  `json:"sql"`
-	Source string  `json:"source"`
-	Cost   float64 `json:"cost"`
-	Mode   string  `json:"mode"` // dfsm or simmen
+	SQL      string  `json:"sql"`
+	Source   string  `json:"source"`
+	Strategy string  `json:"strategy"` // exact or linearized
+	Cost     float64 `json:"cost"`
+	Mode     string  `json:"mode"` // dfsm or simmen
 	// Text is the rendered physical plan tree.
 	Text string `json:"text"`
 	// OrderBy is the required result ordering, e.g. "(o.o_orderkey)".

@@ -234,10 +234,11 @@ func (s *Server) planResponse(sql string) (any, int, error) {
 		return nil, http.StatusBadRequest, err
 	}
 	resp := &PlanResponse{
-		SQL:    sql,
-		Source: pd.Source.String(),
-		Cost:   pd.Cost,
-		Plan:   planJSON(pd.Best, origin(pd, q)),
+		SQL:      sql,
+		Source:   pd.Source.String(),
+		Strategy: origin(pd, q).Prepared().Strategy().String(),
+		Cost:     pd.Cost,
+		Plan:     planJSON(pd.Best, origin(pd, q)),
 	}
 	if pd.Result != nil {
 		resp.PlanNs = pd.Result.PlanTime.Nanoseconds()
@@ -262,11 +263,12 @@ func (s *Server) explainResponse(sql string) (any, int, error) {
 	g := org.Prepared().Graph()
 	reg, in := a.Builder.Registry(), a.Builder.Interner()
 	resp := &ExplainResponse{
-		SQL:    sql,
-		Source: pd.Source.String(),
-		Cost:   pd.Cost,
-		Mode:   s.pl.Config().Optimizer.Mode.String(),
-		Text:   pd.Best.String(),
+		SQL:      sql,
+		Source:   pd.Source.String(),
+		Strategy: org.Prepared().Strategy().String(),
+		Cost:     pd.Cost,
+		Mode:     s.pl.Config().Optimizer.Mode.String(),
+		Text:     pd.Best.String(),
 	}
 	if a.OrderByOrd != 0 {
 		resp.OrderBy = in.Format(reg, a.OrderByOrd)

@@ -345,3 +345,33 @@ func TestDrain(t *testing.T) {
 		t.Error("stats do not report draining")
 	}
 }
+
+// TestStrategyReporting: /plan and /explain report the resolved
+// planning tier, and /stats carries the per-strategy DP-run counters.
+func TestStrategyReporting(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+
+	pr, err := c.Plan(tpcr.Query8SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Strategy != "exact" {
+		t.Errorf("/plan strategy = %q, want exact (Q8 is within the exact horizon)", pr.Strategy)
+	}
+	ex, err := c.Explain(nationRegionSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Strategy != "exact" {
+		t.Errorf("/explain strategy = %q, want exact", ex.Strategy)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Planner.PlanRunsExact != 2 || st.Planner.PlanRunsLinearized != 0 {
+		t.Errorf("/stats per-strategy runs = %d/%d, want 2/0",
+			st.Planner.PlanRunsExact, st.Planner.PlanRunsLinearized)
+	}
+}
