@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: check build vet fmt test race bench bench-large bench-serve bench-smoke
+.PHONY: check build vet fmt test race bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke examples
 
 check: build vet fmt test
 
@@ -46,7 +46,30 @@ bench-large:
 bench-serve:
 	$(GO) run ./cmd/experiments -table serve | tee BENCH_serve.txt
 
+# bench-exec records the end-to-end execution comparison: the same
+# TPC-R queries planned with the DFSM framework, the Simmen baseline
+# and order-obliviously, each executed by the streaming executor
+# (ns/op = pipeline wall time; rows-sorted/op = sorting the plan did
+# not avoid). See docs/execution.md and docs/benchmarks.md.
+bench-exec:
+	$(GO) test -run '^$$' -bench '^BenchmarkExecRuntime$$' -benchmem -json . | $(GO) run ./cmd/benchfmt | tee BENCH_exec.json
+
+# bench-exec-smoke runs the execution benchmark once (no timing); CI
+# runs it so the executor benchmark path cannot rot.
+bench-exec-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkExecRuntime$$' -benchtime 1x .
+
 # bench-smoke compiles and runs every benchmark once (no timing) so
-# benchmark code cannot rot; CI runs it on every push.
+# benchmark code cannot rot; CI runs it on every push. The execution
+# benchmark is excluded (the character class skips names starting
+# "BenchmarkEx") — bench-exec-smoke covers it, so CI runs each exactly
+# once.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench '^Benchmark([^E]|E[^x])' -benchtime 1x ./...
+
+# examples builds and runs every example binary, so the runnable
+# documentation cannot rot; CI runs it on every push.
+examples:
+	$(GO) build ./examples/...
+	@set -e; for d in examples/*/; do \
+		echo "go run ./$$d"; $(GO) run "./$$d" >/dev/null; done

@@ -20,10 +20,16 @@
 //	    — the adaptive tier: exact vs linearized DP around the exact
 //	      horizon (with cost-ratio metrics), linearized-only beyond it
 //	      (make bench-large → BENCH_large.json).
+//	BenchmarkExecRuntime
+//	    — end-to-end execution: the same TPC-R query planned with the
+//	      DFSM framework, the Simmen baseline and order-obliviously,
+//	      each executed by the streaming executor (runtime + rows-sorted
+//	      metrics; make bench-exec → BENCH_exec.json).
 package orderopt_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"orderopt"
@@ -677,6 +683,58 @@ func BenchmarkLargeQuery(b *testing.B) {
 				b.ReportMetric(cost/exactCost, "cost-ratio")
 			}
 		})
+	}
+}
+
+// BenchmarkExecRuntime measures query execution — not planning — for
+// the three planning variants of the exec experiment over the TPC-R
+// workloads: the DFSM-planned and Simmen-planned pipelines (merge
+// joins over presorted indexes, ordered grouping, sorts only where the
+// order framework could not avoid them) against the order-oblivious
+// baseline (hash joins and hash grouping only, one sort at the top).
+// ns/op is pipeline wall time; rows-sorted/op how many rows the plan
+// actually sorted. The headline: on the order-flow workload the
+// DFSM-planned pipeline sorts nothing and beats the oblivious plan
+// several-fold at runtime (make bench-exec → BENCH_exec.json).
+func BenchmarkExecRuntime(b *testing.B) {
+	workloads, err := experiments.ExecWorkloads(experiments.ExecSpec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workloads {
+		if !strings.HasPrefix(w.Name, "q8/") && !strings.HasPrefix(w.Name, "orders/") {
+			continue // generated workloads run via cmd/experiments -table exec
+		}
+		for _, v := range experiments.ExecVariants() {
+			b.Run(w.Name+"/"+v.Name, func(b *testing.B) {
+				a, err := query.Analyze(w.Graph, v.Analyze)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := optimizer.Optimize(a, v.Config)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runner := w.Dataset.Runner(a)
+				runner.DisableTiming = true
+				var rows, sorted int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p, err := runner.Compile(res.Best)
+					if err != nil {
+						b.Fatal(err)
+					}
+					out, err := p.Execute()
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows = int64(len(out))
+					sorted = p.RowsSorted()
+				}
+				b.ReportMetric(float64(rows), "result-rows")
+				b.ReportMetric(float64(sorted), "rows-sorted/op")
+			})
+		}
 	}
 }
 

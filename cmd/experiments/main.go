@@ -64,6 +64,11 @@ func main() {
 	largeSizes := flag.String("large-sizes", "10,16,20,24,30", "relation counts for the large table")
 	largeSeeds := flag.Int("large-seeds", 3, "queries averaged per large configuration")
 	largeCompareMax := flag.Int("large-compare-max", 10, "largest n on which the exact tier also runs for the cost-ratio column")
+	execDatasets := flag.String("exec-datasets", "tpcr-mid,tpcr-large", "TPC-R datasets for the exec table")
+	execRuns := flag.Int("exec-runs", 3, "timed executions per exec measurement (minimum reported)")
+	execQueries := flag.Int("exec-queries", 3, "generated grouped queries in the exec table")
+	execRelations := flag.Int("exec-relations", 5, "relations per generated exec query")
+	execRows := flag.Int("exec-rows", 48, "rows per table for generated exec data")
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(),
 			"experiments regenerates the paper's evaluation tables — see README.md and docs/benchmarks.md.")
@@ -88,6 +93,7 @@ func main() {
 	runThroughput := *table == "throughput"
 	runServe := *table == "serve"
 	runLarge := *table == "large"
+	runExec := *table == "exec"
 
 	if runPrep {
 		rows, err := experiments.PrepQ8(*tested)
@@ -172,6 +178,18 @@ func main() {
 		fmt.Println("=== Adaptive large-query planning: exact vs linearized DP ===")
 		fmt.Print(experiments.FormatLarge(rows))
 	}
+	if runExec {
+		rows, err := experiments.Exec(experiments.ExecSpec{
+			Datasets:          splitList(*execDatasets),
+			Runs:              *execRuns,
+			QuerygenQueries:   *execQueries,
+			QuerygenRelations: *execRelations,
+			QuerygenRows:      *execRows,
+		})
+		die(err)
+		fmt.Println("=== End-to-end execution: DFSM vs Simmen vs order-oblivious plans ===")
+		fmt.Print(experiments.FormatExec(rows))
+	}
 	if runServe {
 		fmt.Println("=== Served throughput: HTTP planning service under closed-loop load ===")
 		rows, err := experiments.Serve(experiments.ServeSpec{
@@ -185,6 +203,16 @@ func main() {
 		die(err)
 		fmt.Print(experiments.FormatServe(rows))
 	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func parseInts(s string) []int {

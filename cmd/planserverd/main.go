@@ -1,21 +1,31 @@
-// Command planserverd serves the query planner over HTTP/JSON against
-// the TPC-R schema — the traffic-facing daemon over the reentrant
-// planner layer:
+// Command planserverd serves the query planner — and the streaming
+// executor — over HTTP/JSON against the TPC-R schema: the
+// traffic-facing daemon over the reentrant planner layer:
 //
 //	planserverd                      # listen on :7432
 //	planserverd -addr :8080 -max-inflight 128
 //	planserverd -mode simmen         # baseline order framework
 //	planserverd -no-plan-cache       # every request re-runs the DP
+//	planserverd -no-exec             # planning only, no /execute
 //
 //	curl -s localhost:7432/plan -d '{"sql": "select * from nation, region where n_regionkey = r_regionkey order by n_name"}'
 //	curl -s 'localhost:7432/explain?q=select * from orders, customer where o_custkey = c_custkey'
+//	curl -s localhost:7432/execute -d '{"sql": "select * from orders, lineitem where o_orderkey = l_orderkey order by o_orderkey", "dataset": "tpcr-mid", "maxRows": 3}'
 //	curl -s localhost:7432/stats
 //	curl -s localhost:7432/healthz
+//
+// /execute runs the chosen plan over a registered synthetic TPC-R
+// dataset (tpcr-small, tpcr-mid, tpcr-large) through the streaming
+// executor and reports result rows plus per-operator counters. Note
+// the planner costs plans against the schema's scale-factor-1
+// statistics while the datasets are miniatures — /execute demonstrates
+// and validates plans; the runtime experiments (make bench-exec) plan
+// against restated dataset statistics instead.
 //
 // SIGTERM/SIGINT drain gracefully: /healthz flips to 503 so load
 // balancers stop routing, new planning requests are rejected, and the
 // process exits once in-flight requests finish (bounded by
-// -drain-timeout). See README.md for the endpoint reference.
+// -drain-timeout). See docs/api.md for the full endpoint reference.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"orderopt/internal/exec"
 	"orderopt/internal/optimizer"
 	"orderopt/internal/planner"
 	"orderopt/internal/server"
@@ -49,9 +60,11 @@ func main() {
 		"prepared-statement cache entries (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second,
 		"how long a SIGTERM drain waits for in-flight requests")
+	noExec := flag.Bool("no-exec", false,
+		"disable /execute (skips generating the in-memory TPC-R datasets)")
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(),
-			"planserverd serves /plan, /explain, /stats and /healthz over the TPC-R schema — see README.md.")
+			"planserverd serves /plan, /explain, /execute, /stats and /healthz over the TPC-R schema — see docs/api.md and README.md.")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -87,9 +100,14 @@ func main() {
 	cfg.PlanCacheSize = *planCache
 	cfg.PreparedCacheSize = *preparedCache
 
+	var datasets *exec.Registry
+	if !*noExec {
+		datasets = exec.TPCRRegistry()
+	}
 	srv := server.New(server.Config{
 		Planner:     planner.New(cfg),
 		MaxInFlight: *maxInFlight,
+		Datasets:    datasets,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -112,8 +130,12 @@ func main() {
 		}
 	}()
 
-	log.Printf("planserverd: serving TPC-R planning on %s (mode=%s enumerator=%s strategy=%s max-inflight=%d)",
-		*addr, m, enum, strat, *maxInFlight)
+	execInfo := "disabled"
+	if datasets != nil {
+		execInfo = fmt.Sprintf("datasets %v", datasets.Names())
+	}
+	log.Printf("planserverd: serving TPC-R planning on %s (mode=%s enumerator=%s strategy=%s max-inflight=%d, execute: %s)",
+		*addr, m, enum, strat, *maxInFlight, execInfo)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("planserverd: %v", err)
 	}

@@ -30,9 +30,10 @@
 // The subpackages build a complete test bed — and a service-shaped
 // planning stack — around the framework:
 //
-//	internal/server      HTTP/JSON planning service over the planner:
-//	                     /plan, /explain, /stats, /healthz, bounded
-//	                     admission with 429 shedding, graceful drain
+//	internal/server      HTTP/JSON service over the planner and
+//	                     executor: /plan, /explain, /execute, /stats,
+//	                     /healthz, bounded admission with 429
+//	                     shedding, graceful drain
 //	internal/planner     reentrant planning pipeline: prepared
 //	                     statements, fingerprinted concurrent plan
 //	                     cache, pooled optimizer scratch
@@ -51,19 +52,24 @@
 //	internal/core        this framework (builder + prepared DFSM)
 //	internal/{order,nfsm,dfsm,bitset}  framework internals
 //	internal/sqlparse    SQL front end (parser + binder)
-//	internal/exec        executor validating ordering claims on real
-//	                     tuple streams
+//	internal/exec        streaming executor: pipelined operators,
+//	                     plan→pipeline compiler with per-operator
+//	                     counters, dataset registry; also the harness
+//	                     validating ordering claims on real tuple
+//	                     streams
 //	internal/{querygen,tpcr,catalog}   workloads: random join graphs
 //	                     (chain/star/cycle/clique/grid) and TPC-R
 //	internal/experiments §6.2/§7 tables, sweeps, the planner throughput
-//	                     experiment and the served-throughput load
-//	                     generator
+//	                     experiment, the served-throughput load
+//	                     generator and the end-to-end execution
+//	                     comparison
 //	cmd/{orderopt,sqlplan,experiments}  CLIs over all of the above
-//	cmd/planserverd      the planning service daemon (TPC-R schema)
+//	cmd/planserverd      the planning + execution daemon (TPC-R schema)
 //
 // README.md is the front door (quickstart for every binary); DESIGN.md
-// documents the plan generator's architecture — enumerator choice, DP
-// table layout, node arena, the planner layer's caches and concurrency
-// contract, the serving layer's request lifecycle — and
-// docs/benchmarks.md how to run and compare the benchmarks.
+// documents the architecture — enumerator choice, DP table layout,
+// node arena, the planner layer's caches and concurrency contract, the
+// serving layer's request lifecycle, the execution tier — docs/api.md
+// the HTTP API, docs/execution.md the executor, and docs/benchmarks.md
+// how to run and compare the benchmarks.
 package orderopt

@@ -1,0 +1,191 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"orderopt/internal/catalog"
+	"orderopt/internal/query"
+	"orderopt/internal/querygen"
+	"orderopt/internal/tpcr"
+)
+
+// Dataset is one named, immutable in-memory database the executor can
+// run plans over: base rows per table plus presorted views per index
+// (so index scans stream in index order instead of sorting at Open).
+// Datasets must not be mutated after registration — the serving layer
+// executes concurrent requests against them.
+type Dataset struct {
+	Name string
+	// Desc is a one-line description shown by the serving layer.
+	Desc string
+	// Rows maps table names to rows aligned with the catalog's column
+	// order.
+	Rows map[string][][]int64
+	// Indexed maps table name → index name → rows presorted in index
+	// order (built by BuildIndexes).
+	Indexed map[string]map[string][][]int64
+}
+
+// BuildIndexes materializes the presorted per-index views for every
+// table the catalog defines indexes on. Call it once, before the
+// dataset is shared.
+func (d *Dataset) BuildIndexes(cat *catalog.Catalog) {
+	d.Indexed = make(map[string]map[string][][]int64)
+	for name, rows := range d.Rows {
+		t, ok := cat.Table(name)
+		if !ok || len(t.Indexes) == 0 {
+			continue
+		}
+		byIndex := make(map[string][][]int64, len(t.Indexes))
+		for _, ix := range t.Indexes {
+			keys := make([]int, len(ix.Columns))
+			for i, col := range ix.Columns {
+				keys[i] = t.ColumnIndex(col)
+			}
+			sorted := make([][]int64, len(rows))
+			copy(sorted, rows)
+			sort.SliceStable(sorted, func(i, j int) bool {
+				return lessByKeys(Row(sorted[i]), Row(sorted[j]), keys)
+			})
+			byIndex[ix.Name] = sorted
+		}
+		d.Indexed[name] = byIndex
+	}
+}
+
+// ApplyStats rewrites the statistics of every table the graph
+// references to match this dataset — actual row counts and actual
+// per-column distinct counts — so the cost model's trade-offs (sort vs
+// hash, merge vs build/probe) map onto the data the plan will really
+// run over. The standard TPC-R catalog carries scale-factor-1
+// statistics; planning a mini dataset against those systematically
+// misprices every operator. Tables are mutated in place: use a fresh
+// graph/catalog per dataset.
+func (d *Dataset) ApplyStats(g *query.Graph) {
+	seen := make(map[*catalog.Table]bool)
+	for i := range g.Relations {
+		t := g.Relations[i].Table
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		rows, ok := d.Rows[t.Name]
+		if !ok {
+			continue
+		}
+		t.Rows = int64(len(rows))
+		distinct := make(map[int64]struct{}, len(rows))
+		for c := range t.Columns {
+			clear(distinct)
+			for _, r := range rows {
+				distinct[r[c]] = struct{}{}
+			}
+			n := int64(len(distinct))
+			if n < 1 {
+				n = 1
+			}
+			t.Columns[c].Distinct = n
+		}
+	}
+}
+
+// TotalRows sums the base-table row counts.
+func (d *Dataset) TotalRows() int64 {
+	var n int64
+	for _, rows := range d.Rows {
+		n += int64(len(rows))
+	}
+	return n
+}
+
+// Runner returns a Runner executing plans for a over this dataset.
+func (d *Dataset) Runner(a *query.Analysis) *Runner {
+	return &Runner{A: a, Data: d.Rows, Indexed: d.Indexed}
+}
+
+// Registry is a named set of datasets; the first registered one is the
+// default. It is safe for concurrent use after setup (Register during
+// serving is allowed but unusual).
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Dataset
+	names  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Dataset)}
+}
+
+// Register adds d; a dataset with the same name is replaced.
+func (r *Registry) Register(d *Dataset) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.byName[d.Name]; !exists {
+		r.names = append(r.names, d.Name)
+	}
+	r.byName[d.Name] = d
+}
+
+// Get returns the named dataset; the empty name selects the default
+// (first registered).
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if len(r.names) == 0 {
+			return nil, false
+		}
+		name = r.names[0]
+	}
+	d, ok := r.byName[name]
+	return d, ok
+}
+
+// Names lists the registered dataset names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// TPCRRegistry builds the standard TPC-R dataset registry: three
+// consistent synthetic databases (every foreign key resolves) at
+// increasing generator sizes, with all schema indexes presorted. The
+// default (first) dataset is the small one.
+func TPCRRegistry() *Registry {
+	cat := tpcr.Schema()
+	reg := NewRegistry()
+	for _, size := range []struct {
+		name string
+		spec tpcr.GenSpec
+	}{
+		{"tpcr-small", tpcr.DefaultGenSpec()},
+		{"tpcr-mid", tpcr.GenSpec{Parts: 800, Suppliers: 150, Customers: 500, Orders: 1200, LineItems: 8000, Seed: 2}},
+		{"tpcr-large", tpcr.GenSpec{Parts: 3000, Suppliers: 500, Customers: 2000, Orders: 6000, LineItems: 40000, Seed: 3}},
+	} {
+		d := &Dataset{
+			Name: size.name,
+			Desc: fmt.Sprintf("synthetic TPC-R: %d orders, %d lineitems", size.spec.Orders, size.spec.LineItems),
+			Rows: tpcr.Generate(size.spec),
+		}
+		d.BuildIndexes(cat)
+		reg.Register(d)
+	}
+	return reg
+}
+
+// QuerygenDataset generates seeded synthetic data for a querygen
+// graph's schema (uniform small-domain values — see
+// querygen.GenerateData) and presorts its index views.
+func QuerygenDataset(name string, cat *catalog.Catalog, g *query.Graph, rowsPerTable int, seed int64) *Dataset {
+	d := &Dataset{
+		Name: name,
+		Desc: fmt.Sprintf("querygen synthetic: %d tables × %d rows, seed %d", len(g.Relations), rowsPerTable, seed),
+		Rows: querygen.GenerateData(g, rowsPerTable, seed),
+	}
+	d.BuildIndexes(cat)
+	return d
+}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"testing"
+
+	"orderopt/internal/query"
+	"orderopt/internal/tpcr"
+)
+
+func TestTPCRRegistry(t *testing.T) {
+	reg := TPCRRegistry()
+	names := reg.Names()
+	if len(names) != 3 || names[0] != "tpcr-small" {
+		t.Fatalf("names = %v", names)
+	}
+	def, ok := reg.Get("")
+	if !ok || def.Name != "tpcr-small" {
+		t.Fatalf("default dataset = %v, %v", def, ok)
+	}
+	if _, ok := reg.Get("nope"); ok {
+		t.Fatal("unknown dataset must not resolve")
+	}
+	cat := tpcr.Schema()
+	for _, name := range names {
+		ds, ok := reg.Get(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if ds.TotalRows() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+		// Every index view exists, holds all rows, and is sorted on the
+		// index columns.
+		for table, byIndex := range ds.Indexed {
+			ct, ok := cat.Table(table)
+			if !ok {
+				t.Fatalf("%s: indexed view for unknown table %s", name, table)
+			}
+			for _, ix := range ct.Indexes {
+				sorted, ok := byIndex[ix.Name]
+				if !ok {
+					t.Fatalf("%s: missing index view %s.%s", name, table, ix.Name)
+				}
+				if len(sorted) != len(ds.Rows[table]) {
+					t.Fatalf("%s: index view %s.%s has %d rows, table %d",
+						name, table, ix.Name, len(sorted), len(ds.Rows[table]))
+				}
+				keys := make([]int, len(ix.Columns))
+				for i, col := range ix.Columns {
+					keys[i] = ct.ColumnIndex(col)
+				}
+				if !SatisfiesOrdering(asRows(sorted), keys) {
+					t.Fatalf("%s: index view %s.%s not sorted", name, table, ix.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyStats(t *testing.T) {
+	reg := TPCRRegistry()
+	ds, _ := reg.Get("tpcr-small")
+	_, g, err := tpcr.Query8Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.ApplyStats(g)
+	var lineitem *query.Relation
+	for i := range g.Relations {
+		if g.Relations[i].Table.Name == "lineitem" {
+			lineitem = &g.Relations[i]
+		}
+	}
+	if lineitem == nil {
+		t.Fatal("no lineitem relation")
+	}
+	if got := lineitem.Table.Rows; got != int64(len(ds.Rows["lineitem"])) {
+		t.Fatalf("lineitem rows = %d, want %d", got, len(ds.Rows["lineitem"]))
+	}
+	for _, c := range lineitem.Table.Columns {
+		if c.Distinct < 1 || c.Distinct > lineitem.Table.Rows {
+			t.Fatalf("restated distinct out of range: %+v", c)
+		}
+	}
+}

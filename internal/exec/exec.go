@@ -1,9 +1,22 @@
-// Package exec is a small Volcano-style execution engine over in-memory
-// tables: scans, filters, sorts, merge/hash/nested-loop joins and
-// grouping. Its role in this reproduction is validation — the property
-// tests run real tuple streams through operator pipelines and check that
-// every logical ordering the DFSM framework claims (and every functional
-// dependency it consumed) physically holds on the stream.
+// Package exec is a streaming Volcano-style execution engine over
+// in-memory tables: scans, filters, sorts, merge/hash/nested-loop joins
+// and grouping. It started as the repo's validation harness — the
+// property tests run real tuple streams through operator pipelines and
+// check that every logical ordering the DFSM framework claims (and
+// every functional dependency it consumed) physically holds — and has
+// grown into the measured execution backend behind the serving layer's
+// /execute endpoint and the runtime sort-avoidance benchmark
+// (make bench-exec).
+//
+// Operators are pipelined: a merge join buffers only the current
+// duplicate-key group of its right input, a hash join materializes only
+// its build side, and the grouping operators emit groups as the stream
+// closes them. Only Sort (by nature) and the build/inner sides of
+// hash/nested-loop joins materialize. The order guard rails remain:
+// merge joins and sorted grouping verify their input ordering while
+// streaming, clustered grouping verifies that no group reopens — an
+// unsound ordering claim by the planner surfaces as an execution error,
+// not a wrong result. See docs/execution.md for the operator matrix.
 package exec
 
 import (
@@ -21,13 +34,16 @@ type Iterator interface {
 	Open() error
 	// Next returns the next row, or ok=false at end of stream.
 	Next() (row Row, ok bool, err error)
-	// Close releases resources. Close after Open is mandatory.
+	// Close releases resources. Close after Open is mandatory; Close
+	// without (or before) Open must be safe and is a no-op for the
+	// operator's own inputs.
 	Close() error
 }
 
 // Collect drains it and returns all rows.
 func Collect(it Iterator) ([]Row, error) {
 	if err := it.Open(); err != nil {
+		it.Close()
 		return nil, err
 	}
 	defer it.Close()
@@ -120,7 +136,9 @@ func (p *Project) Next() (Row, bool, error) {
 func (p *Project) Close() error { return p.In.Close() }
 
 // Sort materializes its input and yields it ordered by Keys (ascending,
-// stable).
+// stable). It is the only operator that inherently materializes its
+// whole input — which is exactly why the order-optimization framework
+// exists to avoid it.
 type Sort struct {
 	In   Iterator
 	Keys []int
@@ -169,136 +187,263 @@ func lessByKeys(a, b Row, keys []int) bool {
 // rows are left ++ right. Duplicate key groups produce the full cross
 // product with the outer (left) order preserved — the ordering behaviour
 // the plan generator relies on.
+//
+// The join is fully pipelined: it buffers only the current duplicate-key
+// group of the right input (rewound per matching left row) and a
+// one-row lookahead; both inputs are verified to be sorted as they
+// stream, so an unsorted input fails at the Next that observes it.
 type MergeJoin struct {
 	Left, Right Iterator
 	LeftKey     int
 	RightKey    int
 
-	leftRows  []Row
-	rightRows []Row
-	out       []Row
-	pos       int
+	left      Row   // current left row, nil when a new one is needed
+	group     []Row // current right duplicate-key group
+	groupKey  int64
+	haveGroup bool
+	gi        int  // cross-product cursor within group
+	matching  bool // left's key equals groupKey
+
+	rightNext     Row // one-row lookahead into the right input
+	rightDone     bool
+	prevLeftKey   int64
+	havePrevLeft  bool
+	prevRightKey  int64
+	havePrevRight bool
+	opened        bool
 }
 
 // Open implements Iterator.
 func (m *MergeJoin) Open() error {
-	var err error
-	if m.leftRows, err = Collect(m.Left); err != nil {
+	if err := m.Left.Open(); err != nil {
 		return err
 	}
-	if m.rightRows, err = Collect(m.Right); err != nil {
+	if err := m.Right.Open(); err != nil {
+		m.Left.Close()
 		return err
 	}
-	if !sorted(m.leftRows, m.LeftKey) {
-		return fmt.Errorf("exec: merge join left input not sorted on column %d", m.LeftKey)
-	}
-	if !sorted(m.rightRows, m.RightKey) {
-		return fmt.Errorf("exec: merge join right input not sorted on column %d", m.RightKey)
-	}
-	m.out = m.out[:0]
-	i, j := 0, 0
-	for i < len(m.leftRows) && j < len(m.rightRows) {
-		lv := m.leftRows[i][m.LeftKey]
-		rv := m.rightRows[j][m.RightKey]
-		switch {
-		case lv < rv:
-			i++
-		case lv > rv:
-			j++
-		default:
-			// Group bounds.
-			jEnd := j
-			for jEnd < len(m.rightRows) && m.rightRows[jEnd][m.RightKey] == rv {
-				jEnd++
-			}
-			for ; i < len(m.leftRows) && m.leftRows[i][m.LeftKey] == lv; i++ {
-				for k := j; k < jEnd; k++ {
-					m.out = append(m.out, concatRows(m.leftRows[i], m.rightRows[k]))
-				}
-			}
-			j = jEnd
-		}
-	}
-	m.pos = 0
+	m.left, m.group, m.haveGroup, m.gi, m.matching = nil, m.group[:0], false, 0, false
+	m.rightNext, m.rightDone = nil, false
+	m.havePrevLeft, m.havePrevRight = false, false
+	m.opened = true
 	return nil
 }
 
-func sorted(rows []Row, key int) bool {
-	for i := 1; i < len(rows); i++ {
-		if rows[i-1][key] > rows[i][key] {
-			return false
-		}
+// nextLeft advances the left input, verifying sortedness on the fly.
+func (m *MergeJoin) nextLeft() (Row, bool, error) {
+	row, ok, err := m.Left.Next()
+	if err != nil || !ok {
+		return nil, false, err
 	}
-	return true
+	k := row[m.LeftKey]
+	if m.havePrevLeft && k < m.prevLeftKey {
+		return nil, false, fmt.Errorf("exec: merge join left input not sorted on column %d", m.LeftKey)
+	}
+	m.prevLeftKey, m.havePrevLeft = k, true
+	return row, true, nil
 }
 
-func concatRows(a, b Row) Row {
-	out := make(Row, 0, len(a)+len(b))
-	out = append(out, a...)
-	return append(out, b...)
+// nextRight advances the right lookahead, verifying sortedness.
+func (m *MergeJoin) nextRight() (Row, bool, error) {
+	row, ok, err := m.Right.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	k := row[m.RightKey]
+	if m.havePrevRight && k < m.prevRightKey {
+		return nil, false, fmt.Errorf("exec: merge join right input not sorted on column %d", m.RightKey)
+	}
+	m.prevRightKey, m.havePrevRight = k, true
+	return row, true, nil
+}
+
+// buildGroup loads the next duplicate-key group from the right input
+// into m.group. It reports false when the right input is exhausted.
+func (m *MergeJoin) buildGroup() (bool, error) {
+	if m.rightNext == nil {
+		if m.rightDone {
+			return false, nil
+		}
+		row, ok, err := m.nextRight()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			m.rightDone = true
+			return false, nil
+		}
+		m.rightNext = row
+	}
+	m.group = m.group[:0]
+	m.groupKey = m.rightNext[m.RightKey]
+	m.group = append(m.group, m.rightNext)
+	m.rightNext = nil
+	for {
+		row, ok, err := m.nextRight()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			m.rightDone = true
+			break
+		}
+		if row[m.RightKey] != m.groupKey {
+			m.rightNext = row
+			break
+		}
+		m.group = append(m.group, row)
+	}
+	m.haveGroup = true
+	return true, nil
 }
 
 // Next implements Iterator.
 func (m *MergeJoin) Next() (Row, bool, error) {
-	if m.pos >= len(m.out) {
-		return nil, false, nil
+	for {
+		if m.matching {
+			if m.gi < len(m.group) {
+				r := concatRows(m.left, m.group[m.gi])
+				m.gi++
+				return r, true, nil
+			}
+			// Cross product for this left row done; fetch the next left
+			// row (it may share the key and rewind the group).
+			m.matching = false
+			m.left = nil
+		}
+		if m.left == nil {
+			row, ok, err := m.nextLeft()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				// Left exhausted: drain the right side so its
+				// sortedness check covers the full stream the plan
+				// claimed sorted (mirror of the left drain below).
+				for {
+					_, ok, err := m.nextRight()
+					if err != nil {
+						return nil, false, err
+					}
+					if !ok {
+						return nil, false, nil
+					}
+				}
+			}
+			m.left = row
+		}
+		lk := m.left[m.LeftKey]
+		for !m.haveGroup || m.groupKey < lk {
+			ok, err := m.buildGroup()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				// Right exhausted: no left row can match anymore, but
+				// keep draining the left side so its sortedness check
+				// still covers the full stream the plan claimed sorted.
+				for {
+					_, ok, err := m.nextLeft()
+					if err != nil {
+						return nil, false, err
+					}
+					if !ok {
+						return nil, false, nil
+					}
+				}
+			}
+		}
+		if m.groupKey == lk {
+			m.gi = 0
+			m.matching = true
+			continue
+		}
+		// groupKey > lk: this left row has no partner.
+		m.left = nil
 	}
-	r := m.out[m.pos]
-	m.pos++
-	return r, true, nil
 }
 
 // Close implements Iterator.
-func (m *MergeJoin) Close() error { m.out, m.leftRows, m.rightRows = nil, nil, nil; return nil }
+func (m *MergeJoin) Close() error {
+	m.group, m.left, m.rightNext = nil, nil, nil
+	m.haveGroup, m.matching = false, false
+	if !m.opened {
+		return nil
+	}
+	m.opened = false
+	err := m.Left.Close()
+	if err2 := m.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
 
 // HashJoin builds a hash table on the right input and probes with the
-// left, preserving the left (probe) order.
+// left, preserving the left (probe) order. Only the build side is
+// materialized (into the table directly — the right input is drained
+// and closed during Open); probing streams.
 type HashJoin struct {
 	Left, Right Iterator
 	LeftKey     int
 	RightKey    int
 
-	table   map[int64][]Row
-	pending []Row
-	opened  bool
+	table  map[int64][]Row
+	probe  Row   // current left row
+	bucket []Row // its matches
+	bi     int
+	opened bool
 }
 
 // Open implements Iterator.
 func (h *HashJoin) Open() error {
-	rights, err := Collect(h.Right)
-	if err != nil {
+	if err := h.Right.Open(); err != nil {
 		return err
 	}
 	h.table = make(map[int64][]Row)
-	for _, r := range rights {
-		h.table[r[h.RightKey]] = append(h.table[r[h.RightKey]], r)
+	for {
+		row, ok, err := h.Right.Next()
+		if err != nil {
+			h.Right.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := row[h.RightKey]
+		h.table[k] = append(h.table[k], row)
 	}
-	h.pending = nil
+	if err := h.Right.Close(); err != nil {
+		return err
+	}
+	h.probe, h.bucket, h.bi = nil, nil, 0
+	if err := h.Left.Open(); err != nil {
+		return err
+	}
 	h.opened = true
-	return h.Left.Open()
+	return nil
 }
 
 // Next implements Iterator.
 func (h *HashJoin) Next() (Row, bool, error) {
 	for {
-		if len(h.pending) > 0 {
-			r := h.pending[0]
-			h.pending = h.pending[1:]
+		if h.bi < len(h.bucket) {
+			r := concatRows(h.probe, h.bucket[h.bi])
+			h.bi++
 			return r, true, nil
 		}
 		left, ok, err := h.Left.Next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		for _, r := range h.table[left[h.LeftKey]] {
-			h.pending = append(h.pending, concatRows(left, r))
-		}
+		h.probe = left
+		h.bucket = h.table[left[h.LeftKey]]
+		h.bi = 0
 	}
 }
 
 // Close implements Iterator.
 func (h *HashJoin) Close() error {
-	h.table = nil
+	h.table, h.probe, h.bucket = nil, nil, nil
 	if h.opened {
 		h.opened = false
 		return h.Left.Close()
@@ -307,14 +452,16 @@ func (h *HashJoin) Close() error {
 }
 
 // NestedLoopJoin materializes the inner input and scans it per outer
-// row, joining on an arbitrary predicate over (outer, inner).
+// row, joining on an arbitrary predicate over (outer, inner). Matches
+// are emitted lazily as the inner scan advances.
 type NestedLoopJoin struct {
 	Outer, Inner Iterator
 	Pred         func(outer, inner Row) bool
 
-	inner   []Row
-	pending []Row
-	opened  bool
+	inner  []Row
+	outer  Row
+	ii     int
+	opened bool
 }
 
 // Open implements Iterator.
@@ -324,39 +471,50 @@ func (n *NestedLoopJoin) Open() error {
 		return err
 	}
 	n.inner = rows
-	n.pending = nil
+	n.outer, n.ii = nil, 0
+	if err := n.Outer.Open(); err != nil {
+		return err
+	}
 	n.opened = true
-	return n.Outer.Open()
+	return nil
 }
 
 // Next implements Iterator.
 func (n *NestedLoopJoin) Next() (Row, bool, error) {
 	for {
-		if len(n.pending) > 0 {
-			r := n.pending[0]
-			n.pending = n.pending[1:]
-			return r, true, nil
+		if n.outer != nil {
+			for n.ii < len(n.inner) {
+				inner := n.inner[n.ii]
+				n.ii++
+				if n.Pred(n.outer, inner) {
+					return concatRows(n.outer, inner), true, nil
+				}
+			}
 		}
 		outer, ok, err := n.Outer.Next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		for _, inner := range n.inner {
-			if n.Pred(outer, inner) {
-				n.pending = append(n.pending, concatRows(outer, inner))
-			}
-		}
+		n.outer = outer
+		n.ii = 0
 	}
 }
 
 // Close implements Iterator.
 func (n *NestedLoopJoin) Close() error {
-	n.inner = nil
+	n.inner, n.outer = nil, nil
 	if n.opened {
 		n.opened = false
 		return n.Outer.Close()
 	}
 	return nil
+}
+
+// concatRows returns a ++ b in a fresh row.
+func concatRows(a, b Row) Row {
+	out := make(Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
 }
 
 // Agg selects the aggregate computed by the group operators.
@@ -371,25 +529,64 @@ const (
 	AggMin
 )
 
+// groupAcc is the shared per-group accumulator of the streaming group
+// operators.
+type groupAcc struct {
+	cur     Row
+	acc     int64
+	started bool
+}
+
+func (g *groupAcc) start(row Row, agg Agg, aggCol int) {
+	g.cur = row
+	g.started = true
+	if agg == AggCount {
+		g.acc = 1
+	} else {
+		g.acc = row[aggCol]
+	}
+}
+
+func (g *groupAcc) add(row Row, agg Agg, aggCol int) {
+	switch agg {
+	case AggCount:
+		g.acc++
+	case AggSum:
+		g.acc += row[aggCol]
+	case AggMin:
+		if row[aggCol] < g.acc {
+			g.acc = row[aggCol]
+		}
+	}
+}
+
+func (g *groupAcc) emit(keys []int) Row {
+	out := make(Row, 0, len(keys)+1)
+	for _, k := range keys {
+		out = append(out, g.cur[k])
+	}
+	return append(out, g.acc)
+}
+
 // GroupSorted groups an input already sorted on Keys; output rows are
 // the key values followed by the aggregate. It exploits (and preserves)
-// the input ordering — the operator order optimization economizes for.
+// the input ordering — the operator order optimization economizes for —
+// and streams: one accumulator, groups emitted as the stream closes
+// them.
 type GroupSorted struct {
 	In     Iterator
 	Keys   []int
 	Agg    Agg
 	AggCol int
 
-	cur     Row
-	acc     int64
-	started bool
-	opened  bool
-	prev    Row // sortedness check
+	g      groupAcc
+	opened bool
+	prev   Row // sortedness check
 }
 
 // Open implements Iterator.
 func (g *GroupSorted) Open() error {
-	g.cur, g.prev, g.started = nil, nil, false
+	g.g, g.prev = groupAcc{}, nil
 	g.opened = true
 	return g.In.Open()
 }
@@ -402,9 +599,9 @@ func (g *GroupSorted) Next() (Row, bool, error) {
 			return nil, false, err
 		}
 		if !ok {
-			if g.started {
-				g.started = false
-				return g.emit(), true, nil
+			if g.g.started {
+				g.g.started = false
+				return g.g.emit(g.Keys), true, nil
 			}
 			return nil, false, nil
 		}
@@ -412,49 +609,17 @@ func (g *GroupSorted) Next() (Row, bool, error) {
 			return nil, false, fmt.Errorf("exec: sorted grouping over unsorted input")
 		}
 		g.prev = row
-		if g.started && sameKeys(g.cur, row, g.Keys) {
-			g.accumulate(row)
+		if g.g.started && sameKeys(g.g.cur, row, g.Keys) {
+			g.g.add(row, g.Agg, g.AggCol)
 			continue
 		}
-		if g.started {
-			out := g.emit()
-			g.startGroup(row)
+		if g.g.started {
+			out := g.g.emit(g.Keys)
+			g.g.start(row, g.Agg, g.AggCol)
 			return out, true, nil
 		}
-		g.startGroup(row)
+		g.g.start(row, g.Agg, g.AggCol)
 	}
-}
-
-func (g *GroupSorted) startGroup(row Row) {
-	g.cur = row
-	g.started = true
-	switch g.Agg {
-	case AggCount:
-		g.acc = 1
-	default:
-		g.acc = row[g.AggCol]
-	}
-}
-
-func (g *GroupSorted) accumulate(row Row) {
-	switch g.Agg {
-	case AggCount:
-		g.acc++
-	case AggSum:
-		g.acc += row[g.AggCol]
-	case AggMin:
-		if row[g.AggCol] < g.acc {
-			g.acc = row[g.AggCol]
-		}
-	}
-}
-
-func (g *GroupSorted) emit() Row {
-	out := make(Row, 0, len(g.Keys)+1)
-	for _, k := range g.Keys {
-		out = append(out, g.cur[k])
-	}
-	return append(out, g.acc)
 }
 
 func sameKeys(a, b Row, keys []int) bool {
@@ -479,38 +644,25 @@ func (g *GroupSorted) Close() error {
 // adjacent (clustered) without requiring sortedness — the grouping
 // extension's streaming operator. It validates the clustering: if a
 // key group reappears after being closed, the input was not clustered
-// and Next returns an error.
+// and Next returns an error. The seen set uses comparable int64-tuple
+// keys (see key.go), not per-group byte strings.
 type GroupClustered struct {
 	In     Iterator
 	Keys   []int
 	Agg    Agg
 	AggCol int
 
-	cur     Row
-	acc     int64
-	started bool
-	opened  bool
-	seen    map[string]bool
+	g      groupAcc
+	opened bool
+	seen   seenSet
 }
 
 // Open implements Iterator.
 func (g *GroupClustered) Open() error {
-	g.cur, g.started = nil, false
-	g.seen = make(map[string]bool)
+	g.g = groupAcc{}
+	g.seen = newSeenSet(len(g.Keys))
 	g.opened = true
 	return g.In.Open()
-}
-
-func (g *GroupClustered) key(row Row) string {
-	kb := make([]byte, 0, len(g.Keys)*9)
-	for _, k := range g.Keys {
-		v := row[k]
-		for s := 0; s < 64; s += 8 {
-			kb = append(kb, byte(v>>uint(s)))
-		}
-		kb = append(kb, ',')
-	}
-	return string(kb)
 }
 
 // Next implements Iterator.
@@ -521,65 +673,31 @@ func (g *GroupClustered) Next() (Row, bool, error) {
 			return nil, false, err
 		}
 		if !ok {
-			if g.started {
-				g.started = false
-				return g.emit(), true, nil
+			if g.g.started {
+				g.g.started = false
+				return g.g.emit(g.Keys), true, nil
 			}
 			return nil, false, nil
 		}
-		if g.started && sameKeys(g.cur, row, g.Keys) {
-			g.accumulate(row)
+		if g.g.started && sameKeys(g.g.cur, row, g.Keys) {
+			g.g.add(row, g.Agg, g.AggCol)
 			continue
 		}
-		k := g.key(row)
-		if g.seen[k] {
+		if !g.seen.insert(row, g.Keys) {
 			return nil, false, fmt.Errorf("exec: clustered grouping over non-clustered input (group reappeared)")
 		}
-		g.seen[k] = true
-		if g.started {
-			out := g.emit()
-			g.startGroup(row)
+		if g.g.started {
+			out := g.g.emit(g.Keys)
+			g.g.start(row, g.Agg, g.AggCol)
 			return out, true, nil
 		}
-		g.startGroup(row)
+		g.g.start(row, g.Agg, g.AggCol)
 	}
-}
-
-func (g *GroupClustered) startGroup(row Row) {
-	g.cur = row
-	g.started = true
-	switch g.Agg {
-	case AggCount:
-		g.acc = 1
-	default:
-		g.acc = row[g.AggCol]
-	}
-}
-
-func (g *GroupClustered) accumulate(row Row) {
-	switch g.Agg {
-	case AggCount:
-		g.acc++
-	case AggSum:
-		g.acc += row[g.AggCol]
-	case AggMin:
-		if row[g.AggCol] < g.acc {
-			g.acc = row[g.AggCol]
-		}
-	}
-}
-
-func (g *GroupClustered) emit() Row {
-	out := make(Row, 0, len(g.Keys)+1)
-	for _, k := range g.Keys {
-		out = append(out, g.cur[k])
-	}
-	return append(out, g.acc)
 }
 
 // Close implements Iterator.
 func (g *GroupClustered) Close() error {
-	g.seen = nil
+	g.seen = seenSet{}
 	if g.opened {
 		g.opened = false
 		return g.In.Close()
@@ -587,91 +705,67 @@ func (g *GroupClustered) Close() error {
 	return nil
 }
 
-// GroupHash groups by hashing; output order is unspecified (sorted by
-// key here for determinism, but callers must not rely on it — the plan
-// generator models hash grouping as order-destroying).
+// GroupHash groups by hashing; output order is unspecified (insertion
+// order here for determinism, but callers must not rely on it — the
+// plan generator models hash grouping as order-destroying). The table
+// is built directly from the input stream with comparable int64-tuple
+// keys; nothing is materialized besides the per-group accumulators.
 type GroupHash struct {
 	In     Iterator
 	Keys   []int
 	Agg    Agg
 	AggCol int
 
-	out []Row
-	pos int
+	groups groupTable
+	pos    int
+	opened bool
 }
 
 // Open implements Iterator.
 func (g *GroupHash) Open() error {
-	rows, err := Collect(g.In)
-	if err != nil {
+	if err := g.In.Open(); err != nil {
 		return err
 	}
-	type group struct {
-		key Row
-		acc int64
-		n   int
-	}
-	groups := map[string]*group{}
-	var order []string
-	for _, row := range rows {
-		kb := make([]byte, 0, len(g.Keys)*9)
-		for _, k := range g.Keys {
-			v := row[k]
-			for s := 0; s < 64; s += 8 {
-				kb = append(kb, byte(v>>uint(s)))
-			}
-			kb = append(kb, ',')
-		}
-		ks := string(kb)
-		gr, ok := groups[ks]
-		if !ok {
-			key := make(Row, len(g.Keys))
-			for i, k := range g.Keys {
-				key[i] = row[k]
-			}
-			gr = &group{key: key}
-			switch g.Agg {
-			case AggCount:
-				gr.acc = 0
-			case AggMin:
-				gr.acc = row[g.AggCol]
-			}
-			groups[ks] = gr
-			order = append(order, ks)
-		}
-		switch g.Agg {
-		case AggCount:
-			gr.acc++
-		case AggSum:
-			gr.acc += row[g.AggCol]
-		case AggMin:
-			if row[g.AggCol] < gr.acc {
-				gr.acc = row[g.AggCol]
-			}
-		}
-		gr.n++
-	}
-	g.out = g.out[:0]
-	for _, ks := range order {
-		gr := groups[ks]
-		g.out = append(g.out, append(append(Row{}, gr.key...), gr.acc))
-	}
+	g.opened = true
+	g.groups = newGroupTable(len(g.Keys))
 	g.pos = 0
-	return nil
+	for {
+		row, ok, err := g.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		acc, fresh := g.groups.lookup(row, g.Keys)
+		if fresh {
+			acc.start(row, g.Agg, g.AggCol)
+		} else {
+			acc.add(row, g.Agg, g.AggCol)
+		}
+	}
 }
 
 // Next implements Iterator.
 func (g *GroupHash) Next() (Row, bool, error) {
-	if g.pos >= len(g.out) {
+	accs := g.groups.order
+	if g.pos >= len(accs) {
 		return nil, false, nil
 	}
-	r := g.out[g.pos]
+	r := accs[g.pos].emit(g.Keys)
 	g.pos++
 	return r, true, nil
 }
 
 // Close implements Iterator.
-func (g *GroupHash) Close() error { g.out = nil; return nil }
+func (g *GroupHash) Close() error {
+	g.groups = groupTable{}
+	if g.opened {
+		g.opened = false
+		return g.In.Close()
+	}
+	return nil
+}
 
 // SatisfiesOrdering reports whether the row stream satisfies the logical
 // ordering given by the column sequence — the §2 condition: rows are

@@ -105,15 +105,18 @@ func TestMergeJoinDuplicateGroups(t *testing.T) {
 }
 
 func TestMergeJoinRejectsUnsorted(t *testing.T) {
+	// The streaming join verifies sortedness as it reads, so the guard
+	// rail fires at the Next that observes the violation (Collect
+	// surfaces it), not at Open.
 	left := rowsOf([]int64{2}, []int64{1})
 	right := rowsOf([]int64{1})
 	mj := &MergeJoin{Left: NewScan(left), Right: NewScan(right), LeftKey: 0, RightKey: 0}
-	if err := mj.Open(); err == nil {
+	if _, err := Collect(mj); err == nil {
 		t.Error("unsorted merge join input must be rejected")
 	}
 	right2 := rowsOf([]int64{5}, []int64{1})
-	mj2 := &MergeJoin{Left: NewScan(rowsOf([]int64{1})), Right: NewScan(right2), LeftKey: 0, RightKey: 0}
-	if err := mj2.Open(); err == nil {
+	mj2 := &MergeJoin{Left: NewScan(rowsOf([]int64{1}, []int64{5})), Right: NewScan(right2), LeftKey: 0, RightKey: 0}
+	if _, err := Collect(mj2); err == nil {
 		t.Error("unsorted right input must be rejected")
 	}
 }
@@ -405,5 +408,194 @@ func TestQuickSortProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// Streaming edge cases: every join handles an empty side without
+// touching the other side's contract.
+func TestJoinsEmptyInputs(t *testing.T) {
+	some := rowsOf([]int64{1, 1}, []int64{2, 2})
+	cases := []struct {
+		name string
+		it   func(left, right []Row) Iterator
+	}{
+		{"merge", func(l, r []Row) Iterator {
+			return &MergeJoin{Left: NewScan(l), Right: NewScan(r), LeftKey: 0, RightKey: 0}
+		}},
+		{"hash", func(l, r []Row) Iterator {
+			return &HashJoin{Left: NewScan(l), Right: NewScan(r), LeftKey: 0, RightKey: 0}
+		}},
+		{"nl", func(l, r []Row) Iterator {
+			return &NestedLoopJoin{Outer: NewScan(l), Inner: NewScan(r),
+				Pred: func(o, i Row) bool { return o[0] == i[0] }}
+		}},
+	}
+	for _, c := range cases {
+		for _, sides := range []struct {
+			name        string
+			left, right []Row
+		}{
+			{"left-empty", nil, some},
+			{"right-empty", some, nil},
+			{"both-empty", nil, nil},
+		} {
+			got, err := Collect(c.it(sides.left, sides.right))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.name, sides.name, err)
+			}
+			if len(got) != 0 {
+				t.Errorf("%s/%s: produced %d rows from empty input", c.name, sides.name, len(got))
+			}
+		}
+	}
+}
+
+func TestGroupClusteredEmptyInput(t *testing.T) {
+	got, err := Collect(&GroupClustered{In: NewScan(nil), Keys: []int{0}, Agg: AggCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty input produced clustered groups: %v", got)
+	}
+}
+
+// TestMergeJoinDuplicateCrossProducts stresses the streaming join's
+// group buffering: multiple duplicate-key groups on both sides, cross
+// products complete, outer order preserved, and rows outside any group
+// skipped.
+func TestMergeJoinDuplicateCrossProducts(t *testing.T) {
+	left := rowsOf(
+		[]int64{1, 0}, []int64{1, 1}, []int64{1, 2}, // key 1 ×3
+		[]int64{2, 3},                // key 2, no partner
+		[]int64{4, 4}, []int64{4, 5}, // key 4 ×2
+		[]int64{7, 6}, // key 7, right exhausted before it
+	)
+	right := rowsOf(
+		[]int64{0, 100},                  // no left partner
+		[]int64{1, 101}, []int64{1, 102}, // key 1 ×2
+		[]int64{3, 103},
+		[]int64{4, 104}, []int64{4, 105}, []int64{4, 106}, // key 4 ×3
+	)
+	got, err := Collect(&MergeJoin{Left: NewScan(left), Right: NewScan(right), LeftKey: 0, RightKey: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3*2 + 2*3; len(got) != want {
+		t.Fatalf("cross product size = %d, want %d", len(got), want)
+	}
+	// Outer order: left sequence numbers must be non-decreasing, and
+	// within one left row the right rows appear in right order.
+	for i := 1; i < len(got); i++ {
+		if got[i][1] < got[i-1][1] {
+			t.Fatalf("outer order violated at %d: %v", i, got)
+		}
+		if got[i][1] == got[i-1][1] && got[i][3] <= got[i-1][3] {
+			t.Fatalf("inner order violated at %d: %v", i, got)
+		}
+	}
+	// Result agrees with a hash join over the same inputs.
+	hj, err := Collect(&HashJoin{Left: NewScan(left), Right: NewScan(right), LeftKey: 0, RightKey: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(got, hj) {
+		t.Fatal("streaming merge join disagrees with hash join")
+	}
+}
+
+// Close without Open must be safe on every operator (the pipeline
+// closes everything when a child's Open fails).
+func TestCloseWithoutOpen(t *testing.T) {
+	rows := rowsOf([]int64{1, 2})
+	its := []Iterator{
+		NewScan(rows),
+		&Filter{In: NewScan(rows), Pred: func(Row) bool { return true }},
+		&Project{In: NewScan(rows), Cols: []int{0}},
+		&Sort{In: NewScan(rows), Keys: []int{0}},
+		&MergeJoin{Left: NewScan(rows), Right: NewScan(rows), LeftKey: 0, RightKey: 0},
+		&HashJoin{Left: NewScan(rows), Right: NewScan(rows), LeftKey: 0, RightKey: 0},
+		&NestedLoopJoin{Outer: NewScan(rows), Inner: NewScan(rows), Pred: func(o, i Row) bool { return true }},
+		&GroupSorted{In: NewScan(rows), Keys: []int{0}, Agg: AggCount},
+		&GroupClustered{In: NewScan(rows), Keys: []int{0}, Agg: AggCount},
+		&GroupHash{In: NewScan(rows), Keys: []int{0}, Agg: AggCount},
+	}
+	for _, it := range its {
+		if err := it.Close(); err != nil {
+			t.Errorf("%T: Close without Open: %v", it, err)
+		}
+	}
+	// And Open → Close → (re)Open → full drain still works.
+	mj := &MergeJoin{Left: NewScan(rows), Right: NewScan(rows), LeftKey: 0, RightKey: 0}
+	if err := mj.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("reopened merge join rows = %v", got)
+	}
+}
+
+// Wide grouping keys (> 4 columns) exercise the exact-compare fallback
+// behind the packed tuple keys.
+func TestWideGroupingKeys(t *testing.T) {
+	var rows []Row
+	for i := 0; i < 30; i++ {
+		k := int64(i % 3)
+		rows = append(rows, Row{k, k + 1, k + 2, k + 3, k + 4, int64(i)})
+	}
+	keys := []int{0, 1, 2, 3, 4}
+	gh, err := Collect(&GroupHash{In: NewScan(rows), Keys: keys, Agg: AggCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gh) != 3 {
+		t.Fatalf("wide hash groups = %v", gh)
+	}
+	for _, g := range gh {
+		if g[len(g)-1] != 10 {
+			t.Fatalf("wide group count = %v", g)
+		}
+	}
+	// Clustered over a clustered wide-key stream works, and a reopened
+	// group is still detected.
+	clustered := append([]Row{}, rows...)
+	sort.SliceStable(clustered, func(i, j int) bool { return clustered[i][0] < clustered[j][0] })
+	gc, err := Collect(&GroupClustered{In: NewScan(clustered), Keys: keys, Agg: AggCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(gc, gh) {
+		t.Fatal("wide clustered and hash grouping disagree")
+	}
+	bad := append(append([]Row{}, clustered...), clustered[0])
+	if _, err := Collect(&GroupClustered{In: NewScan(bad), Keys: keys, Agg: AggCount}); err == nil {
+		t.Fatal("reopened wide-key group must fail clustered grouping")
+	}
+}
+
+// The streaming merge join still validates left-side sortedness beyond
+// the last right match (the drain path).
+func TestMergeJoinDrainChecksSortedness(t *testing.T) {
+	left := rowsOf([]int64{1}, []int64{5}, []int64{3}) // unsorted after matches end
+	right := rowsOf([]int64{1})
+	if _, err := Collect(&MergeJoin{Left: NewScan(left), Right: NewScan(right), LeftKey: 0, RightKey: 0}); err == nil {
+		t.Fatal("unsorted left tail must be rejected")
+	}
+}
+
+// And the right tail after the left side is exhausted (the mirror
+// drain): an unsorted right remainder must still be rejected.
+func TestMergeJoinRightTailSortedness(t *testing.T) {
+	left := rowsOf([]int64{1})
+	right := rowsOf([]int64{1}, []int64{3}, []int64{2}) // unsorted beyond the last match
+	if _, err := Collect(&MergeJoin{Left: NewScan(left), Right: NewScan(right), LeftKey: 0, RightKey: 0}); err == nil {
+		t.Fatal("unsorted right tail must be rejected")
 	}
 }

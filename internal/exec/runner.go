@@ -2,70 +2,202 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"orderopt/internal/order"
 	"orderopt/internal/plan"
 	"orderopt/internal/query"
 )
 
-// Runner executes optimizer plans over in-memory tables. Its purpose is
-// end-to-end validation: if the order-optimization component wrongly
-// claimed an input ordering, the merge join's sortedness check fails;
-// and the produced result must equal brute-force evaluation of the
-// query graph.
+// AggColumn is the schema entry of the aggregate column the group
+// operators append after the grouping keys. Rel -1 never names a
+// relation, so it cannot collide with a real column reference.
+var AggColumn = query.ColumnRef{Rel: -1, Col: 0}
+
+// Runner compiles optimizer plans into executable operator pipelines
+// over in-memory tables. It is both the validation harness (a wrong
+// ordering claim surfaces as a merge-join or grouping guard-rail error,
+// and results must equal brute-force evaluation) and the execution
+// backend behind the serving layer's /execute endpoint.
 type Runner struct {
 	A *query.Analysis
 	// Data maps table names to rows (values aligned with the catalog's
 	// column order).
 	Data map[string][][]int64
+	// Indexed optionally maps table name → index name → rows presorted
+	// in index order (see Dataset). When present, index scans stream the
+	// presorted rows instead of sorting at Open — the executor-level
+	// equivalent of an index existing — which is what makes runtime sort
+	// avoidance measurable.
+	Indexed map[string]map[string][][]int64
+	// DisableTiming turns off per-operator wall-clock accounting (row
+	// counters remain). The benchmark harness disables it so operator
+	// timer overhead does not tint the measured runtimes.
+	DisableTiming bool
+
+	equiv map[query.ColumnRef]int // lazily built column equivalence classes
 }
 
-// Run executes the plan and returns its rows together with the output
-// schema (one entry per column, identifying the source relation/column).
-// Plans containing group operators are supported only when the ORDER BY
-// columns are part of the GROUP BY.
+// OpStats is one operator's execution counters, in pipeline preorder.
+type OpStats struct {
+	// Op is the physical operator name (plan.Op.String()).
+	Op string `json:"op"`
+	// Detail identifies the operator's target: relation/index for scans,
+	// the ordering for sorts, the join predicate for joins, the grouping
+	// columns for group operators.
+	Detail string `json:"detail,omitempty"`
+	// EstRows is the optimizer's output-cardinality estimate.
+	EstRows float64 `json:"estRows"`
+	// Rows counts the rows the operator actually emitted.
+	Rows int64 `json:"rows"`
+	// TimeNs is cumulative wall time spent in the operator's Open and
+	// Next calls, children included (EXPLAIN ANALYZE convention); 0 when
+	// the runner's timing is disabled.
+	TimeNs int64 `json:"timeNs"`
+}
+
+// Pipeline is a compiled plan: the operator tree plus its output schema
+// and per-operator counters. A pipeline is single-use per Execute call
+// and not safe for concurrent use; compile one per execution.
+type Pipeline struct {
+	// Root is the top operator (already wrapped in counters).
+	Root Iterator
+	// Schema describes Root's output columns; group pipelines emit the
+	// grouping columns followed by AggColumn.
+	Schema []query.ColumnRef
+	// Ops lists the per-operator counters in plan preorder.
+	Ops []*OpStats
+}
+
+// Execute opens the pipeline, drains it and returns all rows.
+func (p *Pipeline) Execute() ([]Row, error) {
+	return Collect(p.Root)
+}
+
+// RowsSorted sums the rows that passed through Sort operators — the
+// benchmark's "how much sorting did this plan actually do" number (a
+// sort emits every row it consumed).
+func (p *Pipeline) RowsSorted() int64 {
+	var n int64
+	for _, op := range p.Ops {
+		if op.Op == plan.Sort.String() {
+			n += op.Rows
+		}
+	}
+	return n
+}
+
+// statsIter counts (and optionally times) one operator.
+type statsIter struct {
+	in     Iterator
+	st     *OpStats
+	timing bool
+}
+
+func (s *statsIter) Open() error {
+	if !s.timing {
+		return s.in.Open()
+	}
+	begin := time.Now()
+	err := s.in.Open()
+	s.st.TimeNs += time.Since(begin).Nanoseconds()
+	return err
+}
+
+func (s *statsIter) Next() (Row, bool, error) {
+	if !s.timing {
+		row, ok, err := s.in.Next()
+		if ok {
+			s.st.Rows++
+		}
+		return row, ok, err
+	}
+	begin := time.Now()
+	row, ok, err := s.in.Next()
+	s.st.TimeNs += time.Since(begin).Nanoseconds()
+	if ok {
+		s.st.Rows++
+	}
+	return row, ok, err
+}
+
+func (s *statsIter) Close() error { return s.in.Close() }
+
+// Run compiles and executes the plan, returning its rows together with
+// the output schema (one entry per column, identifying the source
+// relation/column; AggColumn for the aggregate of group pipelines).
 func (r *Runner) Run(n *plan.Node) ([]Row, []query.ColumnRef, error) {
-	it, schema, err := r.build(n)
+	p, err := r.Compile(n)
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := Collect(it)
+	rows, err := p.Execute()
 	if err != nil {
 		return nil, nil, err
 	}
-	return rows, schema, nil
+	return rows, p.Schema, nil
 }
 
-// schemaOf returns the column layout a plan node emits: scans emit all
-// columns of their relation, joins concatenate left then right.
-func (r *Runner) build(n *plan.Node) (Iterator, []query.ColumnRef, error) {
+// Compile turns a physical plan into an executable pipeline. Every plan
+// shape the optimizer emits compiles: scans (table and index), sorts,
+// all three join operators with residual predicates, and the group
+// operators with sorts above them — ORDER BY columns are resolved
+// through join-equivalence classes, so ordering by a column the plan
+// only carries as an equated twin (or grouping by one) works.
+func (r *Runner) Compile(n *plan.Node) (*Pipeline, error) {
+	p := &Pipeline{}
+	it, schema, err := r.build(n, p)
+	if err != nil {
+		return nil, err
+	}
+	p.Root = it
+	p.Schema = schema
+	return p, nil
+}
+
+// wrap attaches counters for node n around it and registers them on the
+// pipeline (preorder position was reserved by build).
+func (r *Runner) wrap(it Iterator, st *OpStats) Iterator {
+	return &statsIter{in: it, st: st, timing: !r.DisableTiming}
+}
+
+func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, error) {
 	g := r.A.Graph
+	st := &OpStats{Op: n.Op.String(), EstRows: n.Card}
+	p.Ops = append(p.Ops, st)
 	switch n.Op {
 	case plan.TableScan, plan.IndexScan:
 		rel := &g.Relations[n.Rel]
+		st.Detail = rel.Alias
 		raw, ok := r.Data[rel.Table.Name]
 		if !ok {
 			return nil, nil, fmt.Errorf("exec: no data for table %s", rel.Table.Name)
-		}
-		rows := make([]Row, len(raw))
-		for i, v := range raw {
-			rows[i] = Row(v)
 		}
 		schema := make([]query.ColumnRef, len(rel.Table.Columns))
 		for c := range schema {
 			schema[c] = query.ColumnRef{Rel: n.Rel, Col: c}
 		}
-		var it Iterator = NewScan(rows)
+		var it Iterator
 		if n.Op == plan.IndexScan {
 			ix := rel.Table.Indexes[n.Index]
-			keys := make([]int, len(ix.Columns))
-			for i, name := range ix.Columns {
-				keys[i] = rel.Table.ColumnIndex(name)
+			st.Detail = rel.Alias + "/" + ix.Name
+			if sorted := r.Indexed[rel.Table.Name][ix.Name]; sorted != nil {
+				// The dataset maintains this index: stream it in order.
+				it = NewScan(asRows(sorted))
+			} else {
+				// No maintained index: simulate the index order by
+				// sorting (costed like a scan by the planner, but the
+				// executor has nothing better without the index).
+				keys := make([]int, len(ix.Columns))
+				for i, name := range ix.Columns {
+					keys[i] = rel.Table.ColumnIndex(name)
+				}
+				it = &Sort{In: NewScan(asRows(raw)), Keys: keys}
 			}
-			it = &Sort{In: it, Keys: keys}
+		} else {
+			it = NewScan(asRows(raw))
 		}
-		preds := rel.ConstPreds
-		if len(preds) > 0 {
+		if len(rel.ConstPreds) > 0 {
 			relIdx := n.Rel
 			it = &Filter{In: it, Pred: func(row Row) bool {
 				for _, p := range g.Relations[relIdx].ConstPreds {
@@ -76,56 +208,72 @@ func (r *Runner) build(n *plan.Node) (Iterator, []query.ColumnRef, error) {
 				return true
 			}}
 		}
-		return it, schema, nil
+		return r.wrap(it, st), schema, nil
 
 	case plan.Sort:
-		in, schema, err := r.build(n.Left)
+		in, schema, err := r.build(n.Left, p)
 		if err != nil {
 			return nil, nil, err
 		}
-		keys, err := r.sortKeys(n.SortOrd, schema)
+		keys, detail, err := r.sortKeys(n.SortOrd, schema)
 		if err != nil {
 			return nil, nil, err
 		}
-		return &Sort{In: in, Keys: keys}, schema, nil
+		st.Detail = detail
+		return r.wrap(&Sort{In: in, Keys: keys}, st), schema, nil
 
 	case plan.MergeJoin, plan.HashJoin, plan.NestedLoopJoin:
-		return r.buildJoin(n)
+		return r.buildJoin(n, p, st)
 
 	case plan.GroupSorted, plan.GroupHash, plan.GroupClustered:
-		in, schema, err := r.build(n.Left)
+		in, schema, err := r.build(n.Left, p)
 		if err != nil {
 			return nil, nil, err
 		}
 		keys := make([]int, 0, len(g.GroupBy))
-		outSchema := make([]query.ColumnRef, 0, len(g.GroupBy))
+		outSchema := make([]query.ColumnRef, 0, len(g.GroupBy)+1)
 		for _, c := range g.GroupBy {
-			pos := colPos(schema, c)
+			pos := r.colPosEquiv(schema, c)
 			if pos < 0 {
 				return nil, nil, fmt.Errorf("exec: group column %s not in schema", g.ColumnName(c))
 			}
 			keys = append(keys, pos)
 			outSchema = append(outSchema, c)
+			if st.Detail != "" {
+				st.Detail += ", "
+			}
+			st.Detail += g.ColumnName(c)
 		}
+		outSchema = append(outSchema, AggColumn)
+		var it Iterator
 		switch n.Op {
 		case plan.GroupSorted:
-			return &GroupSorted{In: in, Keys: keys, Agg: AggCount}, outSchema, nil
+			it = &GroupSorted{In: in, Keys: keys, Agg: AggCount}
 		case plan.GroupClustered:
-			return &GroupClustered{In: in, Keys: keys, Agg: AggCount}, outSchema, nil
+			it = &GroupClustered{In: in, Keys: keys, Agg: AggCount}
 		default:
-			return &GroupHash{In: in, Keys: keys, Agg: AggCount}, outSchema, nil
+			it = &GroupHash{In: in, Keys: keys, Agg: AggCount}
 		}
+		return r.wrap(it, st), outSchema, nil
 	}
 	return nil, nil, fmt.Errorf("exec: unsupported plan operator %v", n.Op)
 }
 
-func (r *Runner) buildJoin(n *plan.Node) (Iterator, []query.ColumnRef, error) {
+func asRows(raw [][]int64) []Row {
+	rows := make([]Row, len(raw))
+	for i, v := range raw {
+		rows[i] = Row(v)
+	}
+	return rows
+}
+
+func (r *Runner) buildJoin(n *plan.Node, p *Pipeline, st *OpStats) (Iterator, []query.ColumnRef, error) {
 	g := r.A.Graph
-	left, ls, err := r.build(n.Left)
+	left, ls, err := r.build(n.Left, p)
 	if err != nil {
 		return nil, nil, err
 	}
-	right, rs, err := r.build(n.Right)
+	right, rs, err := r.build(n.Right, p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -140,8 +288,8 @@ func (r *Runner) buildJoin(n *plan.Node) (Iterator, []query.ColumnRef, error) {
 	var eqs []eq
 	primary := -1
 	for _, e := range crossing {
-		for pi, p := range g.Edges[e].Preds {
-			lp, rp := p.Left, p.Right
+		for pi, pred := range g.Edges[e].Preds {
+			lp, rp := pred.Left, pred.Right
 			lpos := colPos(ls, lp)
 			rpos := colPos(rs, rp)
 			if lpos < 0 { // predicate written the other way round
@@ -154,6 +302,7 @@ func (r *Runner) buildJoin(n *plan.Node) (Iterator, []query.ColumnRef, error) {
 			eqs = append(eqs, eq{lpos, len(ls) + rpos})
 			if e == n.Edge && pi == n.Pred {
 				primary = len(eqs) - 1
+				st.Detail = fmt.Sprintf("%s = %s", g.ColumnName(lp), g.ColumnName(rp))
 			}
 		}
 	}
@@ -188,7 +337,7 @@ func (r *Runner) buildJoin(n *plan.Node) (Iterator, []query.ColumnRef, error) {
 		if len(eqs) > 1 {
 			it = &Filter{In: it, Pred: residualFrom(primary)}
 		}
-		return it, schema, nil
+		return r.wrap(it, st), schema, nil
 	case plan.HashJoin:
 		it := Iterator(&HashJoin{
 			Left: left, Right: right,
@@ -198,7 +347,7 @@ func (r *Runner) buildJoin(n *plan.Node) (Iterator, []query.ColumnRef, error) {
 		if len(eqs) > 1 {
 			it = &Filter{In: it, Pred: residualFrom(primary)}
 		}
-		return it, schema, nil
+		return r.wrap(it, st), schema, nil
 	default: // NestedLoopJoin
 		nl := &NestedLoopJoin{
 			Outer: left, Inner: right,
@@ -211,26 +360,34 @@ func (r *Runner) buildJoin(n *plan.Node) (Iterator, []query.ColumnRef, error) {
 				return true
 			},
 		}
-		return nl, schema, nil
+		return r.wrap(nl, st), schema, nil
 	}
 }
 
-// sortKeys maps an ordering's attributes to schema positions.
-func (r *Runner) sortKeys(ord order.ID, schema []query.ColumnRef) ([]int, error) {
+// sortKeys maps an ordering's attributes to schema positions, resolving
+// columns the schema only carries as equated twins through the join
+// equivalence classes.
+func (r *Runner) sortKeys(ord order.ID, schema []query.ColumnRef) ([]int, string, error) {
 	seq := r.A.Builder.Interner().Seq(ord)
 	keys := make([]int, 0, len(seq))
+	detail := ""
 	for _, at := range seq {
 		c, ok := r.A.ColumnOf(at)
 		if !ok {
-			return nil, fmt.Errorf("exec: sort attribute %d has no column", at)
+			return nil, "", fmt.Errorf("exec: sort attribute %d has no column", at)
 		}
-		pos := colPos(schema, c)
+		pos := r.colPosEquiv(schema, c)
 		if pos < 0 {
-			return nil, fmt.Errorf("exec: sort column %s not in schema", r.A.Graph.ColumnName(c))
+			return nil, "", fmt.Errorf("exec: sort column %s not in schema (nor any equated column)",
+				r.A.Graph.ColumnName(c))
 		}
 		keys = append(keys, pos)
+		if detail != "" {
+			detail += ", "
+		}
+		detail += r.A.Graph.ColumnName(c)
 	}
-	return keys, nil
+	return keys, detail, nil
 }
 
 func colPos(schema []query.ColumnRef, c query.ColumnRef) int {
@@ -242,10 +399,75 @@ func colPos(schema []query.ColumnRef, c query.ColumnRef) int {
 	return -1
 }
 
+// colPosEquiv is colPos with a fallback through the query's column
+// equivalence classes: when c itself is not in the schema, any column
+// equated to it by the join predicates (transitively) stands in. This
+// is what lifts the old "ORDER BY ⊆ GROUP BY" executor restriction —
+// a plan may group by a.x and order by b.y with a.x = b.y, or order a
+// join output by whichever twin of an equated pair the DP kept.
+func (r *Runner) colPosEquiv(schema []query.ColumnRef, c query.ColumnRef) int {
+	if pos := colPos(schema, c); pos >= 0 {
+		return pos
+	}
+	classes := r.equivClasses()
+	class, ok := classes[c]
+	if !ok {
+		return -1
+	}
+	for i, s := range schema {
+		if sc, ok := classes[s]; ok && sc == class {
+			return i
+		}
+	}
+	return -1
+}
+
+// equivClasses unions columns across every join equality predicate;
+// columns in one class carry equal values in any join output that
+// applied the predicates.
+func (r *Runner) equivClasses() map[query.ColumnRef]int {
+	if r.equiv != nil {
+		return r.equiv
+	}
+	g := r.A.Graph
+	parent := map[query.ColumnRef]query.ColumnRef{}
+	var find func(c query.ColumnRef) query.ColumnRef
+	find = func(c query.ColumnRef) query.ColumnRef {
+		p, ok := parent[c]
+		if !ok || p == c {
+			parent[c] = c
+			return c
+		}
+		root := find(p)
+		parent[c] = root
+		return root
+	}
+	for e := range g.Edges {
+		for _, pred := range g.Edges[e].Preds {
+			parent[find(pred.Left)] = find(pred.Right)
+		}
+	}
+	classes := map[query.ColumnRef]int{}
+	ids := map[query.ColumnRef]int{}
+	for c := range parent {
+		root := find(c)
+		id, ok := ids[root]
+		if !ok {
+			id = len(ids)
+			ids[root] = id
+		}
+		classes[c] = id
+	}
+	r.equiv = classes
+	return classes
+}
+
 func relMask(schema []query.ColumnRef) uint64 {
 	var m uint64
 	for _, c := range schema {
-		m |= 1 << uint(c.Rel)
+		if c.Rel >= 0 {
+			m |= 1 << uint(c.Rel)
+		}
 	}
 	return m
 }

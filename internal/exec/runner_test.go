@@ -135,8 +135,9 @@ func TestGroupedPlansProduceCorrectResults(t *testing.T) {
 					name, len(rows), len(refGroups), res.Best)
 			}
 
-			// The schema of a grouped plan is the grouping columns.
-			if len(schema) != len(g.GroupBy) {
+			// The schema of a grouped plan is the grouping columns
+			// followed by the aggregate column.
+			if len(schema) != len(g.GroupBy)+1 || schema[len(schema)-1] != AggColumn {
 				t.Fatalf("%s: grouped schema = %v", name, schema)
 			}
 		}
@@ -236,5 +237,182 @@ func TestRunnerErrors(t *testing.T) {
 	}
 	if _, _, err := runner.Run(&plan.Node{Op: plan.Op(99)}); err == nil {
 		t.Error("unknown operator must fail")
+	}
+}
+
+// TestPipelineStats: the compiled pipeline reports per-operator row
+// counts and (when enabled) wall time, and RowsSorted totals the sort
+// traffic.
+func TestPipelineStats(t *testing.T) {
+	_, g, err := querygen.Generate(querygen.Spec{
+		Relations: 2, ExtraEdges: 0, Seed: 3, ColumnsPerTable: 2, SelectionProb: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := query.Analyze(g, query.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := querygen.GenerateData(g, 8, 1)
+
+	pred := g.Edges[0].Preds[0]
+	p := &plan.Node{
+		Op: plan.MergeJoin, Edge: 0, Pred: 0,
+		Left: &plan.Node{
+			Op: plan.Sort, SortOrd: a.Ordering(pred.Left),
+			Left: &plan.Node{Op: plan.TableScan, Rel: pred.Left.Rel},
+		},
+		Right: &plan.Node{
+			Op: plan.Sort, SortOrd: a.Ordering(pred.Right),
+			Left: &plan.Node{Op: plan.TableScan, Rel: pred.Right.Rel},
+		},
+	}
+	runner := &Runner{A: a, Data: data}
+	pipe, err := runner.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pipe.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.Ops) != 5 {
+		t.Fatalf("ops = %v", pipe.Ops)
+	}
+	if pipe.Ops[0].Op != "MergeJoin" || pipe.Ops[0].Rows != int64(len(rows)) {
+		t.Errorf("root op stats = %+v, rows = %d", pipe.Ops[0], len(rows))
+	}
+	// Both sorts saw all 8 base rows each.
+	if got := pipe.RowsSorted(); got != 16 {
+		t.Errorf("RowsSorted = %d, want 16", got)
+	}
+	for _, op := range pipe.Ops {
+		if op.Op == "TableScan" && op.Rows != 8 {
+			t.Errorf("scan rows = %+v", op)
+		}
+		if op.TimeNs == 0 && op.Rows > 0 {
+			t.Errorf("timing enabled but %s has TimeNs 0", op.Op)
+		}
+	}
+
+	// Timing off: rows still counted, clocks zero.
+	runner2 := &Runner{A: a, Data: data, DisableTiming: true}
+	pipe2, err := runner2.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe2.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range pipe2.Ops {
+		if op.TimeNs != 0 {
+			t.Errorf("timing disabled but %s has TimeNs %d", op.Op, op.TimeNs)
+		}
+	}
+	if pipe2.Ops[0].Rows != int64(len(rows)) {
+		t.Error("row counting must survive DisableTiming")
+	}
+}
+
+// TestOrderByEquatedColumn is the lifted executor restriction: a query
+// grouping by t0.c0 but ordering by the equated t1.c0 (t0.c0 = t1.c0)
+// must execute — the ORDER BY column is resolved through the join
+// equivalence class even though the group output only carries t0.c0.
+func TestOrderByEquatedColumn(t *testing.T) {
+	_, g, err := querygen.Generate(querygen.Spec{
+		Relations: 2, Seed: 5, ColumnsPerTable: 3, SelectionProb: -1, NoOrderBy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := g.Edges[0].Preds[0]
+	g.GroupBy = []query.ColumnRef{pred.Left}
+	g.OrderBy = []query.ColumnRef{pred.Right} // the equated twin
+	data := querygen.GenerateData(g, 10, 7)
+
+	a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true, TrackGroupings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimizer.Optimize(a, optimizer.DefaultConfig(optimizer.ModeDFSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{A: a, Data: data}
+	rows, schema, err := runner.Run(res.Best)
+	if err != nil {
+		t.Fatalf("executing ORDER BY over an equated column failed: %v\n%s", err, res.Best)
+	}
+	if len(schema) != 2 || schema[0] != pred.Left || schema[1] != AggColumn {
+		t.Fatalf("schema = %v", schema)
+	}
+	// The group keys equal the join values, so ordering by the twin is
+	// ordering by the key: the output must be sorted on column 0.
+	if !SatisfiesOrdering(rows, []int{0}) {
+		t.Fatalf("output not ordered by the equated column:\n%v", rows)
+	}
+	// Groups agree with brute force + hash grouping.
+	ref, refSchema, err := BruteForce(a, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refGroups, err := Collect(&GroupHash{In: NewScan(ref), Keys: []int{colPos(refSchema, pred.Left)}, Agg: AggCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(rows, refGroups) {
+		t.Fatalf("grouped result differs from reference\n%v\nvs\n%v", rows, refGroups)
+	}
+}
+
+// TestRunnerIndexedData: with a dataset-maintained index the index scan
+// streams the presorted view (no runtime sort), and results match the
+// sort-fallback path.
+func TestRunnerIndexedData(t *testing.T) {
+	cat, g, err := querygen.Generate(querygen.Spec{
+		Relations: 2, Seed: 9, ColumnsPerTable: 2, SelectionProb: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a relation with an index to scan.
+	rel, ix := -1, -1
+	for r := range a.IndexOrders {
+		if len(a.IndexOrders[r]) > 0 {
+			rel, ix = r, 0
+			break
+		}
+	}
+	if rel < 0 {
+		t.Skip("generated schema has no indexes for this seed")
+	}
+	ds := QuerygenDataset("t", cat, g, 12, 3)
+	p := &plan.Node{Op: plan.IndexScan, Rel: rel, Index: ix}
+
+	withIndex := ds.Runner(a)
+	rows1, _, err := withIndex.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := &Runner{A: a, Data: ds.Rows} // no Indexed: falls back to sorting
+	rows2, _, err := plain.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(rows1, rows2) {
+		t.Fatal("indexed and sort-fallback scans disagree")
+	}
+	t1 := g.Relations[rel].Table
+	keys := make([]int, len(t1.Indexes[ix].Columns))
+	for i, name := range t1.Indexes[ix].Columns {
+		keys[i] = t1.ColumnIndex(name)
+	}
+	if !SatisfiesOrdering(rows1, keys) {
+		t.Fatal("indexed scan not in index order")
 	}
 }

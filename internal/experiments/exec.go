@@ -1,0 +1,321 @@
+// The end-to-end execution experiment: the paper's thesis measured at
+// runtime. The same query over the same data is planned three ways —
+// with the DFSM order framework, with the Simmen baseline (both pick
+// sort-avoiding merge-join / ordered-grouping pipelines where the cost
+// model says so), and order-obliviously (merge joins, index orders and
+// ordered grouping disabled: hash everything, one sort at the very top)
+// — and each plan is executed by the streaming executor. Wall-clock
+// runtime and rows-sorted quantify what O(1) order reasoning buys where
+// it finally matters: not plan-generation microseconds but query
+// execution (Simmen et al.'s original motivation for order
+// optimization).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"orderopt/internal/exec"
+	"orderopt/internal/optimizer"
+	"orderopt/internal/plan"
+	"orderopt/internal/query"
+	"orderopt/internal/querygen"
+	"orderopt/internal/tpcr"
+)
+
+// ExecVariant names one planning configuration of the runtime
+// comparison.
+type ExecVariant struct {
+	Name    string
+	Analyze query.AnalyzeOptions
+	Config  optimizer.Config
+}
+
+// ExecVariants returns the experiment's three planning configurations.
+func ExecVariants() []ExecVariant {
+	oblivious := optimizer.DefaultConfig(optimizer.ModeDFSM)
+	oblivious.DisableMergeJoin = true
+	oblivious.DisableOrderedGrouping = true
+	return []ExecVariant{
+		{
+			Name:    "dfsm",
+			Analyze: query.AnalyzeOptions{UseIndexes: true, TrackGroupings: true},
+			Config:  optimizer.DefaultConfig(optimizer.ModeDFSM),
+		},
+		{
+			Name:    "simmen",
+			Analyze: query.AnalyzeOptions{UseIndexes: true},
+			Config:  optimizer.DefaultConfig(optimizer.ModeSimmen),
+		},
+		{
+			Name: "oblivious",
+			// No index orders either: the baseline has no way to obtain
+			// (or exploit) a physical ordering below the final sort.
+			Analyze: query.AnalyzeOptions{},
+			Config:  oblivious,
+		},
+	}
+}
+
+// ExecSpec parameterizes the execution experiment.
+type ExecSpec struct {
+	// Datasets names the TPC-R datasets to run Q8 over (default
+	// tpcr-mid and tpcr-large).
+	Datasets []string
+	// Runs is the number of timed executions per measurement; the
+	// minimum is reported (default 3).
+	Runs int
+	// QuerygenQueries is the number of generated grouped join queries
+	// (default 3); QuerygenRelations and QuerygenRows size each
+	// (defaults 5 relations, 48 rows per table).
+	QuerygenQueries   int
+	QuerygenRelations int
+	QuerygenRows      int
+	// Seed offsets workload generation.
+	Seed int64
+}
+
+func (s *ExecSpec) defaults() {
+	if len(s.Datasets) == 0 {
+		s.Datasets = []string{"tpcr-mid", "tpcr-large"}
+	}
+	if s.Runs == 0 {
+		s.Runs = 3
+	}
+	if s.QuerygenQueries == 0 {
+		s.QuerygenQueries = 3
+	}
+	if s.QuerygenRelations == 0 {
+		s.QuerygenRelations = 5
+	}
+	if s.QuerygenRows == 0 {
+		s.QuerygenRows = 48
+	}
+}
+
+// ExecRow is one (workload, variant) measurement.
+type ExecRow struct {
+	Workload string
+	Variant  string // dfsm, simmen or oblivious
+
+	// PlanTime is prep + DP for this variant (one-time per query).
+	PlanTime time.Duration
+	// ExecTime is the minimum pipeline wall time over the spec's runs.
+	ExecTime time.Duration
+	// Rows is the result cardinality; identical across variants of one
+	// workload (verified, together with a value checksum).
+	Rows int64
+	// RowsSorted counts rows that passed through Sort operators —
+	// including the sorts index scans fall back to when the dataset
+	// maintains no presorted view.
+	RowsSorted int64
+	// MergeJoins / HashJoins / Sorts / HashGroups count the pipeline's
+	// operators by kind (sorted+clustered grouping under OrderedGroups).
+	MergeJoins    int
+	HashJoins     int
+	Sorts         int
+	HashGroups    int
+	OrderedGroups int
+}
+
+// ExecWorkload is one query + dataset the variants all run; shared by
+// the exec table and the root BenchmarkExecRuntime.
+type ExecWorkload struct {
+	Name    string
+	Graph   *query.Graph
+	Dataset *exec.Dataset
+}
+
+// ExecWorkloads builds the experiment's workload set: TPC-R Q8 and the
+// order-flow query per dataset (statistics restated to the dataset),
+// plus generated grouped join queries.
+func ExecWorkloads(spec ExecSpec) ([]ExecWorkload, error) {
+	spec.defaults()
+	var out []ExecWorkload
+	reg := exec.TPCRRegistry()
+	for _, name := range spec.Datasets {
+		ds, ok := reg.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown TPC-R dataset %q (have %v)", name, reg.Names())
+		}
+		_, g, err := tpcr.Query8Graph()
+		if err != nil {
+			return nil, err
+		}
+		// Plan against the dataset's real statistics, not the SF-1
+		// catalog numbers: cost-based sort-vs-hash decisions only mean
+		// anything at runtime if the estimates describe the actual data.
+		ds.ApplyStats(g)
+		out = append(out, ExecWorkload{Name: "q8/" + name, Graph: g, Dataset: ds})
+
+		_, og, err := tpcr.OrderStreamGraph()
+		if err != nil {
+			return nil, err
+		}
+		ds.ApplyStats(og)
+		out = append(out, ExecWorkload{Name: "orders/" + name, Graph: og, Dataset: ds})
+	}
+	shapes := querygen.Shapes()
+	for i := 0; i < spec.QuerygenQueries; i++ {
+		seed := spec.Seed + int64(i)
+		cat, g, err := querygen.Generate(querygen.Spec{
+			Relations:   spec.QuerygenRelations,
+			Shape:       shapes[i%len(shapes)],
+			Seed:        seed,
+			WithGroupBy: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("gen-%s%d-s%d", shapes[i%len(shapes)], spec.QuerygenRelations, seed)
+		ds := exec.QuerygenDataset(name, cat, g, spec.QuerygenRows, seed+500)
+		ds.ApplyStats(g)
+		out = append(out, ExecWorkload{Name: name, Graph: g, Dataset: ds})
+	}
+	return out, nil
+}
+
+// Exec runs the execution experiment: every workload under every
+// planning variant, with cross-variant result verification.
+func Exec(spec ExecSpec) ([]ExecRow, error) {
+	spec.defaults() // ExecWorkloads defaults its own copy; Runs is used here
+	workloads, err := ExecWorkloads(spec)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ExecRow
+	for _, w := range workloads {
+		var refRows int64
+		var refSum int64
+		for vi, v := range ExecVariants() {
+			row, count, sum, err := ExecOne(w.Graph, w.Dataset, v, spec.Runs)
+			if err != nil {
+				return nil, fmt.Errorf("exec %s/%s: %w", w.Name, v.Name, err)
+			}
+			row.Workload = w.Name
+			if vi == 0 {
+				refRows, refSum = count, sum
+			} else if count != refRows || sum != refSum {
+				return nil, fmt.Errorf("exec %s: variant %s result (%d rows, checksum %d) differs from %s (%d rows, checksum %d)",
+					w.Name, v.Name, count, sum, ExecVariants()[0].Name, refRows, refSum)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ExecOne plans the graph under one variant and executes the plan Runs
+// times over the dataset, returning the measurement plus the result
+// cardinality and a value checksum for cross-variant verification.
+func ExecOne(g *query.Graph, ds *exec.Dataset, v ExecVariant, runs int) (ExecRow, int64, int64, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	a, err := query.Analyze(g, v.Analyze)
+	if err != nil {
+		return ExecRow{}, 0, 0, err
+	}
+	res, err := optimizer.Optimize(a, v.Config)
+	if err != nil {
+		return ExecRow{}, 0, 0, err
+	}
+	row := ExecRow{
+		Variant:  v.Name,
+		PlanTime: res.PrepTime + res.PlanTime,
+	}
+	for op, n := range res.Best.Ops() {
+		switch op {
+		case plan.MergeJoin:
+			row.MergeJoins = n
+		case plan.HashJoin:
+			row.HashJoins = n
+		case plan.Sort:
+			row.Sorts = n
+		case plan.GroupHash:
+			row.HashGroups = n
+		case plan.GroupSorted, plan.GroupClustered:
+			row.OrderedGroups += n
+		}
+	}
+	runner := ds.Runner(a)
+	runner.DisableTiming = true // operator clocks off: measure the pipeline, not the meter
+	var sum int64
+	for i := 0; i < runs; i++ {
+		p, err := runner.Compile(res.Best)
+		if err != nil {
+			return ExecRow{}, 0, 0, err
+		}
+		begin := time.Now()
+		out, err := p.Execute()
+		elapsed := time.Since(begin)
+		if err != nil {
+			return ExecRow{}, 0, 0, err
+		}
+		if i == 0 {
+			row.ExecTime = elapsed
+			row.Rows = int64(len(out))
+			row.RowsSorted = p.RowsSorted()
+			if len(g.GroupBy) == 0 {
+				// Ungrouped results carry variant-dependent column
+				// orders (different join trees): canonicalize before
+				// checksumming so variants compare.
+				out = exec.Canonicalize(out, p.Schema, g)
+			}
+			sum = checksumRows(out)
+		} else if elapsed < row.ExecTime {
+			row.ExecTime = elapsed
+		}
+	}
+	return row, row.Rows, sum, nil
+}
+
+// checksumRows is an order-insensitive multiset checksum (rows hashed
+// individually, hashes summed): row order may differ across variants
+// (the ORDER BY fixes a prefix, ties are free). Columns must already
+// be positionally comparable — grouped outputs are by construction
+// (grouping columns then the aggregate), ungrouped outputs after
+// Canonicalize.
+func checksumRows(rows []exec.Row) int64 {
+	var sum int64
+	for _, r := range rows {
+		h := int64(1469598103934665603)
+		for _, v := range r {
+			h = (h ^ v) * 1099511628211
+		}
+		sum += h
+	}
+	return sum
+}
+
+// FormatExec renders the execution table plus the headline speedups
+// (dfsm vs oblivious runtime per workload).
+func FormatExec(rows []ExecRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-10s | %9s %9s | %8s %10s | %2s %2s %2s %2s %2s\n",
+		"workload", "variant", "plan(ms)", "exec(ms)", "rows", "rows-sorted", "mj", "hj", "so", "gh", "go")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-10s | %9.2f %9.2f | %8d %10d | %2d %2d %2d %2d %2d\n",
+			r.Workload, r.Variant, ms(r.PlanTime), ms(r.ExecTime),
+			r.Rows, r.RowsSorted,
+			r.MergeJoins, r.HashJoins, r.Sorts, r.HashGroups, r.OrderedGroups)
+	}
+	times := map[string]time.Duration{}
+	for _, r := range rows {
+		times[r.Workload+"/"+r.Variant] = r.ExecTime
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[r.Workload] {
+			continue
+		}
+		seen[r.Workload] = true
+		dfsm, obl := times[r.Workload+"/dfsm"], times[r.Workload+"/oblivious"]
+		if dfsm > 0 && obl > 0 {
+			fmt.Fprintf(&b, "%s: dfsm vs order-oblivious runtime = %.2fx\n",
+				r.Workload, float64(obl)/float64(dfsm))
+		}
+	}
+	return b.String()
+}

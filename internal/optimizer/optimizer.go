@@ -82,6 +82,16 @@ type Config struct {
 	DisableHashJoin bool
 	// DisableNLJoin removes nested-loop joins from the search space.
 	DisableNLJoin bool
+	// DisableMergeJoin removes merge joins from the search space. With
+	// order-producing scans also off (analyze without indexes) this
+	// yields the order-oblivious baseline the runtime experiments
+	// compare against: hash/NL joins only, grouping by hashing, one
+	// sort at the very top for the ORDER BY.
+	DisableMergeJoin bool
+	// DisableOrderedGrouping removes the sorted- and clustered-grouping
+	// candidates: GROUP BY always plans as hash grouping (the
+	// order-oblivious baseline's other half).
+	DisableOrderedGrouping bool
 }
 
 // DefaultConfig returns the configuration used by the experiments: all
@@ -702,6 +712,10 @@ func (o *optimizer) emitJoins(mask, s1 uint64, p1, p2 *plan.Node, edges []int, o
 		join(plan.HashJoin, p1, p2, plan.HashJoinCost(p1.Card, p2.Card, out), edges[0], 0)
 	}
 
+	if o.p.cfg.DisableMergeJoin {
+		return
+	}
+
 	// Merge joins: one candidate per equality predicate, sorting inputs
 	// that are not already suitably ordered. The linearized tier only
 	// considers predicates whose outer input already delivers its side's
@@ -832,6 +846,10 @@ func (o *optimizer) finishOne(p *plan.Node) []*plan.Node {
 		var grouped []*plan.Node
 		gcard := o.groupCard(p.Card)
 		for _, c := range cands {
+			if o.p.cfg.DisableOrderedGrouping {
+				grouped = append(grouped, o.groupNode(c, plan.GroupHash, gcard))
+				continue
+			}
 			// Sorted grouping works on any permutation of the grouping
 			// columns the input already satisfies.
 			matched := false

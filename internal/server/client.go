@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 
+	"orderopt/internal/exec"
 	"orderopt/internal/planner"
 )
 
@@ -70,6 +71,47 @@ type ExplainResponse struct {
 	// DFSM sizes (DFSM mode only).
 	NFSMStates int `json:"nfsmStates,omitempty"`
 	DFSMStates int `json:"dfsmStates,omitempty"`
+}
+
+// ExecuteRequest is the body of POST /execute.
+type ExecuteRequest struct {
+	SQL string `json:"sql"`
+	// Dataset names the registered dataset to run over; empty selects
+	// the server's default (first registered).
+	Dataset string `json:"dataset,omitempty"`
+	// MaxRows caps the rows returned in the response (the query always
+	// executes to completion; RowCount is the full cardinality).
+	// 0 means the server default (20); the server caps at 1000.
+	MaxRows int `json:"maxRows,omitempty"`
+}
+
+// ExecuteResponse is the result of /execute: the plan (as /plan reports
+// it) plus the execution outcome over the chosen dataset.
+type ExecuteResponse struct {
+	SQL      string    `json:"sql"`
+	Dataset  string    `json:"dataset"`
+	Source   string    `json:"source"`   // cold, prepared or cachehit
+	Strategy string    `json:"strategy"` // exact or linearized
+	Cost     float64   `json:"cost"`
+	Plan     *PlanNode `json:"plan"`
+	// Columns names the result columns; grouped queries end with the
+	// aggregate ("count(*)").
+	Columns []string `json:"columns"`
+	// RowCount is the full result cardinality; Rows the first MaxRows
+	// result rows (Truncated says whether RowCount exceeded them).
+	RowCount  int64     `json:"rowCount"`
+	Rows      [][]int64 `json:"rows"`
+	Truncated bool      `json:"truncated,omitempty"`
+	// RowsSorted totals the rows that passed through Sort operators —
+	// the runtime price of ordering this plan did (not avoid).
+	RowsSorted int64 `json:"rowsSorted"`
+	// PlanNs is the dynamic-programming time (0 on plan-cache hits);
+	// ExecNs the pipeline execution wall time.
+	PlanNs int64 `json:"planNs,omitempty"`
+	ExecNs int64 `json:"execNs"`
+	// Operators reports per-operator row/time counters in plan
+	// preorder.
+	Operators []exec.OpStats `json:"operators"`
 }
 
 // EndpointStats are one endpoint's served-traffic counters. Requests
@@ -152,6 +194,23 @@ func (c *Client) Plan(sql string) (*PlanResponse, error) {
 func (c *Client) Explain(sql string) (*ExplainResponse, error) {
 	var resp ExplainResponse
 	if err := c.post("/explain", sql, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Execute plans req.SQL and runs the plan over the named dataset.
+func (c *Client) Execute(req ExecuteRequest) (*ExecuteResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.httpClient().Post(c.BaseURL+"/execute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var resp ExecuteResponse
+	if err := decode(res, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

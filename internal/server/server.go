@@ -12,18 +12,26 @@
 //	               (cold | prepared | cachehit); GET /plan?q=... works too
 //	POST /explain  same request → rendered physical plan and the
 //	               order/grouping properties of the chosen plan
+//	POST /execute  {"sql": ..., "dataset": ..., "maxRows": ...} → the
+//	               query planned AND executed over a registered dataset:
+//	               result rows (truncated to maxRows), row counts,
+//	               rows-sorted and per-operator row/time counters.
+//	               Requires Config.Datasets.
 //	GET  /stats    planner counters, cache occupancy and per-endpoint
 //	               latency/throughput/shed counters
 //	GET  /healthz  liveness; 503 once draining
 //
-// Admission is bounded: at most Config.MaxInFlight planning requests run
-// concurrently, and requests beyond the bound are shed immediately with
-// 429 (Retry-After: 1) instead of queueing — under overload a planning
-// service must degrade by rejecting, not by growing latency for
-// everyone. /stats and /healthz bypass admission so the service stays
-// observable while saturated. Drain flips /healthz to 503 and rejects
-// new planning work with 503 while in-flight requests finish; pair it
-// with http.Server.Shutdown for a graceful SIGTERM (see cmd/planserverd).
+// docs/api.md is the full request/response reference.
+//
+// Admission is bounded: at most Config.MaxInFlight planning or execution
+// requests run concurrently, and requests beyond the bound are shed
+// immediately with 429 (Retry-After: 1) instead of queueing — under
+// overload the service must degrade by rejecting, not by growing
+// latency for everyone. /stats and /healthz bypass admission so the
+// service stays observable while saturated. Drain flips /healthz to 503
+// and rejects new work with 503 while in-flight requests finish; pair
+// it with http.Server.Shutdown for a graceful SIGTERM (see
+// cmd/planserverd).
 package server
 
 import (
@@ -34,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"orderopt/internal/exec"
 	"orderopt/internal/plan"
 	"orderopt/internal/planner"
 )
@@ -42,19 +51,33 @@ import (
 // Config.MaxInFlight is 0.
 const DefaultMaxInFlight = 64
 
+// DefaultExecuteMaxRows is the /execute response row cap when the
+// request does not set maxRows; ExecuteRowCap the hard ceiling.
+const (
+	DefaultExecuteMaxRows = 20
+	ExecuteRowCap         = 1000
+)
+
 // Config parameterizes a Server.
 type Config struct {
 	// Planner handles every planning request. Required.
 	Planner *planner.Planner
-	// MaxInFlight is the admission bound for /plan and /explain:
-	// 0 means DefaultMaxInFlight, negative disables admission control.
+	// MaxInFlight is the admission bound for /plan, /explain and
+	// /execute: 0 means DefaultMaxInFlight, negative disables admission
+	// control.
 	MaxInFlight int
+	// Datasets enables /execute: the registry of named in-memory
+	// databases requests can run over. The datasets' tables must match
+	// the planner's catalog (same names and column order). Nil leaves
+	// /execute answering 404-style errors.
+	Datasets *exec.Registry
 }
 
 // Server is the HTTP planning service. It is an http.Handler; all state
 // is safe for concurrent use.
 type Server struct {
 	pl          *planner.Planner
+	datasets    *exec.Registry
 	maxInFlight int
 	sem         chan struct{} // nil when admission control is disabled
 	mux         *http.ServeMux
@@ -64,6 +87,7 @@ type Server struct {
 
 	planMetrics    endpointMetrics
 	explainMetrics endpointMetrics
+	executeMetrics endpointMetrics
 
 	// admitted, when set, runs while an admission slot is held —
 	// the shedding tests park requests in it deterministically.
@@ -125,6 +149,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		pl:          cfg.Planner,
+		datasets:    cfg.Datasets,
 		maxInFlight: max,
 		start:       time.Now(),
 		mux:         http.NewServeMux(),
@@ -138,6 +163,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
 		s.servePlanning(w, r, &s.explainMetrics, s.explainResponse)
 	})
+	s.mux.HandleFunc("POST /execute", s.handleExecute)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -168,28 +194,11 @@ func (s *Server) servePlanning(w http.ResponseWriter, r *http.Request,
 	if !ok {
 		return
 	}
-	if s.draining.Load() {
-		m.rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	release, ok := s.admit(w, m)
+	if !ok {
 		return
 	}
-	if s.sem != nil {
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		default:
-			m.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests,
-				fmt.Sprintf("planning capacity exhausted (%d in flight)", s.maxInFlight))
-			return
-		}
-	}
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
-	if s.admitted != nil {
-		s.admitted()
-	}
+	defer release()
 
 	begin := time.Now()
 	resp, code, err := respond(sql)
@@ -200,6 +209,40 @@ func (s *Server) servePlanning(w http.ResponseWriter, r *http.Request,
 	}
 	m.record(time.Since(begin), false)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// admit runs the shared admission path — draining rejection, bounded
+// concurrency with 429 shedding, in-flight accounting. On success the
+// returned release must be deferred.
+func (s *Server) admit(w http.ResponseWriter, m *endpointMetrics) (release func(), ok bool) {
+	if s.draining.Load() {
+		m.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil, false
+	}
+	acquired := false
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			acquired = true
+		default:
+			m.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("serving capacity exhausted (%d in flight)", s.maxInFlight))
+			return nil, false
+		}
+	}
+	s.inFlight.Add(1)
+	if s.admitted != nil {
+		s.admitted()
+	}
+	return func() {
+		s.inFlight.Add(-1)
+		if acquired {
+			<-s.sem
+		}
+	}, true
 }
 
 // requestSQL extracts the statement from a GET ?q= or a POST JSON body.
@@ -297,6 +340,119 @@ func (s *Server) explainResponse(sql string) (any, int, error) {
 	return resp, 0, nil
 }
 
+// handleExecute plans the statement and runs the chosen plan over a
+// registered dataset, reporting result rows (truncated), per-operator
+// counters and the rows-sorted total. It shares the planning
+// endpoints' admission control.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	m := &s.executeMetrics
+	reject := func(code int, msg string) {
+		m.rejected.Add(1)
+		writeError(w, code, msg)
+	}
+	var req ExecuteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		reject(http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		reject(http.StatusBadRequest, "empty sql")
+		return
+	}
+	if s.datasets == nil {
+		reject(http.StatusNotFound, "no datasets registered (execution disabled)")
+		return
+	}
+	ds, ok := s.datasets.Get(req.Dataset)
+	if !ok {
+		reject(http.StatusBadRequest,
+			fmt.Sprintf("unknown dataset %q (have %s)", req.Dataset, strings.Join(s.datasets.Names(), ", ")))
+		return
+	}
+	release, ok := s.admit(w, m)
+	if !ok {
+		return
+	}
+	defer release()
+
+	begin := time.Now()
+	resp, code, err := s.executeResponse(req, ds)
+	if err != nil {
+		m.record(time.Since(begin), true)
+		writeError(w, code, err.Error())
+		return
+	}
+	m.record(time.Since(begin), false)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) executeResponse(req ExecuteRequest, ds *exec.Dataset) (*ExecuteResponse, int, error) {
+	pd, q, err := s.pl.PlanQuery(req.SQL)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	org := origin(pd, q)
+	runner := ds.Runner(org.Analysis())
+	pipe, err := runner.Compile(pd.Best)
+	if err != nil {
+		// The plan is valid but the dataset cannot serve it (e.g. a
+		// table without data): the client picked the wrong dataset.
+		return nil, http.StatusBadRequest, err
+	}
+	execBegin := time.Now()
+	rows, err := pipe.Execute()
+	if err != nil {
+		// Guard-rail failures (unsorted merge input, reopened group)
+		// mean the planner emitted an unsound plan — a server bug.
+		return nil, http.StatusInternalServerError, fmt.Errorf("executing plan: %w", err)
+	}
+	execNs := time.Since(execBegin).Nanoseconds()
+
+	maxRows := req.MaxRows
+	if maxRows <= 0 {
+		maxRows = DefaultExecuteMaxRows
+	}
+	if maxRows > ExecuteRowCap {
+		maxRows = ExecuteRowCap
+	}
+	resp := &ExecuteResponse{
+		SQL:      req.SQL,
+		Dataset:  ds.Name,
+		Source:   pd.Source.String(),
+		Strategy: org.Prepared().Strategy().String(),
+		Cost:     pd.Cost,
+		Plan:     planJSON(pd.Best, org),
+		RowCount: int64(len(rows)),
+		ExecNs:   execNs,
+	}
+	if pd.Result != nil {
+		resp.PlanNs = pd.Result.PlanTime.Nanoseconds()
+	}
+	g := org.Prepared().Graph()
+	for _, c := range pipe.Schema {
+		if c == exec.AggColumn {
+			resp.Columns = append(resp.Columns, "count(*)")
+		} else {
+			resp.Columns = append(resp.Columns, g.ColumnName(c))
+		}
+	}
+	out := rows
+	if len(out) > maxRows {
+		out = out[:maxRows]
+		resp.Truncated = true
+	}
+	resp.Rows = make([][]int64, len(out))
+	for i, row := range out {
+		resp.Rows[i] = row
+	}
+	resp.RowsSorted = pipe.RowsSorted()
+	resp.Operators = make([]exec.OpStats, len(pipe.Ops))
+	for i, op := range pipe.Ops {
+		resp.Operators[i] = *op
+	}
+	return resp, 0, nil
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &StatsResponse{
 		UptimeSec:   time.Since(s.start).Seconds(),
@@ -307,6 +463,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints: map[string]EndpointStats{
 			"plan":    s.planMetrics.snapshot(),
 			"explain": s.explainMetrics.snapshot(),
+			"execute": s.executeMetrics.snapshot(),
 		},
 	})
 }

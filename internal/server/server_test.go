@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"orderopt/internal/exec"
 	"orderopt/internal/planner"
 	"orderopt/internal/tpcr"
 )
@@ -373,5 +374,183 @@ func TestStrategyReporting(t *testing.T) {
 	if st.Planner.PlanRunsExact != 2 || st.Planner.PlanRunsLinearized != 0 {
 		t.Errorf("/stats per-strategy runs = %d/%d, want 2/0",
 			st.Planner.PlanRunsExact, st.Planner.PlanRunsLinearized)
+	}
+}
+
+func newExecServer(t *testing.T) (*Server, *Client, func()) {
+	t.Helper()
+	return newTestServer(t, Config{Datasets: exec.TPCRRegistry()})
+}
+
+func TestExecuteEndpoint(t *testing.T) {
+	_, c, done := newExecServer(t)
+	defer done()
+
+	sql := "select * from orders, lineitem where o_orderkey = l_orderkey order by o_orderkey"
+	resp, err := c.Execute(ExecuteRequest{SQL: sql, Dataset: "tpcr-small", MaxRows: 5})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if resp.Dataset != "tpcr-small" || resp.Source != "cold" {
+		t.Errorf("dataset/source = %q/%q", resp.Dataset, resp.Source)
+	}
+	if resp.Plan == nil || resp.Cost <= 0 {
+		t.Fatalf("missing plan tree: %+v", resp)
+	}
+	if resp.RowCount <= 0 || len(resp.Rows) != 5 || !resp.Truncated {
+		t.Fatalf("rows: count=%d returned=%d truncated=%v", resp.RowCount, len(resp.Rows), resp.Truncated)
+	}
+	if len(resp.Columns) != 8 {
+		t.Errorf("columns = %v", resp.Columns)
+	}
+	if len(resp.Operators) == 0 {
+		t.Error("no operator stats")
+	}
+	var rowsOut int64
+	for _, op := range resp.Operators {
+		if op.Op == "MergeJoin" || op.Op == "HashJoin" || op.Op == "NestedLoopJoin" {
+			rowsOut = op.Rows
+			break
+		}
+	}
+	if rowsOut != resp.RowCount {
+		t.Errorf("join op rows %d != rowCount %d", rowsOut, resp.RowCount)
+	}
+	if resp.ExecNs <= 0 {
+		t.Error("no execution time reported")
+	}
+	// The ordered merge pipeline should not have sorted anything.
+	if resp.RowsSorted != 0 {
+		t.Errorf("rowsSorted = %d, want 0 (clustered indexes deliver the order)", resp.RowsSorted)
+	}
+	// Ordering physically holds on the returned rows (o_orderkey first).
+	for i := 1; i < len(resp.Rows); i++ {
+		if resp.Rows[i][0] < resp.Rows[i-1][0] {
+			t.Fatalf("result rows not ordered: %v", resp.Rows)
+		}
+	}
+
+	// Second request: same plan from the cache, default dataset.
+	again, err := c.Execute(ExecuteRequest{SQL: sql})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Source != "cachehit" {
+		t.Errorf("second execute source = %q, want cachehit", again.Source)
+	}
+	if again.Dataset != "tpcr-small" {
+		t.Errorf("default dataset = %q", again.Dataset)
+	}
+	if again.RowCount != resp.RowCount {
+		t.Errorf("row counts differ across runs: %d vs %d", again.RowCount, resp.RowCount)
+	}
+
+	// A grouped query ends with the aggregate column.
+	grouped, err := c.Execute(ExecuteRequest{
+		SQL: "select * from orders, customer where o_custkey = c_custkey group by c_nationkey order by c_nationkey",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(grouped.Columns); n == 0 || grouped.Columns[n-1] != "count(*)" {
+		t.Errorf("grouped columns = %v", grouped.Columns)
+	}
+
+	// /stats now carries the execute endpoint.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Endpoints["execute"].Requests != 3 {
+		t.Errorf("execute endpoint stats = %+v", st.Endpoints["execute"])
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	_, c, done := newExecServer(t)
+	defer done()
+
+	if _, err := c.Execute(ExecuteRequest{SQL: "select * from nation", Dataset: "nope"}); err == nil {
+		t.Error("unknown dataset must fail")
+	} else if se := new(StatusError); !asStatus(err, &se) || se.Code != http.StatusBadRequest {
+		t.Errorf("unknown dataset error = %v", err)
+	}
+	if _, err := c.Execute(ExecuteRequest{SQL: ""}); err == nil {
+		t.Error("empty sql must fail")
+	}
+	if _, err := c.Execute(ExecuteRequest{SQL: "select * from not_a_table"}); err == nil {
+		t.Error("binding failure must fail")
+	}
+
+	// Without a registry /execute is disabled.
+	_, noExec, done2 := newTestServer(t, Config{})
+	defer done2()
+	if _, err := noExec.Execute(ExecuteRequest{SQL: "select * from nation"}); err == nil {
+		t.Error("execute without datasets must fail")
+	} else if se := new(StatusError); !asStatus(err, &se) || se.Code != http.StatusNotFound {
+		t.Errorf("disabled execute error = %v", err)
+	}
+}
+
+func TestExecuteDraining(t *testing.T) {
+	s, c, done := newExecServer(t)
+	defer done()
+	s.Drain()
+	_, err := c.Execute(ExecuteRequest{SQL: "select * from nation"})
+	if se := new(StatusError); !asStatus(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining execute error = %v", err)
+	}
+}
+
+// TestExecuteConcurrent hammers one server with parallel /execute
+// requests over multiple datasets — shared immutable datasets, the
+// plan cache, and per-request pipelines must all be race-free (run
+// under -race via make race).
+func TestExecuteConcurrent(t *testing.T) {
+	_, c, done := newExecServer(t)
+	defer done()
+
+	sqls := []string{
+		"select * from orders, lineitem where o_orderkey = l_orderkey order by o_orderkey",
+		"select * from orders, customer where o_custkey = c_custkey group by c_nationkey order by c_nationkey",
+		"select * from nation, region where n_regionkey = r_regionkey order by n_name",
+	}
+	datasets := []string{"tpcr-small", "tpcr-mid", ""}
+	const workers = 8
+	const perWorker = 6
+
+	counts := make(map[string]int64) // sql+dataset → rowCount, must be stable
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sql := sqls[(w+i)%len(sqls)]
+				ds := datasets[(w+i)%len(datasets)]
+				resp, err := c.Execute(ExecuteRequest{SQL: sql, Dataset: ds, MaxRows: 3})
+				if err != nil {
+					errs <- err
+					return
+				}
+				key := resp.Dataset + "|" + sql
+				mu.Lock()
+				if prev, ok := counts[key]; ok && prev != resp.RowCount {
+					errs <- fmt.Errorf("%s: row count changed %d → %d", key, prev, resp.RowCount)
+					mu.Unlock()
+					return
+				}
+				counts[key] = resp.RowCount
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

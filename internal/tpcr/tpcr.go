@@ -176,9 +176,12 @@ func Query8Graph() (*catalog.Catalog, *query.Graph, error) {
 		}
 	}
 	sels := []query.ConstPred{
-		{Col: ref("region", "r_name"), Kind: query.EqConst},
-		{Col: ref("part", "p_type"), Kind: query.EqConst},
-		{Col: ref("orders", "o_orderdate"), Kind: query.RangePred, Selectivity: 0.3},
+		{Col: ref("region", "r_name"), Kind: query.EqConst,
+			Literal: AmericaCode, HasLiteral: true},
+		{Col: ref("part", "p_type"), Kind: query.EqConst,
+			Literal: EconomyAnodizedSteelCode, HasLiteral: true},
+		{Col: ref("orders", "o_orderdate"), Kind: query.RangePred, Selectivity: 0.3,
+			Literal: OrderDateCutoff, HasLiteral: true},
 	}
 	for _, s := range sels {
 		if err := g.AddConstPred(s); err != nil {
@@ -191,6 +194,68 @@ func Query8Graph() (*catalog.Catalog, *query.Graph, error) {
 	g.OrderBy = []query.ColumnRef{ref("orders", "o_orderdate")}
 	return c, g, nil
 }
+
+// OrderStreamGraph builds a TPC-R Q3-style order-flow query over the
+// schema: customer ⋈ orders ⋈ lineitem with a date range on
+// o_orderdate, the whole (large) join result ordered by o_orderkey.
+// It is the workload where order reasoning pays at its purest: the
+// clustered indexes on o_orderkey and l_orderkey let a merge-join
+// pipeline deliver the result order for free, while an order-oblivious
+// plan must re-sort the entire join output at the top — even when its
+// hash pipeline happens to preserve the very same order physically,
+// the planner cannot know that without reasoning about orders.
+func OrderStreamGraph() (*catalog.Catalog, *query.Graph, error) {
+	c := Schema()
+	g := &query.Graph{}
+	aliases := []string{"customer", "orders", "lineitem"}
+	idx := make(map[string]int, len(aliases))
+	for _, name := range aliases {
+		t, ok := c.Table(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("tpcr: missing table %s", name)
+		}
+		idx[name] = g.AddRelation(name, t)
+	}
+	ref := func(alias, col string) query.ColumnRef {
+		r := idx[alias]
+		ci := g.Relations[r].Table.ColumnIndex(col)
+		if ci < 0 {
+			panic(fmt.Sprintf("tpcr: unknown column %s.%s", alias, col))
+		}
+		return query.ColumnRef{Rel: r, Col: ci}
+	}
+	if err := g.AddJoin(ref("lineitem", "l_orderkey"), ref("orders", "o_orderkey")); err != nil {
+		return nil, nil, err
+	}
+	if err := g.AddJoin(ref("orders", "o_custkey"), ref("customer", "c_custkey")); err != nil {
+		return nil, nil, err
+	}
+	if err := g.AddConstPred(query.ConstPred{
+		Col: ref("orders", "o_orderdate"), Kind: query.RangePred, Selectivity: 0.3,
+		Literal: OrderDateCutoff, HasLiteral: true,
+	}); err != nil {
+		return nil, nil, err
+	}
+	g.OrderBy = []query.ColumnRef{ref("orders", "o_orderkey")}
+	return c, g, nil
+}
+
+// Dictionary codes of Q8's literals under Generate's value coding, so
+// executing the Q8 graph over generated data actually filters the way
+// the paper's query does (strings are dictionary-coded integers, dates
+// day numbers).
+const (
+	// AmericaCode codes r_name = 'AMERICA' (regions are numbered; one
+	// of the five matches).
+	AmericaCode = 1
+	// EconomyAnodizedSteelCode codes p_type = 'ECONOMY ANODIZED STEEL'
+	// (part types are drawn from 10 codes).
+	EconomyAnodizedSteelCode = 3
+	// OrderDateCutoff is the day number ~70% into Generate's two-year
+	// o_orderdate window; the ≥ range predicate then passes ~30% of
+	// orders, matching the graph's 0.3 selectivity estimate.
+	OrderDateCutoff = 9131 + 511
+)
 
 // Row counts for the synthetic mini data set (executor validation).
 type GenSpec struct {

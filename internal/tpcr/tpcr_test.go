@@ -128,3 +128,56 @@ func TestGenerateConsistentData(t *testing.T) {
 		}
 	}
 }
+
+func TestOrderStreamGraph(t *testing.T) {
+	_, g, err := OrderStreamGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Relations) != 3 || len(g.Edges) != 2 {
+		t.Fatalf("graph shape: %d relations, %d edges", len(g.Relations), len(g.Edges))
+	}
+	if len(g.OrderBy) != 1 || len(g.GroupBy) != 0 {
+		t.Fatalf("order/group: %v / %v", g.OrderBy, g.GroupBy)
+	}
+	a, err := query.Analyze(g, query.AnalyzeOptions{UseIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimizer.Optimize(a, optimizer.DefaultConfig(optimizer.ModeDFSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no plan")
+	}
+}
+
+func TestQ8LiteralsFilterGeneratedData(t *testing.T) {
+	// The Q8 literals must actually select: each predicate passes some
+	// rows and rejects some on generated data.
+	data := Generate(DefaultGenSpec())
+	_, g, err := Query8Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range g.Relations {
+		for _, p := range rel.ConstPreds {
+			if !p.HasLiteral {
+				t.Fatalf("%s: predicate without literal", rel.Alias)
+			}
+			pass, reject := 0, 0
+			for _, row := range data[rel.Table.Name] {
+				if p.Matches(row[p.Col.Col]) {
+					pass++
+				} else {
+					reject++
+				}
+			}
+			if pass == 0 || reject == 0 {
+				t.Errorf("%s predicate on col %d: pass=%d reject=%d (not selective)",
+					rel.Alias, p.Col.Col, pass, reject)
+			}
+		}
+	}
+}
