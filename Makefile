@@ -5,9 +5,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: check build vet fmt test race bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke examples
+.PHONY: check build vet fmt staticcheck test race faults bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke examples
 
-check: build vet fmt test
+check: build vet fmt staticcheck test
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# staticcheck runs when the binary is available (CI installs it; local
+# environments without it skip with a note rather than failing check).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
+
 test:
 	$(GO) test ./...
 
@@ -26,6 +34,20 @@ test:
 # is exercised by many goroutines through shared caches and pools.
 race:
 	$(GO) test -race ./...
+
+# faults runs the query-lifecycle hardening suite under the race
+# detector: the fault-injection scenario sweep (every operator hung,
+# errored and delayed), the executor's budget/cancellation tests and
+# the serving layer's timeout/budget/drain/retry tests. CI runs it as
+# its own step so a lifecycle regression is named, not buried.
+faults:
+	$(GO) test -race ./internal/faultinject/ \
+		-run 'TestScenariosAcrossOperators|TestFault|TestHang|TestDelay|TestTracker|TestMatches'
+	$(GO) test -race ./internal/exec/ \
+		-run 'TestAccountant|TestBudget|TestMergeJoinGroupRelease|TestCancelDuringExecute|TestDeadlineMidMergeJoin|TestExecuteContextDeadPipeline'
+	$(GO) test -race ./internal/server/ \
+		-run 'TestExecuteTimeout|TestExecuteDefaultTimeout|TestTimeoutClamp|TestExecuteBudget|TestGlobalMemBudget|TestExecuteClientCancel|TestDrainAndWait|TestClientRetry|TestRetryBackoff'
+	$(GO) test -race ./internal/experiments/ -run 'TestAbort'
 
 # bench runs the root-package benchmarks (the paper tables plus the
 # enumerator comparison) and records the compact machine-readable log

@@ -35,6 +35,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"orderopt/internal/experiments"
 	"orderopt/internal/optimizer"
@@ -60,6 +61,8 @@ func main() {
 	serveQPS := flag.Float64("serve-qps", 0, "aggregate QPS target for the serve table (0: unthrottled)")
 	serveQueries := flag.Int("serve-queries", 4, "generated queries in the serve table's mixed workload")
 	serveRelations := flag.Int("serve-relations", 6, "relations per generated serve query")
+	abortDuration := flag.Duration("abort-duration", time.Second, "per-phase duration of the serve table's saturation/abort workload")
+	abortVictims := flag.Int("abort-victims", 4, "faulted /execute clients in the saturation/abort workload")
 	largeShapes := flag.String("large-shapes", "chain,star,cycle,clique,grid", "join-graph shapes for the large table")
 	largeSizes := flag.String("large-sizes", "10,16,20,24,30", "relation counts for the large table")
 	largeSeeds := flag.Int("large-seeds", 3, "queries averaged per large configuration")
@@ -202,6 +205,16 @@ func main() {
 		})
 		die(err)
 		fmt.Print(experiments.FormatServe(rows))
+		fmt.Println()
+		fmt.Println("=== Saturation/abort: healthy planning QPS while faulted pipelines hang and time out ===")
+		abortRows, err := experiments.Abort(experiments.AbortSpec{
+			Mode:     optimizer.ModeDFSM,
+			Workers:  *serveWorkers,
+			Victims:  *abortVictims,
+			Duration: *abortDuration,
+		})
+		die(err)
+		fmt.Print(experiments.FormatAbort(abortRows))
 	}
 }
 

@@ -7,6 +7,8 @@
 //	planserverd -mode simmen         # baseline order framework
 //	planserverd -no-plan-cache       # every request re-runs the DP
 //	planserverd -no-exec             # planning only, no /execute
+//	planserverd -timeout 2s -mem-budget 268435456
+//	                                 # 2s default deadline, 256 MiB global memory budget
 //
 //	curl -s localhost:7432/plan -d '{"sql": "select * from nation, region where n_regionkey = r_regionkey order by n_name"}'
 //	curl -s 'localhost:7432/explain?q=select * from orders, customer where o_custkey = c_custkey'
@@ -62,6 +64,16 @@ func main() {
 		"how long a SIGTERM drain waits for in-flight requests")
 	noExec := flag.Bool("no-exec", false,
 		"disable /execute (skips generating the in-memory TPC-R datasets)")
+	timeout := flag.Duration("timeout", 0,
+		"default per-request deadline for requests without timeoutMs (0 means none)")
+	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout,
+		"clamp on client-supplied timeoutMs and -timeout")
+	memBudget := flag.Int64("mem-budget", 0,
+		"global bytes all concurrent /execute pipelines may materialize before 429 (0 means unlimited)")
+	queryRowsBudget := flag.Int64("query-rows-budget", 0,
+		"rows one /execute pipeline may materialize before 429 (0 means unlimited)")
+	queryMemBudget := flag.Int64("query-mem-budget", 0,
+		"bytes one /execute pipeline may materialize before 429 (0 means unlimited)")
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(),
 			"planserverd serves /plan, /explain, /execute, /stats and /healthz over the TPC-R schema — see docs/api.md and README.md.")
@@ -105,9 +117,13 @@ func main() {
 		datasets = exec.TPCRRegistry()
 	}
 	srv := server.New(server.Config{
-		Planner:     planner.New(cfg),
-		MaxInFlight: *maxInFlight,
-		Datasets:    datasets,
+		Planner:        planner.New(cfg),
+		MaxInFlight:    *maxInFlight,
+		Datasets:       datasets,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MemLimitBytes:  *memBudget,
+		QueryBudget:    exec.Budget{MaxRows: *queryRowsBudget, MaxBytes: *queryMemBudget},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -121,9 +137,14 @@ func main() {
 		defer close(drained)
 		<-ctx.Done()
 		log.Printf("planserverd: draining (up to %v)", *drainTimeout)
-		srv.Drain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// Wait for running pipelines first — Shutdown only waits for
+		// connections, and a budget- or deadline-bounded pipeline may
+		// still be mid-flight when its response write completes.
+		if err := srv.DrainAndWait(shutdownCtx); err != nil {
+			log.Printf("planserverd: requests still in flight after %v: %v", *drainTimeout, err)
+		}
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("planserverd: drain incomplete: %v", err)
 			httpSrv.Close()

@@ -33,7 +33,9 @@
 //	internal/server      HTTP/JSON service over the planner and
 //	                     executor: /plan, /explain, /execute, /stats,
 //	                     /healthz, bounded admission with 429
-//	                     shedding, graceful drain
+//	                     shedding, per-request deadlines, resource
+//	                     budgets, graceful drain that waits for
+//	                     running pipelines
 //	internal/planner     reentrant planning pipeline: prepared
 //	                     statements, fingerprinted concurrent plan
 //	                     cache, pooled optimizer scratch
@@ -54,9 +56,13 @@
 //	internal/sqlparse    SQL front end (parser + binder)
 //	internal/exec        streaming executor: pipelined operators,
 //	                     plan→pipeline compiler with per-operator
-//	                     counters, dataset registry; also the harness
-//	                     validating ordering claims on real tuple
-//	                     streams
+//	                     counters, query lifecycle (cancellation,
+//	                     deadlines, row/memory budgets), dataset
+//	                     registry; also the harness validating
+//	                     ordering claims on real tuple streams
+//	internal/faultinject fault-injection harness: operators made slow,
+//	                     broken or hung on purpose, Open/Close leak
+//	                     tracking, declarative failure scenarios
 //	internal/{querygen,tpcr,catalog}   workloads: random join graphs
 //	                     (chain/star/cycle/clique/grid) and TPC-R
 //	internal/experiments §6.2/§7 tables, sweeps, the planner throughput

@@ -138,10 +138,12 @@ func (p *Project) Close() error { return p.In.Close() }
 // Sort materializes its input and yields it ordered by Keys (ascending,
 // stable). It is the only operator that inherently materializes its
 // whole input — which is exactly why the order-optimization framework
-// exists to avoid it.
+// exists to avoid it. With a Life attached, every buffered row is
+// charged against the query's budget as it arrives.
 type Sort struct {
 	In   Iterator
 	Keys []int
+	Life *Life
 
 	rows []Row
 	pos  int
@@ -149,8 +151,27 @@ type Sort struct {
 
 // Open implements Iterator.
 func (s *Sort) Open() error {
-	rows, err := Collect(s.In)
-	if err != nil {
+	if err := s.In.Open(); err != nil {
+		s.In.Close()
+		return err
+	}
+	var rows []Row
+	for {
+		row, ok, err := s.In.Next()
+		if err != nil {
+			s.In.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := s.Life.holdRow(row); err != nil {
+			s.In.Close()
+			return err
+		}
+		rows = append(rows, row)
+	}
+	if err := s.In.Close(); err != nil {
 		return err
 	}
 	sort.SliceStable(rows, func(i, j int) bool {
@@ -196,13 +217,18 @@ type MergeJoin struct {
 	Left, Right Iterator
 	LeftKey     int
 	RightKey    int
+	// Life, when set, charges the buffered duplicate-key group against
+	// the query budget (released as the group is replaced).
+	Life *Life
 
-	left      Row   // current left row, nil when a new one is needed
-	group     []Row // current right duplicate-key group
-	groupKey  int64
-	haveGroup bool
-	gi        int  // cross-product cursor within group
-	matching  bool // left's key equals groupKey
+	left       Row   // current left row, nil when a new one is needed
+	group      []Row // current right duplicate-key group
+	groupKey   int64
+	haveGroup  bool
+	gi         int  // cross-product cursor within group
+	matching   bool // left's key equals groupKey
+	groupRows  int64
+	groupBytes int64
 
 	rightNext     Row // one-row lookahead into the right input
 	rightDone     bool
@@ -223,6 +249,8 @@ func (m *MergeJoin) Open() error {
 		return err
 	}
 	m.left, m.group, m.haveGroup, m.gi, m.matching = nil, m.group[:0], false, 0, false
+	m.Life.release(m.groupRows, m.groupBytes)
+	m.groupRows, m.groupBytes = 0, 0
 	m.rightNext, m.rightDone = nil, false
 	m.havePrevLeft, m.havePrevRight = false, false
 	m.opened = true
@@ -274,8 +302,13 @@ func (m *MergeJoin) buildGroup() (bool, error) {
 		}
 		m.rightNext = row
 	}
+	m.Life.release(m.groupRows, m.groupBytes)
+	m.groupRows, m.groupBytes = 0, 0
 	m.group = m.group[:0]
 	m.groupKey = m.rightNext[m.RightKey]
+	if err := m.holdGroupRow(m.rightNext); err != nil {
+		return false, err
+	}
 	m.group = append(m.group, m.rightNext)
 	m.rightNext = nil
 	for {
@@ -291,10 +324,27 @@ func (m *MergeJoin) buildGroup() (bool, error) {
 			m.rightNext = row
 			break
 		}
+		if err := m.holdGroupRow(row); err != nil {
+			return false, err
+		}
 		m.group = append(m.group, row)
 	}
 	m.haveGroup = true
 	return true, nil
+}
+
+// holdGroupRow charges one buffered group row against the budget,
+// tracking the group's total so it can be released when replaced.
+func (m *MergeJoin) holdGroupRow(row Row) error {
+	if m.Life == nil {
+		return nil
+	}
+	if err := m.Life.holdRow(row); err != nil {
+		return err
+	}
+	m.groupRows++
+	m.groupBytes += rowBytes(row)
+	return nil
 }
 
 // Next implements Iterator.
@@ -365,6 +415,8 @@ func (m *MergeJoin) Next() (Row, bool, error) {
 
 // Close implements Iterator.
 func (m *MergeJoin) Close() error {
+	m.Life.release(m.groupRows, m.groupBytes)
+	m.groupRows, m.groupBytes = 0, 0
 	m.group, m.left, m.rightNext = nil, nil, nil
 	m.haveGroup, m.matching = false, false
 	if !m.opened {
@@ -386,6 +438,9 @@ type HashJoin struct {
 	Left, Right Iterator
 	LeftKey     int
 	RightKey    int
+	// Life, when set, charges every build-side row against the query
+	// budget as the table is built.
+	Life *Life
 
 	table  map[int64][]Row
 	probe  Row   // current left row
@@ -408,6 +463,10 @@ func (h *HashJoin) Open() error {
 		}
 		if !ok {
 			break
+		}
+		if err := h.Life.holdRow(row); err != nil {
+			h.Right.Close()
+			return err
 		}
 		k := row[h.RightKey]
 		h.table[k] = append(h.table[k], row)
@@ -457,6 +516,9 @@ func (h *HashJoin) Close() error {
 type NestedLoopJoin struct {
 	Outer, Inner Iterator
 	Pred         func(outer, inner Row) bool
+	// Life, when set, charges the materialized inner input against the
+	// query budget.
+	Life *Life
 
 	inner  []Row
 	outer  Row
@@ -466,8 +528,27 @@ type NestedLoopJoin struct {
 
 // Open implements Iterator.
 func (n *NestedLoopJoin) Open() error {
-	rows, err := Collect(n.Inner)
-	if err != nil {
+	if err := n.Inner.Open(); err != nil {
+		n.Inner.Close()
+		return err
+	}
+	var rows []Row
+	for {
+		row, ok, err := n.Inner.Next()
+		if err != nil {
+			n.Inner.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := n.Life.holdRow(row); err != nil {
+			n.Inner.Close()
+			return err
+		}
+		rows = append(rows, row)
+	}
+	if err := n.Inner.Close(); err != nil {
 		return err
 	}
 	n.inner = rows
@@ -651,6 +732,9 @@ type GroupClustered struct {
 	Keys   []int
 	Agg    Agg
 	AggCol int
+	// Life, when set, charges the growing seen set (one entry per
+	// closed group) against the query budget.
+	Life *Life
 
 	g      groupAcc
 	opened bool
@@ -686,6 +770,9 @@ func (g *GroupClustered) Next() (Row, bool, error) {
 		if !g.seen.insert(row, g.Keys) {
 			return nil, false, fmt.Errorf("exec: clustered grouping over non-clustered input (group reappeared)")
 		}
+		if err := g.Life.hold(1, int64(len(g.Keys))*8+rowOverheadBytes); err != nil {
+			return nil, false, err
+		}
 		if g.g.started {
 			out := g.g.emit(g.Keys)
 			g.g.start(row, g.Agg, g.AggCol)
@@ -715,6 +802,9 @@ type GroupHash struct {
 	Keys   []int
 	Agg    Agg
 	AggCol int
+	// Life, when set, charges every distinct group's accumulator (which
+	// pins its first input row) against the query budget.
+	Life *Life
 
 	groups groupTable
 	pos    int
@@ -739,6 +829,9 @@ func (g *GroupHash) Open() error {
 		}
 		acc, fresh := g.groups.lookup(row, g.Keys)
 		if fresh {
+			if err := g.Life.holdRow(row); err != nil {
+				return err
+			}
 			acc.start(row, g.Agg, g.AggCol)
 		} else {
 			acc.add(row, g.Agg, g.AggCol)

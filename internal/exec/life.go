@@ -1,0 +1,239 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// This file is the query-lifecycle layer of the executor: cancellation,
+// deadlines and resource budgets. Every compiled pipeline carries one
+// Life; the per-operator stats wrappers check it for cancellation once
+// per row batch (CancelCheckInterval rows across the whole pipeline,
+// not per operator, so the hot path pays one counter increment per
+// row), and the materializing operators charge every row they hold
+// against it. A query therefore stops for exactly three reasons: it
+// finished, its context was cancelled (client disconnect or deadline),
+// or it hit a budget — and all three release whatever the query held.
+
+// ErrBudgetExceeded is the typed error every budget rejection wraps:
+// per-query row or byte budgets and the shared memory accountant all
+// surface through errors.Is(err, ErrBudgetExceeded). The serving layer
+// maps it to 429 — the query was too big for the resources it was
+// admitted under, which is load shedding, not a server fault.
+var ErrBudgetExceeded = errors.New("exec: query budget exceeded")
+
+// ErrCanceled wraps the context error when a pipeline observes
+// cancellation; errors.Is also matches the underlying context.Canceled
+// or context.DeadlineExceeded, which is what the serving layer switches
+// on (499-style client abort vs 504 deadline).
+var ErrCanceled = errors.New("exec: pipeline canceled")
+
+// CancelCheckInterval is how many rows flow through the pipeline's
+// stats wrappers between context checks. Cancellation latency is
+// bounded by this many Next calls (plus whatever single operator call
+// is in progress); per-row checks would put a ctx.Err() load on the
+// hottest loop in the system.
+const CancelCheckInterval = 256
+
+// rowOverheadBytes approximates the per-row allocation overhead
+// (slice header + allocator rounding) charged on top of the 8 bytes
+// per column when a row is materialized.
+const rowOverheadBytes = 48
+
+// rowBytes is the accounting size of a materialized row.
+func rowBytes(r Row) int64 { return int64(len(r))*8 + rowOverheadBytes }
+
+// Budget bounds what one query may materialize: build-side hash
+// tables, sort inputs, merge-join duplicate groups, nested-loop
+// inners and per-group accumulators all count. Zero fields are
+// unlimited.
+type Budget struct {
+	// MaxRows caps the rows held in memory at once across the
+	// pipeline's materializing operators.
+	MaxRows int64
+	// MaxBytes caps the approximate bytes those rows occupy.
+	MaxBytes int64
+}
+
+// Accountant is a global memory budget shared by every concurrently
+// executing query (and consulted by the serving layer's admission and
+// health gauges). It is a simple reserve/release counter: queries
+// charge their materialized rows as they hold them and release them
+// when the pipeline closes, so overload degrades into typed
+// ErrBudgetExceeded failures instead of unbounded RSS growth.
+type Accountant struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewAccountant returns an accountant enforcing limit bytes; limit <= 0
+// means track usage without enforcing.
+func NewAccountant(limit int64) *Accountant { return &Accountant{limit: limit} }
+
+// Limit returns the configured byte limit (0 when tracking only).
+func (a *Accountant) Limit() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.limit
+}
+
+// Used returns the bytes currently reserved across all queries.
+func (a *Accountant) Used() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.used.Load()
+}
+
+// tryReserve attempts to reserve n bytes, failing without reserving
+// when the limit would be exceeded.
+func (a *Accountant) tryReserve(n int64) bool {
+	if a == nil {
+		return true
+	}
+	for {
+		cur := a.used.Load()
+		if a.limit > 0 && cur+n > a.limit {
+			return false
+		}
+		if a.used.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// release returns n reserved bytes.
+func (a *Accountant) release(n int64) {
+	if a == nil || n == 0 {
+		return
+	}
+	a.used.Add(-n)
+}
+
+// Life is one pipeline execution's lifecycle: the cancellation context,
+// the per-query budget and the (optional) shared accountant. A Life is
+// created at Compile, bound to a context at ExecuteContext, and used
+// from the single goroutine driving the pipeline — except Done/Err,
+// which fault-injection wrappers may consult while blocked.
+type Life struct {
+	ctx  context.Context
+	tick int64
+
+	budget    Budget
+	acct      *Accountant
+	heldRows  int64
+	heldBytes int64
+}
+
+// bind attaches the execution context. It returns the context error
+// immediately when ctx is already dead, so a pipeline never opens
+// under a cancelled request.
+func (l *Life) bind(ctx context.Context) error {
+	if l == nil {
+		return nil
+	}
+	l.ctx = ctx
+	return l.ctxErr()
+}
+
+// Done exposes the bound context's cancellation channel (nil before
+// bind or without a Life) so blocking wrappers — fault-injected hangs,
+// future exchange operators — can unblock on cancellation.
+func (l *Life) Done() <-chan struct{} {
+	if l == nil || l.ctx == nil {
+		return nil
+	}
+	return l.ctx.Done()
+}
+
+// Err reports the cancellation error, wrapped in ErrCanceled, or nil.
+func (l *Life) Err() error { return l.ctxErr() }
+
+func (l *Life) ctxErr() error {
+	if l == nil || l.ctx == nil {
+		return nil
+	}
+	if err := l.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+// step is the per-row cancellation check, called by every stats
+// wrapper: one shared counter across the pipeline, a context poll
+// every CancelCheckInterval rows.
+func (l *Life) step() error {
+	if l == nil {
+		return nil
+	}
+	l.tick++
+	if l.tick%CancelCheckInterval != 0 {
+		return nil
+	}
+	return l.ctxErr()
+}
+
+// hold charges rows/bytes of materialized data against the per-query
+// budget and the shared accountant. On failure nothing is charged and
+// the returned error wraps ErrBudgetExceeded.
+func (l *Life) hold(rows, bytes int64) error {
+	if l == nil {
+		return nil
+	}
+	if l.budget.MaxRows > 0 && l.heldRows+rows > l.budget.MaxRows {
+		return fmt.Errorf("%w: %d rows materialized (budget %d)",
+			ErrBudgetExceeded, l.heldRows+rows, l.budget.MaxRows)
+	}
+	if l.budget.MaxBytes > 0 && l.heldBytes+bytes > l.budget.MaxBytes {
+		return fmt.Errorf("%w: %d bytes materialized (budget %d)",
+			ErrBudgetExceeded, l.heldBytes+bytes, l.budget.MaxBytes)
+	}
+	if !l.acct.tryReserve(bytes) {
+		return fmt.Errorf("%w: global memory budget exhausted (%d of %d bytes in use)",
+			ErrBudgetExceeded, l.acct.Used(), l.acct.Limit())
+	}
+	l.heldRows += rows
+	l.heldBytes += bytes
+	return nil
+}
+
+// holdRow charges one materialized row.
+func (l *Life) holdRow(r Row) error {
+	if l == nil {
+		return nil
+	}
+	return l.hold(1, rowBytes(r))
+}
+
+// release returns rows/bytes a materializing operator let go of before
+// the pipeline ended (a merge join discarding the previous duplicate
+// group).
+func (l *Life) release(rows, bytes int64) {
+	if l == nil {
+		return
+	}
+	l.heldRows -= rows
+	l.heldBytes -= bytes
+	l.acct.release(bytes)
+}
+
+// releaseAll returns everything still charged; pipelines call it when
+// execution finishes (normally or not).
+func (l *Life) releaseAll() {
+	if l == nil {
+		return
+	}
+	l.acct.release(l.heldBytes)
+	l.heldRows, l.heldBytes = 0, 0
+}
+
+// HeldBytes reports the bytes currently charged by this query.
+func (l *Life) HeldBytes() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.heldBytes
+}

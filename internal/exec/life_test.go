@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// counter is an endless sorted source: row n is {n, n}. Pipelines over
+// it only ever stop because the lifecycle stops them, which is exactly
+// what these tests are about.
+type counter struct{ n int64 }
+
+func (c *counter) Open() error { c.n = 0; return nil }
+func (c *counter) Next() (Row, bool, error) {
+	c.n++
+	return Row{c.n, c.n}, true, nil
+}
+func (c *counter) Close() error { return nil }
+
+// closeCount counts Close calls through to its input.
+type closeCount struct {
+	Iterator
+	closed *atomic.Int64
+}
+
+func (c closeCount) Close() error {
+	c.closed.Add(1)
+	return c.Iterator.Close()
+}
+
+// wrapped attaches a stats wrapper — the pipeline's cancellation
+// seam — to it, the way Runner.Compile does.
+func wrapped(p *Pipeline, it Iterator) Iterator {
+	st := &OpStats{}
+	p.Ops = append(p.Ops, st)
+	return &statsIter{in: it, st: st, life: p.Life, timing: true}
+}
+
+func TestAccountantReserveRelease(t *testing.T) {
+	a := NewAccountant(1000)
+	if !a.tryReserve(600) || !a.tryReserve(400) {
+		t.Fatal("reservations within the limit refused")
+	}
+	if a.tryReserve(1) {
+		t.Fatal("reservation past the limit granted")
+	}
+	a.release(400)
+	if got := a.Used(); got != 600 {
+		t.Fatalf("used %d, want 600", got)
+	}
+	if !a.tryReserve(400) {
+		t.Fatal("reservation refused after release")
+	}
+	var untracked *Accountant
+	if !untracked.tryReserve(1 << 40) {
+		t.Fatal("nil accountant must grant everything")
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a := NewAccountant(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if a.tryReserve(8) {
+					a.release(8)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Used(); got != 0 {
+		t.Fatalf("%d bytes still reserved after all goroutines released", got)
+	}
+}
+
+// TestBudgetHashJoinBuild caps the rows a hash-join build side may
+// materialize: the endless build input must be cut off by the budget
+// during Open, with everything charged released afterwards.
+func TestBudgetHashJoinBuild(t *testing.T) {
+	acct := NewAccountant(0) // track only
+	p := &Pipeline{Life: &Life{budget: Budget{MaxRows: 1000}, acct: acct}}
+	join := &HashJoin{
+		Left:     wrapped(p, &counter{}),
+		Right:    wrapped(p, &counter{}),
+		LeftKey:  0,
+		RightKey: 0,
+		Life:     p.Life,
+	}
+	p.Root = wrapped(p, join)
+	_, err := p.ExecuteContext(context.Background())
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want budget exceeded", err)
+	}
+	if got := acct.Used(); got != 0 {
+		t.Fatalf("%d bytes still reserved after the pipeline failed", got)
+	}
+}
+
+// TestBudgetSort does the same for a sort's input buffer.
+func TestBudgetSort(t *testing.T) {
+	p := &Pipeline{Life: &Life{budget: Budget{MaxBytes: 1 << 14}}}
+	p.Root = wrapped(p, &Sort{In: wrapped(p, &counter{}), Keys: []int{0}, Life: p.Life})
+	if _, err := p.ExecuteContext(context.Background()); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want budget exceeded", err)
+	}
+}
+
+// TestBudgetMergeJoinGroup: a merge join buffering one endless
+// duplicate group on the right must hit the budget, not OOM.
+func TestBudgetMergeJoinGroup(t *testing.T) {
+	dup := make([]Row, 100000)
+	for i := range dup {
+		dup[i] = Row{7, int64(i)}
+	}
+	p := &Pipeline{Life: &Life{budget: Budget{MaxRows: 1000}}}
+	join := &MergeJoin{
+		Left:     wrapped(p, NewScan([]Row{{7, 0}})),
+		Right:    wrapped(p, NewScan(dup)),
+		LeftKey:  0,
+		RightKey: 0,
+		Life:     p.Life,
+	}
+	p.Root = wrapped(p, join)
+	if _, err := p.ExecuteContext(context.Background()); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want budget exceeded", err)
+	}
+}
+
+// TestMergeJoinGroupRelease is the flip side: many small duplicate
+// groups must stream through a budget that could never hold them all
+// at once, because the join releases each group's charge before
+// buffering the next.
+func TestMergeJoinGroupRelease(t *testing.T) {
+	const groups, per = 500, 4
+	var left, right []Row
+	for k := int64(0); k < groups; k++ {
+		left = append(left, Row{k})
+		for j := int64(0); j < per; j++ {
+			right = append(right, Row{k, j})
+		}
+	}
+	p := &Pipeline{Life: &Life{budget: Budget{MaxRows: 2 * per}}}
+	join := &MergeJoin{
+		Left:     wrapped(p, NewScan(left)),
+		Right:    wrapped(p, NewScan(right)),
+		LeftKey:  0,
+		RightKey: 0,
+		Life:     p.Life,
+	}
+	p.Root = wrapped(p, join)
+	out, err := p.ExecuteContext(context.Background())
+	if err != nil {
+		t.Fatalf("rolling groups within budget failed: %v", err)
+	}
+	if len(out) != groups*per {
+		t.Fatalf("got %d rows, want %d", len(out), groups*per)
+	}
+	if held := p.Life.HeldBytes(); held != 0 {
+		t.Fatalf("%d bytes still held after success", held)
+	}
+}
+
+// TestCancelDuringExecute cancels pipelines mid-flight from another
+// goroutine — several at once, sharing one accountant — and checks
+// each aborts with the canceled error within a bounded time and
+// releases what it held.
+func TestCancelDuringExecute(t *testing.T) {
+	acct := NewAccountant(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := &Pipeline{Life: &Life{acct: acct}}
+			// Filter drops every row so Collect accumulates nothing;
+			// the stats wrapper under it still ticks the lifecycle.
+			p.Root = wrapped(p, &Filter{
+				In:   wrapped(p, &counter{}),
+				Pred: func(Row) bool { return false },
+			})
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(5 * time.Millisecond)
+				cancel()
+			}()
+			done := make(chan error, 1)
+			go func() {
+				_, err := p.ExecuteContext(ctx)
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrCanceled) {
+					t.Errorf("got %v, want canceled", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Error("cancellation never reached the pipeline")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := acct.Used(); got != 0 {
+		t.Fatalf("%d bytes still reserved after cancellation", got)
+	}
+}
+
+// TestDeadlineMidMergeJoin lets a deadline expire while a merge join
+// is streaming and checks the abort is prompt and closes both inputs.
+func TestDeadlineMidMergeJoin(t *testing.T) {
+	var closed atomic.Int64
+	p := &Pipeline{Life: &Life{}}
+	join := &MergeJoin{
+		Left:     closeCount{wrapped(p, &counter{}), &closed},
+		Right:    closeCount{wrapped(p, &counter{}), &closed},
+		LeftKey:  0,
+		RightKey: 0,
+		Life:     p.Life,
+	}
+	p.Root = wrapped(p, &Filter{In: wrapped(p, join), Pred: func(Row) bool { return false }})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	_, err := p.ExecuteContext(ctx)
+	elapsed := time.Since(begin)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline of 10ms honored only after %v", elapsed)
+	}
+	if got := closed.Load(); got != 2 {
+		t.Fatalf("join inputs closed %d times after abort, want 2", got)
+	}
+}
+
+// TestExecuteContextDeadPipeline: a context dead before execution must
+// fail the pipeline before any operator opens.
+func TestExecuteContextDeadPipeline(t *testing.T) {
+	var closed atomic.Int64
+	p := &Pipeline{Life: &Life{}}
+	p.Root = closeCount{wrapped(p, &counter{}), &closed}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.ExecuteContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want canceled", err)
+	}
+	if p.Ops[0].Rows != 0 {
+		t.Fatal("pipeline ran under a context that was dead on arrival")
+	}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,9 +35,25 @@ type Runner struct {
 	// counters remain). The benchmark harness disables it so operator
 	// timer overhead does not tint the measured runtimes.
 	DisableTiming bool
+	// Budget bounds what each compiled pipeline may materialize (zero
+	// fields are unlimited); Accountant, when set, additionally charges
+	// materialized rows against a memory budget shared across queries.
+	Budget     Budget
+	Accountant *Accountant
+	// Hook, when set, wraps every operator as it is compiled — the
+	// fault-injection seam (see internal/faultinject). It runs inside
+	// the stats wrapper, so injected behavior shows up in the operator
+	// counters like any other work.
+	Hook IterHook
 
 	equiv map[query.ColumnRef]int // lazily built column equivalence classes
 }
+
+// IterHook rewrites one compiled operator. op and detail match the
+// OpStats entry the operator reports under; life is the pipeline's
+// lifecycle, whose Done channel lets blocking wrappers unblock on
+// cancellation.
+type IterHook func(op, detail string, it Iterator, life *Life) Iterator
 
 // OpStats is one operator's execution counters, in pipeline preorder.
 type OpStats struct {
@@ -67,10 +84,29 @@ type Pipeline struct {
 	Schema []query.ColumnRef
 	// Ops lists the per-operator counters in plan preorder.
 	Ops []*OpStats
+	// Life is the pipeline's execution lifecycle: cancellation,
+	// per-query budget and shared memory accounting.
+	Life *Life
 }
 
-// Execute opens the pipeline, drains it and returns all rows.
+// Execute opens the pipeline, drains it and returns all rows. It is
+// ExecuteContext under context.Background() — uncancellable, for tests
+// and benchmarks.
 func (p *Pipeline) Execute() ([]Row, error) {
+	return p.ExecuteContext(context.Background())
+}
+
+// ExecuteContext opens the pipeline, drains it and returns all rows,
+// observing ctx: cancellation (client disconnect, deadline) is checked
+// once per CancelCheckInterval rows anywhere in the pipeline and
+// surfaces as an error wrapping ErrCanceled and ctx.Err(). Whatever
+// the pipeline charged against its budget is released before return,
+// success or not.
+func (p *Pipeline) ExecuteContext(ctx context.Context) ([]Row, error) {
+	if err := p.Life.bind(ctx); err != nil {
+		return nil, err
+	}
+	defer p.Life.releaseAll()
 	return Collect(p.Root)
 }
 
@@ -87,10 +123,15 @@ func (p *Pipeline) RowsSorted() int64 {
 	return n
 }
 
-// statsIter counts (and optionally times) one operator.
+// statsIter counts (and optionally times) one operator, and is where
+// every operator's Next observes cancellation: one shared row counter
+// per pipeline, polled every CancelCheckInterval rows — a build loop
+// deep inside a hash join ticks it through its child wrapper just like
+// the root does.
 type statsIter struct {
 	in     Iterator
 	st     *OpStats
+	life   *Life
 	timing bool
 }
 
@@ -105,6 +146,9 @@ func (s *statsIter) Open() error {
 }
 
 func (s *statsIter) Next() (Row, bool, error) {
+	if err := s.life.step(); err != nil {
+		return nil, false, err
+	}
 	if !s.timing {
 		row, ok, err := s.in.Next()
 		if ok {
@@ -145,7 +189,7 @@ func (r *Runner) Run(n *plan.Node) ([]Row, []query.ColumnRef, error) {
 // through join-equivalence classes, so ordering by a column the plan
 // only carries as an equated twin (or grouping by one) works.
 func (r *Runner) Compile(n *plan.Node) (*Pipeline, error) {
-	p := &Pipeline{}
+	p := &Pipeline{Life: &Life{budget: r.Budget, acct: r.Accountant}}
 	it, schema, err := r.build(n, p)
 	if err != nil {
 		return nil, err
@@ -156,9 +200,13 @@ func (r *Runner) Compile(n *plan.Node) (*Pipeline, error) {
 }
 
 // wrap attaches counters for node n around it and registers them on the
-// pipeline (preorder position was reserved by build).
-func (r *Runner) wrap(it Iterator, st *OpStats) Iterator {
-	return &statsIter{in: it, st: st, timing: !r.DisableTiming}
+// pipeline (preorder position was reserved by build); the fault hook,
+// when configured, interposes under the counters.
+func (r *Runner) wrap(it Iterator, st *OpStats, p *Pipeline) Iterator {
+	if r.Hook != nil {
+		it = r.Hook(st.Op, st.Detail, it, p.Life)
+	}
+	return &statsIter{in: it, st: st, life: p.Life, timing: !r.DisableTiming}
 }
 
 func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, error) {
@@ -208,7 +256,7 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 				return true
 			}}
 		}
-		return r.wrap(it, st), schema, nil
+		return r.wrap(it, st, p), schema, nil
 
 	case plan.Sort:
 		in, schema, err := r.build(n.Left, p)
@@ -220,7 +268,7 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 			return nil, nil, err
 		}
 		st.Detail = detail
-		return r.wrap(&Sort{In: in, Keys: keys}, st), schema, nil
+		return r.wrap(&Sort{In: in, Keys: keys, Life: p.Life}, st, p), schema, nil
 
 	case plan.MergeJoin, plan.HashJoin, plan.NestedLoopJoin:
 		return r.buildJoin(n, p, st)
@@ -250,11 +298,11 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 		case plan.GroupSorted:
 			it = &GroupSorted{In: in, Keys: keys, Agg: AggCount}
 		case plan.GroupClustered:
-			it = &GroupClustered{In: in, Keys: keys, Agg: AggCount}
+			it = &GroupClustered{In: in, Keys: keys, Agg: AggCount, Life: p.Life}
 		default:
-			it = &GroupHash{In: in, Keys: keys, Agg: AggCount}
+			it = &GroupHash{In: in, Keys: keys, Agg: AggCount, Life: p.Life}
 		}
-		return r.wrap(it, st), outSchema, nil
+		return r.wrap(it, st, p), outSchema, nil
 	}
 	return nil, nil, fmt.Errorf("exec: unsupported plan operator %v", n.Op)
 }
@@ -333,24 +381,26 @@ func (r *Runner) buildJoin(n *plan.Node, p *Pipeline, st *OpStats) (Iterator, []
 			Left: left, Right: right,
 			LeftKey:  eqs[primary].l,
 			RightKey: eqs[primary].r - len(ls),
+			Life:     p.Life,
 		})
 		if len(eqs) > 1 {
 			it = &Filter{In: it, Pred: residualFrom(primary)}
 		}
-		return r.wrap(it, st), schema, nil
+		return r.wrap(it, st, p), schema, nil
 	case plan.HashJoin:
 		it := Iterator(&HashJoin{
 			Left: left, Right: right,
 			LeftKey:  eqs[primary].l,
 			RightKey: eqs[primary].r - len(ls),
+			Life:     p.Life,
 		})
 		if len(eqs) > 1 {
 			it = &Filter{In: it, Pred: residualFrom(primary)}
 		}
-		return r.wrap(it, st), schema, nil
+		return r.wrap(it, st, p), schema, nil
 	default: // NestedLoopJoin
 		nl := &NestedLoopJoin{
-			Outer: left, Inner: right,
+			Outer: left, Inner: right, Life: p.Life,
 			Pred: func(outer, inner Row) bool {
 				for _, e := range eqs {
 					if outer[e.l] != inner[e.r-len(ls)] {
@@ -360,7 +410,7 @@ func (r *Runner) buildJoin(n *plan.Node, p *Pipeline, st *OpStats) (Iterator, []
 				return true
 			},
 		}
-		return r.wrap(nl, st), schema, nil
+		return r.wrap(nl, st, p), schema, nil
 	}
 }
 

@@ -1,0 +1,245 @@
+// Package faultinject is the executor's fault-injection harness:
+// iterator wrappers that misbehave on purpose — delaying rows,
+// erroring at the Nth row, or hanging until cancelled — plus the
+// plumbing to splice them into a compiled pipeline via exec.Runner's
+// Hook seam and to verify the pipeline's reaction (typed error,
+// deadline, clean Close of every opened operator).
+//
+// The package exists to make the failure paths of the query lifecycle
+// (internal/exec's Life: cancellation, deadlines, budgets) as testable
+// as the success paths: every operator in a plan can be made slow,
+// broken or stuck, and the declarative Scenarios table enumerates the
+// standard menu of such faults together with the outcome each must
+// produce.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"orderopt/internal/exec"
+)
+
+// ErrInjected is the root of every error an injected fault returns;
+// tests match propagated failures with errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Kind selects a fault's misbehavior.
+type Kind uint8
+
+const (
+	// Delay sleeps Sleep before every row from AtRow on. The sleep is
+	// interruptible: a delayed operator is slow but well behaved, so it
+	// observes its pipeline's cancellation (returning the Life error)
+	// rather than sleeping through a deadline.
+	Delay Kind = iota
+	// ErrorAt fails the AtRow-th Next call with ErrInjected — a
+	// mid-stream operator fault (decode error, torn page, lost
+	// connection) that must propagate out of the pipeline verbatim.
+	ErrorAt
+	// HangAt blocks the AtRow-th Next call until the pipeline's
+	// context is cancelled, then returns the Life error — a stuck
+	// operator that only a deadline or client abort can unwedge.
+	HangAt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Delay:
+		return "delay"
+	case ErrorAt:
+		return "error-at"
+	case HangAt:
+		return "hang-at"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Fault describes one injected misbehavior, applied to an operator's
+// output stream.
+type Fault struct {
+	Kind Kind
+	// AtRow is the 1-based row index the fault fires at (ErrorAt,
+	// HangAt) or begins at (Delay). Zero means the first row.
+	AtRow int64
+	// Sleep is the per-row delay of a Delay fault.
+	Sleep time.Duration
+}
+
+func (f Fault) String() string {
+	at := f.AtRow
+	if at <= 0 {
+		at = 1
+	}
+	if f.Kind == Delay {
+		return fmt.Sprintf("%s-%v-row%d", f.Kind, f.Sleep, at)
+	}
+	return fmt.Sprintf("%s-row%d", f.Kind, at)
+}
+
+// Iter wraps in with the fault. life is the pipeline's lifecycle (as
+// handed to an exec.IterHook); HangAt and Delay block on its Done
+// channel, so a fault wrapped without a bound Life cannot hang — it
+// fails fast instead.
+func (f Fault) Iter(in exec.Iterator, life *exec.Life) exec.Iterator {
+	return &faultIter{in: in, f: f, life: life}
+}
+
+type faultIter struct {
+	in   exec.Iterator
+	f    Fault
+	life *exec.Life
+	n    int64
+}
+
+func (it *faultIter) Open() error { it.n = 0; return it.in.Open() }
+
+func (it *faultIter) Next() (exec.Row, bool, error) {
+	row, ok, err := it.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it.n++
+	at := it.f.AtRow
+	if at <= 0 {
+		at = 1
+	}
+	switch it.f.Kind {
+	case Delay:
+		if it.n >= at {
+			select {
+			case <-time.After(it.f.Sleep):
+			case <-it.life.Done():
+				return nil, false, it.life.Err()
+			}
+		}
+	case ErrorAt:
+		if it.n == at {
+			return nil, false, fmt.Errorf("%w: forced error at row %d", ErrInjected, it.n)
+		}
+	case HangAt:
+		if it.n == at {
+			done := it.life.Done()
+			if done == nil {
+				return nil, false, fmt.Errorf("%w: hang at row %d with no cancellable context", ErrInjected, it.n)
+			}
+			<-done
+			return nil, false, it.life.Err()
+		}
+	}
+	return row, true, nil
+}
+
+func (it *faultIter) Close() error { return it.in.Close() }
+
+// Hook returns an exec.IterHook injecting f into every compiled
+// operator that Matches target. Assign it to Runner.Hook (composing
+// with a Tracker via Compose when leak checking).
+func Hook(target string, f Fault) exec.IterHook {
+	return func(op, detail string, it exec.Iterator, life *exec.Life) exec.Iterator {
+		if !Matches(target, op, detail) {
+			return it
+		}
+		return f.Iter(it, life)
+	}
+}
+
+// Matches reports whether a compiled operator (op name plus detail, as
+// handed to an exec.IterHook) is selected by target. Target syntax:
+// "*" selects every operator; "Op" selects by operator name
+// (case-insensitive); "Op:substr" additionally requires the detail to
+// contain substr, pinning the fault to one scan or join among several
+// of the same kind.
+func Matches(target, op, detail string) bool {
+	opPat, detPat, pinned := strings.Cut(target, ":")
+	if opPat != "*" && !strings.EqualFold(opPat, op) {
+		return false
+	}
+	return !pinned || strings.Contains(detail, detPat)
+}
+
+// Compose chains hooks: each wraps the result of the previous, so the
+// last hook's wrapper is outermost. Nil hooks are skipped.
+func Compose(hooks ...exec.IterHook) exec.IterHook {
+	return func(op, detail string, it exec.Iterator, life *exec.Life) exec.Iterator {
+		for _, h := range hooks {
+			if h != nil {
+				it = h(op, detail, it, life)
+			}
+		}
+		return it
+	}
+}
+
+// Tracker verifies Open/Close pairing across a pipeline: splice its
+// Hook into a Runner and, after execution — especially an aborted one —
+// Leaked reports how many operators were opened and never closed. The
+// executor's contract is that a pipeline abort (error, deadline,
+// cancellation, budget) still closes every operator that opened, so
+// Leaked must be zero no matter how the query ended.
+type Tracker struct {
+	mu     sync.Mutex
+	opens  int64
+	closes int64
+}
+
+// Hook returns an exec.IterHook wrapping every compiled operator with
+// open/close counting.
+func (t *Tracker) Hook() exec.IterHook {
+	return func(op, detail string, it exec.Iterator, life *exec.Life) exec.Iterator {
+		return &trackedIter{in: it, t: t}
+	}
+}
+
+// Opened returns the number of successful operator Opens observed.
+func (t *Tracker) Opened() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.opens
+}
+
+// Leaked returns opened-minus-closed: operators still open. Zero after
+// a pipeline ends — however it ends — or the executor leaked.
+func (t *Tracker) Leaked() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.opens - t.closes
+}
+
+type trackedIter struct {
+	in   exec.Iterator
+	t    *Tracker
+	open bool
+}
+
+func (it *trackedIter) Open() error {
+	err := it.in.Open()
+	if err == nil && !it.open {
+		it.open = true
+		it.t.mu.Lock()
+		it.t.opens++
+		it.t.mu.Unlock()
+	}
+	return err
+}
+
+func (it *trackedIter) Next() (exec.Row, bool, error) { return it.in.Next() }
+
+// Close counts the first close of an opened iterator; re-closing (an
+// operator closing a child it already closed on an Open error path)
+// stays a single count, mirroring the executor's idempotent-Close
+// contract.
+func (it *trackedIter) Close() error {
+	err := it.in.Close()
+	if it.open {
+		it.open = false
+		it.t.mu.Lock()
+		it.t.closes++
+		it.t.mu.Unlock()
+	}
+	return err
+}

@@ -29,6 +29,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -352,6 +353,20 @@ func (p *Planner) Plan(sql string) (Planned, error) {
 // next to the result — the serving layer renders relation aliases and
 // order properties from it.
 func (p *Planner) PlanQuery(sql string) (Planned, *PreparedQuery, error) {
+	return p.PlanQueryContext(context.Background(), sql)
+}
+
+// PlanQueryContext is PlanQuery observing ctx. Planning is CPU-bound
+// and runs in well-understood phases (parse/bind/analyze, DFSM
+// preparation, dynamic programming), so cancellation is checked at the
+// phase boundaries rather than inside the DP's inner loops: a request
+// whose deadline expires — or whose client disconnects — before or
+// between phases never starts the next one. The returned error is
+// ctx.Err() when cancellation was the cause.
+func (p *Planner) PlanQueryContext(ctx context.Context, sql string) (Planned, *PreparedQuery, error) {
+	if err := ctx.Err(); err != nil {
+		return Planned{}, nil, err
+	}
 	q, hit, err := p.prepare(sql)
 	if err != nil {
 		return Planned{}, nil, err
@@ -360,12 +375,31 @@ func (p *Planner) PlanQuery(sql string) (Planned, *PreparedQuery, error) {
 	if hit {
 		src = SourcePrepared
 	}
+	if err := ctx.Err(); err != nil {
+		return Planned{}, nil, err
+	}
 	pd, err := q.plan(src)
 	return pd, q, err
 }
 
+// PlanContext is Plan observing ctx at the phase boundaries (see
+// PlanQueryContext).
+func (p *Planner) PlanContext(ctx context.Context, sql string) (Planned, error) {
+	pd, _, err := p.PlanQueryContext(ctx, sql)
+	return pd, err
+}
+
 // Plan plans the prepared query: plan cache first, then the DP.
 func (q *PreparedQuery) Plan() (Planned, error) {
+	return q.plan(SourcePrepared)
+}
+
+// PlanContext is Plan observing ctx: an already-dead context returns
+// ctx.Err() instead of running the DP.
+func (q *PreparedQuery) PlanContext(ctx context.Context) (Planned, error) {
+	if err := ctx.Err(); err != nil {
+		return Planned{}, err
+	}
 	return q.plan(SourcePrepared)
 }
 

@@ -2,11 +2,14 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"time"
 
 	"orderopt/internal/exec"
 	"orderopt/internal/planner"
@@ -17,6 +20,9 @@ import (
 // PlanRequest is the body of POST /plan and POST /explain.
 type PlanRequest struct {
 	SQL string `json:"sql"`
+	// TimeoutMs overrides the server's default deadline for this
+	// request (clamped to the server maximum); 0 uses the default.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // PlanNode is one operator of the returned plan tree.
@@ -83,6 +89,11 @@ type ExecuteRequest struct {
 	// executes to completion; RowCount is the full cardinality).
 	// 0 means the server default (20); the server caps at 1000.
 	MaxRows int `json:"maxRows,omitempty"`
+	// TimeoutMs overrides the server's default deadline for this
+	// request (clamped to the server maximum); 0 uses the default. An
+	// expired deadline cancels the pipeline mid-stream and returns 504
+	// with the partial operator counters.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // ExecuteResponse is the result of /execute: the plan (as /plan reports
@@ -120,40 +131,70 @@ type ExecuteResponse struct {
 // away before planning (malformed request, wrong method, draining).
 // Latency aggregates cover Requests only.
 type EndpointStats struct {
-	Requests      int64   `json:"requests"`
-	Errors        int64   `json:"errors"`
-	Shed          int64   `json:"shed"`
-	Rejected      int64   `json:"rejected"`
-	MeanLatencyUs float64 `json:"meanLatencyUs"`
-	MaxLatencyUs  float64 `json:"maxLatencyUs"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Shed     int64 `json:"shed"`
+	Rejected int64 `json:"rejected"`
+	// Canceled counts requests whose client disconnected mid-work,
+	// TimedOut requests cut by the deadline (504), and BudgetRejected
+	// queries that exceeded a per-query or global resource budget
+	// (429, "code": "budget"). All three are also included in Errors.
+	Canceled       int64   `json:"canceled"`
+	TimedOut       int64   `json:"timedOut"`
+	BudgetRejected int64   `json:"budgetRejected"`
+	MeanLatencyUs  float64 `json:"meanLatencyUs"`
+	MaxLatencyUs   float64 `json:"maxLatencyUs"`
 }
 
 // StatsResponse is the result of /stats.
 type StatsResponse struct {
-	UptimeSec   float64                  `json:"uptimeSec"`
-	InFlight    int64                    `json:"inFlight"`
-	MaxInFlight int                      `json:"maxInFlight"`
-	Draining    bool                     `json:"draining"`
-	Planner     planner.Stats            `json:"planner"`
-	Endpoints   map[string]EndpointStats `json:"endpoints"`
+	UptimeSec   float64 `json:"uptimeSec"`
+	InFlight    int64   `json:"inFlight"`
+	MaxInFlight int     `json:"maxInFlight"`
+	Draining    bool    `json:"draining"`
+	// MemUsedBytes is the approximate bytes currently materialized by
+	// running pipelines; MemLimitBytes the global budget (0: tracking
+	// only).
+	MemUsedBytes  int64                    `json:"memUsedBytes"`
+	MemLimitBytes int64                    `json:"memLimitBytes"`
+	Planner       planner.Stats            `json:"planner"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
-// HealthResponse is the result of /healthz.
+// HealthResponse is the result of /healthz: liveness plus the gauges a
+// load balancer pre-drains on (draining flag, in-flight vs capacity,
+// memory pressure).
 type HealthResponse struct {
-	Status    string  `json:"status"` // ok or draining
-	UptimeSec float64 `json:"uptimeSec"`
-	InFlight  int64   `json:"inFlight"`
+	Status        string  `json:"status"` // ok or draining
+	Draining      bool    `json:"draining"`
+	UptimeSec     float64 `json:"uptimeSec"`
+	InFlight      int64   `json:"inFlight"`
+	MaxInFlight   int     `json:"maxInFlight"`
+	MemUsedBytes  int64   `json:"memUsedBytes"`
+	MemLimitBytes int64   `json:"memLimitBytes"`
 }
 
 // ErrorResponse is the body of every non-2xx planning response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code classifies query-lifecycle failures: "timeout" (504, the
+	// deadline cut the work), "canceled" (the client went away),
+	// "budget" (429, a resource budget was exceeded). Empty for
+	// ordinary errors.
+	Code string `json:"code,omitempty"`
+	// Operators carries the partial per-operator counters of an
+	// /execute pipeline that was cut short, so a timed-out client can
+	// still see where the time went.
+	Operators []exec.OpStats `json:"operators,omitempty"`
 }
 
 // StatusError is a non-2xx response decoded into an error. The load
 // generator matches on Code to count shed requests.
 type StatusError struct {
-	Code    int
+	Code int
+	// Kind is the body's lifecycle classification ("timeout",
+	// "canceled", "budget"), empty for ordinary errors.
+	Kind    string
 	Message string
 }
 
@@ -167,11 +208,66 @@ func IsShed(err error) bool {
 	return errors.As(err, &se) && se.Code == http.StatusTooManyRequests
 }
 
+// IsRetryable reports whether err is a response worth retrying with
+// backoff: 429 (admission shed or budget rejection — load-dependent,
+// both may succeed once concurrent work drains) or 503 (this replica
+// is draining; a load balancer will route the retry elsewhere).
+func IsRetryable(err error) bool {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable
+}
+
+// RetryPolicy makes a Client retry requests the server turned away
+// under load (see IsRetryable) with capped exponential backoff and
+// equal jitter. Retrying is opt-in: the zero Client never retries.
+// Backoff sleeps honor the caller's context — a cancelled context
+// aborts the wait and returns its error.
+type RetryPolicy struct {
+	// MaxRetries is how many times a retryable failure is retried
+	// after the initial attempt.
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (doubled per attempt);
+	// MaxDelay caps it. Each sleep is jittered uniformly over
+	// [backoff/2, backoff] so synchronized clients spread out.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetryPolicy suits loopback and same-datacenter callers:
+// 3 retries starting at 10ms, capped at 500ms.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxRetries: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
+}
+
+// backoff returns the jittered sleep before retry attempt (0-based).
+func (p *RetryPolicy) backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 500 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max { // <= 0: shift overflow
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
 // Client calls a planning server. The zero HTTPClient means
 // http.DefaultClient; Client is safe for concurrent use.
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	// Retry, when set, retries shed (429) and draining (503) responses
+	// with capped exponential backoff + jitter. Nil never retries.
+	Retry *RetryPolicy
 }
 
 // NewClient returns a Client for the server at base (e.g.
@@ -182,8 +278,14 @@ func NewClient(base string) *Client {
 
 // Plan plans sql on the server.
 func (c *Client) Plan(sql string) (*PlanResponse, error) {
+	return c.PlanContext(context.Background(), sql)
+}
+
+// PlanContext plans sql on the server under ctx (which also bounds any
+// retry backoff).
+func (c *Client) PlanContext(ctx context.Context, sql string) (*PlanResponse, error) {
 	var resp PlanResponse
-	if err := c.post("/plan", sql, &resp); err != nil {
+	if err := c.postJSON(ctx, "/plan", PlanRequest{SQL: sql}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -192,8 +294,13 @@ func (c *Client) Plan(sql string) (*PlanResponse, error) {
 // Explain plans sql and returns the rendered plan and its order
 // properties.
 func (c *Client) Explain(sql string) (*ExplainResponse, error) {
+	return c.ExplainContext(context.Background(), sql)
+}
+
+// ExplainContext is Explain under ctx.
+func (c *Client) ExplainContext(ctx context.Context, sql string) (*ExplainResponse, error) {
 	var resp ExplainResponse
-	if err := c.post("/explain", sql, &resp); err != nil {
+	if err := c.postJSON(ctx, "/explain", PlanRequest{SQL: sql}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -201,16 +308,15 @@ func (c *Client) Explain(sql string) (*ExplainResponse, error) {
 
 // Execute plans req.SQL and runs the plan over the named dataset.
 func (c *Client) Execute(req ExecuteRequest) (*ExecuteResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	res, err := c.httpClient().Post(c.BaseURL+"/execute", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
+	return c.ExecuteContext(context.Background(), req)
+}
+
+// ExecuteContext is Execute under ctx: cancelling ctx aborts the HTTP
+// request, which cancels the server-side pipeline within one row
+// batch.
+func (c *Client) ExecuteContext(ctx context.Context, req ExecuteRequest) (*ExecuteResponse, error) {
 	var resp ExecuteResponse
-	if err := decode(res, &resp); err != nil {
+	if err := c.postJSON(ctx, "/execute", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -247,16 +353,44 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) post(path, sql string, out any) error {
-	body, err := json.Marshal(PlanRequest{SQL: sql})
+// postJSON posts body to path and decodes the response, retrying
+// retryable failures per c.Retry.
+func (c *Client) postJSON(ctx context.Context, path string, reqBody, out any) error {
+	body, err := json.Marshal(reqBody)
 	if err != nil {
 		return err
 	}
-	res, err := c.httpClient().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
+	return c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		res, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		return decode(res, out)
+	})
+}
+
+// withRetry runs fn, retrying per c.Retry while the failure is
+// retryable and ctx is alive.
+func (c *Client) withRetry(ctx context.Context, fn func() error) error {
+	pol := c.Retry
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil || pol == nil || attempt >= pol.MaxRetries || !IsRetryable(err) {
+			return err
+		}
+		t := time.NewTimer(pol.backoff(attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
 	}
-	return decode(res, out)
 }
 
 func (c *Client) get(path string, out any) error {
@@ -278,7 +412,7 @@ func decode(res *http.Response, out any) error {
 		if err := json.NewDecoder(res.Body).Decode(&e); err != nil || e.Error == "" {
 			e.Error = "(no error body)"
 		}
-		return &StatusError{Code: res.StatusCode, Message: e.Error}
+		return &StatusError{Code: res.StatusCode, Kind: e.Code, Message: e.Error}
 	}
 	return json.NewDecoder(res.Body).Decode(out)
 }

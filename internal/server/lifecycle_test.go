@@ -1,0 +1,382 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"orderopt/internal/exec"
+	"orderopt/internal/faultinject"
+	"orderopt/internal/tpcr"
+)
+
+const joinSQL = "select * from orders, lineitem where o_orderkey = l_orderkey order by o_orderkey"
+
+// smallRegistry builds a one-dataset registry (tpcr-small only) so
+// lifecycle tests don't pay for the mid and large generators.
+var smallRegistry = sync.OnceValue(func() *exec.Registry {
+	ds := &exec.Dataset{Name: "tpcr-small", Rows: tpcr.Generate(tpcr.DefaultGenSpec())}
+	ds.BuildIndexes(tpcr.Schema())
+	reg := exec.NewRegistry()
+	reg.Register(ds)
+	return reg
+})
+
+// hangHook wedges every pipeline on its first row; only cancellation
+// releases it.
+func hangHook() exec.IterHook {
+	return faultinject.Hook("*", faultinject.Fault{Kind: faultinject.HangAt, AtRow: 1})
+}
+
+// postExecuteRaw posts to /execute and decodes the error body whole —
+// the typed Code and partial Operators that Client's StatusError does
+// not carry.
+func postExecuteRaw(t *testing.T, url string, req ExecuteRequest) (int, ErrorResponse, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(url+"/execute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var e ErrorResponse
+	if err := json.NewDecoder(res.Body).Decode(&e); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	return res.StatusCode, e, res.Header
+}
+
+// TestExecuteTimeout: a wedged pipeline under a client deadline must
+// come back as a prompt typed 504 carrying the partial operator
+// counters, and the stats must count it.
+func TestExecuteTimeout(t *testing.T) {
+	_, c, done := newTestServer(t, Config{Datasets: smallRegistry(), ExecHook: hangHook()})
+	defer done()
+
+	const timeoutMs = 50
+	begin := time.Now()
+	status, e, _ := postExecuteRaw(t, c.BaseURL, ExecuteRequest{
+		SQL: joinSQL, Dataset: "tpcr-small", TimeoutMs: timeoutMs,
+	})
+	elapsed := time.Since(begin)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", status, e.Error)
+	}
+	if e.Code != "timeout" {
+		t.Errorf("code %q, want timeout", e.Code)
+	}
+	if len(e.Operators) == 0 {
+		t.Error("504 carries no partial operator stats")
+	}
+	// The acceptance bar is deadline+100ms; allow scheduler slack on
+	// loaded CI machines while still catching hangs-to-completion.
+	if limit := timeoutMs*time.Millisecond + 500*time.Millisecond; elapsed > limit {
+		t.Errorf("504 took %v, want under %v", elapsed, limit)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Endpoints["execute"].TimedOut; got != 1 {
+		t.Errorf("execute timedOut = %d, want 1", got)
+	}
+}
+
+// TestExecuteDefaultTimeout: the server-wide default deadline applies
+// when the client sends none.
+func TestExecuteDefaultTimeout(t *testing.T) {
+	_, c, done := newTestServer(t, Config{
+		Datasets:       smallRegistry(),
+		ExecHook:       hangHook(),
+		DefaultTimeout: 50 * time.Millisecond,
+	})
+	defer done()
+
+	status, e, _ := postExecuteRaw(t, c.BaseURL, ExecuteRequest{SQL: joinSQL, Dataset: "tpcr-small"})
+	if status != http.StatusGatewayTimeout || e.Code != "timeout" {
+		t.Fatalf("status %d code %q, want 504/timeout", status, e.Code)
+	}
+}
+
+// TestTimeoutClamp: a client asking for more than MaxTimeout gets the
+// clamp, not the ask — the wedged pipeline must still 504 quickly.
+func TestTimeoutClamp(t *testing.T) {
+	_, c, done := newTestServer(t, Config{
+		Datasets:   smallRegistry(),
+		ExecHook:   hangHook(),
+		MaxTimeout: 50 * time.Millisecond,
+	})
+	defer done()
+
+	begin := time.Now()
+	status, e, _ := postExecuteRaw(t, c.BaseURL, ExecuteRequest{
+		SQL: joinSQL, Dataset: "tpcr-small", TimeoutMs: 60_000,
+	})
+	if status != http.StatusGatewayTimeout || e.Code != "timeout" {
+		t.Fatalf("status %d code %q, want 504/timeout", status, e.Code)
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Errorf("clamp ignored: 504 took %v", elapsed)
+	}
+}
+
+// TestExecuteBudget: a per-query row budget too small for the join's
+// build side must yield a typed 429 with Retry-After, counted in stats.
+func TestExecuteBudget(t *testing.T) {
+	_, c, done := newTestServer(t, Config{
+		Datasets:    smallRegistry(),
+		QueryBudget: exec.Budget{MaxRows: 8},
+	})
+	defer done()
+
+	status, e, hdr := postExecuteRaw(t, c.BaseURL, ExecuteRequest{SQL: joinSQL, Dataset: "tpcr-small"})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", status, e.Error)
+	}
+	if e.Code != "budget" {
+		t.Errorf("code %q, want budget", e.Code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("budget rejection without Retry-After")
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Endpoints["execute"].BudgetRejected; got != 1 {
+		t.Errorf("execute budgetRejected = %d, want 1", got)
+	}
+	// The client-side classification agrees.
+	_, err = c.Execute(ExecuteRequest{SQL: joinSQL, Dataset: "tpcr-small"})
+	if !IsRetryable(err) {
+		t.Errorf("budget rejection not retryable: %v", err)
+	}
+}
+
+// TestGlobalMemBudget: the shared accountant bounds all pipelines and
+// shows up in the health and stats gauges.
+func TestGlobalMemBudget(t *testing.T) {
+	const limit = 4096
+	_, c, done := newTestServer(t, Config{Datasets: smallRegistry(), MemLimitBytes: limit})
+	defer done()
+
+	// Ordering the join by a non-key column forces a full sort of the
+	// join output — far more than the global budget allows.
+	sortSQL := "select * from orders, lineitem where o_orderkey = l_orderkey order by o_orderdate"
+	status, e, _ := postExecuteRaw(t, c.BaseURL, ExecuteRequest{SQL: sortSQL, Dataset: "tpcr-small"})
+	if status != http.StatusTooManyRequests || e.Code != "budget" {
+		t.Fatalf("status %d code %q, want 429/budget", status, e.Code)
+	}
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MemLimitBytes != limit {
+		t.Errorf("healthz memLimitBytes = %d, want %d", h.MemLimitBytes, limit)
+	}
+	if h.MemUsedBytes != 0 {
+		t.Errorf("healthz memUsedBytes = %d after rejection, want 0 (budget released)", h.MemUsedBytes)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MemLimitBytes != limit || stats.MemUsedBytes != 0 {
+		t.Errorf("stats mem gauges = %d/%d, want 0/%d", stats.MemUsedBytes, stats.MemLimitBytes, limit)
+	}
+}
+
+// TestExecuteClientCancel: when the client goes away mid-pipeline the
+// server must cancel the work and count it as canceled, not as an
+// ordinary error.
+func TestExecuteClientCancel(t *testing.T) {
+	_, c, done := newTestServer(t, Config{Datasets: smallRegistry(), ExecHook: hangHook()})
+	defer done()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.ExecuteContext(ctx, ExecuteRequest{SQL: joinSQL, Dataset: "tpcr-small"})
+	if err == nil {
+		t.Fatal("wedged execute succeeded despite client cancel")
+	}
+	// The handler finishes asynchronously after the client is gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Endpoints["execute"].Canceled >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled counter never incremented: %+v", stats.Endpoints["execute"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDrainAndWait: draining must wait for a running pipeline (here
+// one bounded by its deadline) and reject new work meanwhile.
+func TestDrainAndWait(t *testing.T) {
+	s, c, done := newTestServer(t, Config{Datasets: smallRegistry(), ExecHook: hangHook()})
+	defer done()
+
+	started := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		close(started)
+		postExecuteRaw(t, c.BaseURL, ExecuteRequest{
+			SQL: joinSQL, Dataset: "tpcr-small", TimeoutMs: 150,
+		})
+	}()
+	<-started
+	time.Sleep(30 * time.Millisecond) // let the pipeline wedge
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.DrainAndWait(ctx); err != nil {
+		t.Fatalf("drain cut short: %v", err)
+	}
+	select {
+	case <-finished:
+	case <-time.After(time.Second):
+		t.Fatal("DrainAndWait returned with the request still in flight")
+	}
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Draining || h.Status != "draining" {
+		t.Errorf("healthz after drain: %+v", h)
+	}
+	if _, err := c.Plan(tpcr.Query8SQL); err == nil {
+		t.Error("plan admitted while draining")
+	}
+}
+
+// flakyHandler fails the first n requests with status, then delegates.
+type flakyHandler struct {
+	n      atomic.Int64
+	fail   int64
+	status int
+	next   http.Handler
+	hits   atomic.Int64
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.hits.Add(1)
+	if f.n.Add(1) <= f.fail {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(f.status)
+		fmt.Fprintf(w, `{"error": "synthetic overload"}`)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// TestClientRetryFlaky: the retry policy must absorb transient 429/503
+// responses and give up on anything else.
+func TestClientRetryFlaky(t *testing.T) {
+	s, _, done := newTestServer(t, Config{})
+	defer done()
+
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		fh := &flakyHandler{fail: 2, status: status, next: s}
+		ts := httptest.NewServer(fh)
+		c := NewClient(ts.URL)
+		c.Retry = &RetryPolicy{MaxRetries: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+		if _, err := c.Plan(tpcr.Query8SQL); err != nil {
+			t.Errorf("status %d: retries did not absorb the flake: %v", status, err)
+		}
+		if got := fh.hits.Load(); got != 3 {
+			t.Errorf("status %d: %d attempts, want 3", status, got)
+		}
+		ts.Close()
+	}
+
+	// Retries exhausted: MaxRetries+1 attempts, then the typed error.
+	fh := &flakyHandler{fail: 100, status: http.StatusTooManyRequests, next: s}
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Retry = &RetryPolicy{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	_, err := c.Plan(tpcr.Query8SQL)
+	if !IsShed(err) {
+		t.Errorf("exhausted retries: got %v, want 429", err)
+	}
+	if got := fh.hits.Load(); got != 3 {
+		t.Errorf("exhausted retries: %d attempts, want 3", got)
+	}
+}
+
+// TestClientRetryNotRetryable: a 400 must not be retried.
+func TestClientRetryNotRetryable(t *testing.T) {
+	s, _, done := newTestServer(t, Config{})
+	defer done()
+	fh := &flakyHandler{fail: 0, status: 0, next: s}
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Retry = DefaultRetryPolicy()
+	if _, err := c.Plan("select garbage"); err == nil {
+		t.Fatal("bad SQL succeeded")
+	}
+	if got := fh.hits.Load(); got != 1 {
+		t.Errorf("%d attempts on a non-retryable error, want 1", got)
+	}
+}
+
+// TestClientRetryHonorsContext: cancellation during backoff returns
+// promptly instead of sleeping out the schedule.
+func TestClientRetryHonorsContext(t *testing.T) {
+	s, _, done := newTestServer(t, Config{})
+	defer done()
+	fh := &flakyHandler{fail: 100, status: http.StatusTooManyRequests, next: s}
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Retry = &RetryPolicy{MaxRetries: 5, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	_, err := c.PlanContext(ctx, tpcr.Query8SQL)
+	if err == nil {
+		t.Fatal("flaky plan succeeded")
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Errorf("backoff ignored cancellation: returned after %v", elapsed)
+	}
+}
+
+// TestRetryBackoffCapped: the schedule grows exponentially from
+// BaseDelay and never exceeds MaxDelay.
+func TestRetryBackoffCapped(t *testing.T) {
+	p := &RetryPolicy{MaxRetries: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := p.backoff(attempt)
+			if d < 0 || d > p.MaxDelay {
+				t.Fatalf("backoff(%d) = %v outside [0, %v]", attempt, d, p.MaxDelay)
+			}
+			if attempt == 0 && d < p.BaseDelay/2 {
+				t.Fatalf("backoff(0) = %v below half the base delay", d)
+			}
+		}
+	}
+}

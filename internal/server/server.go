@@ -30,15 +30,39 @@
 // latency for everyone. /stats and /healthz bypass admission so the
 // service stays observable while saturated. Drain flips /healthz to 503
 // and rejects new work with 503 while in-flight requests finish; pair
-// it with http.Server.Shutdown for a graceful SIGTERM (see
+// DrainAndWait with http.Server.Shutdown for a graceful SIGTERM (see
 // cmd/planserverd).
+//
+// Admitted work is bounded too — the query-lifecycle guarantees:
+//
+//   - Cancellation. Every handler threads its request context into
+//     planning and execution, so a disconnected client's pipeline is
+//     cancelled within one row batch instead of running to completion
+//     while holding an admission slot.
+//   - Deadlines. Config.DefaultTimeout (overridable per request via
+//     timeoutMs, clamped to Config.MaxTimeout) cancels mid-pipeline;
+//     the client gets a typed 504 with the partial per-operator
+//     counters gathered up to the cut.
+//   - Budgets. Config.QueryBudget bounds what one /execute pipeline
+//     may materialize and Config.MemLimitBytes what all of them may
+//     hold together; exceeding either returns a typed 429
+//     ("code": "budget") instead of growing the process.
+//
+// /stats reports cancelled/timed-out/budget-rejected counters per
+// endpoint, and /healthz the draining flag plus in-flight and memory
+// gauges, so load balancers can pre-drain and dashboards can watch
+// saturation.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +82,12 @@ const (
 	ExecuteRowCap         = 1000
 )
 
+// StatusClientClosedRequest is the non-standard (nginx-convention)
+// status recorded when the client disconnected before its request
+// finished. The client is gone and never sees it; the metrics use it
+// to keep client aborts out of the server-fault counters.
+const StatusClientClosedRequest = 499
+
 // Config parameterizes a Server.
 type Config struct {
 	// Planner handles every planning request. Required.
@@ -71,19 +101,50 @@ type Config struct {
 	// the planner's catalog (same names and column order). Nil leaves
 	// /execute answering 404-style errors.
 	Datasets *exec.Registry
+	// DefaultTimeout bounds every planning/execution request that does
+	// not carry its own timeoutMs; 0 imposes no server-side deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-supplied timeoutMs. 0 falls back to
+	// DefaultMaxTimeout when either a default or a client timeout is in
+	// play; negative disables clamping.
+	MaxTimeout time.Duration
+	// QueryBudget bounds what a single /execute pipeline may
+	// materialize (rows/bytes across build-side hash tables, sort
+	// inputs, merge-join groups). Zero fields are unlimited.
+	QueryBudget exec.Budget
+	// MemLimitBytes bounds the bytes all concurrently executing
+	// pipelines may materialize together; 0 tracks without enforcing.
+	// Exceeding it fails the query with a typed budget error (429), not
+	// the process with an OOM.
+	MemLimitBytes int64
+	// ExecHook, when set, wraps every compiled operator — the
+	// fault-injection seam used by the abort experiment and the fault
+	// harness. Leave nil in production.
+	ExecHook exec.IterHook
 }
+
+// DefaultMaxTimeout clamps client-supplied timeouts when
+// Config.MaxTimeout is 0.
+const DefaultMaxTimeout = 30 * time.Second
 
 // Server is the HTTP planning service. It is an http.Handler; all state
 // is safe for concurrent use.
 type Server struct {
-	pl          *planner.Planner
-	datasets    *exec.Registry
-	maxInFlight int
-	sem         chan struct{} // nil when admission control is disabled
-	mux         *http.ServeMux
-	start       time.Time
-	draining    atomic.Bool
-	inFlight    atomic.Int64
+	pl             *planner.Planner
+	datasets       *exec.Registry
+	maxInFlight    int
+	sem            chan struct{} // nil when admission control is disabled
+	mux            *http.ServeMux
+	start          time.Time
+	draining       atomic.Bool
+	inFlight       atomic.Int64
+	wg             sync.WaitGroup // tracks admitted requests for DrainAndWait
+	admitMu        sync.RWMutex   // orders admission (wg.Add) against drain (wg.Wait)
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	budget         exec.Budget
+	acct           *exec.Accountant
+	execHook       exec.IterHook
 
 	planMetrics    endpointMetrics
 	explainMetrics endpointMetrics
@@ -105,8 +166,31 @@ type endpointMetrics struct {
 	errors   atomic.Int64
 	shed     atomic.Int64
 	rejected atomic.Int64
+	canceled atomic.Int64
+	timedOut atomic.Int64
+	budget   atomic.Int64
 	totalNs  atomic.Int64
 	maxNs    atomic.Int64
+}
+
+// classify maps a lifecycle error to its HTTP status and machine code,
+// bumping the matching counter. Errors outside the lifecycle taxonomy
+// return (0, "") and keep whatever status the caller chose. Budget is
+// checked first: a budget failure detected after the deadline fired
+// is still a budget failure.
+func (m *endpointMetrics) classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, exec.ErrBudgetExceeded):
+		m.budget.Add(1)
+		return http.StatusTooManyRequests, "budget"
+	case errors.Is(err, context.DeadlineExceeded):
+		m.timedOut.Add(1)
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		m.canceled.Add(1)
+		return StatusClientClosedRequest, "canceled"
+	}
+	return 0, ""
 }
 
 func (m *endpointMetrics) record(d time.Duration, failed bool) {
@@ -126,10 +210,13 @@ func (m *endpointMetrics) record(d time.Duration, failed bool) {
 
 func (m *endpointMetrics) snapshot() EndpointStats {
 	s := EndpointStats{
-		Requests: m.requests.Load(),
-		Errors:   m.errors.Load(),
-		Shed:     m.shed.Load(),
-		Rejected: m.rejected.Load(),
+		Requests:       m.requests.Load(),
+		Errors:         m.errors.Load(),
+		Shed:           m.shed.Load(),
+		Rejected:       m.rejected.Load(),
+		Canceled:       m.canceled.Load(),
+		TimedOut:       m.timedOut.Load(),
+		BudgetRejected: m.budget.Load(),
 	}
 	if s.Requests > 0 {
 		s.MeanLatencyUs = float64(m.totalNs.Load()) / float64(s.Requests) / 1e3
@@ -147,12 +234,21 @@ func New(cfg Config) *Server {
 	if max == 0 {
 		max = DefaultMaxInFlight
 	}
+	maxT := cfg.MaxTimeout
+	if maxT == 0 {
+		maxT = DefaultMaxTimeout
+	}
 	s := &Server{
-		pl:          cfg.Planner,
-		datasets:    cfg.Datasets,
-		maxInFlight: max,
-		start:       time.Now(),
-		mux:         http.NewServeMux(),
+		pl:             cfg.Planner,
+		datasets:       cfg.Datasets,
+		maxInFlight:    max,
+		start:          time.Now(),
+		mux:            http.NewServeMux(),
+		defaultTimeout: cfg.DefaultTimeout,
+		maxTimeout:     maxT,
+		budget:         cfg.QueryBudget,
+		acct:           exec.NewAccountant(cfg.MemLimitBytes),
+		execHook:       cfg.ExecHook,
 	}
 	if max > 0 {
 		s.sem = make(chan struct{}, max)
@@ -177,7 +273,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Drain puts the server into draining mode: /healthz turns 503 so load
 // balancers stop routing here, and new planning requests are rejected
 // with 503 while in-flight ones finish. Draining is irreversible.
-func (s *Server) Drain() { s.draining.Store(true) }
+func (s *Server) Drain() {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	s.draining.Store(true)
+}
+
+// DrainAndWait drains and then blocks until every admitted request —
+// including running /execute pipelines, which http.Server.Shutdown
+// alone does not wait for once their connections are hijacked or
+// mid-write — has released its slot, or ctx expires. In-flight
+// pipelines are themselves bounded by the server's deadline, so the
+// wait is too. Returns ctx.Err() when the wait was cut short.
+func (s *Server) DrainAndWait(ctx context.Context) error {
+	s.Drain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Draining reports whether Drain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -186,11 +307,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Planner() *planner.Planner { return s.pl }
 
 // servePlanning is the shared request path of /plan and /explain:
-// extract the SQL, check draining, admit (or shed), run, record.
+// extract the SQL, check draining, admit (or shed), run under the
+// request's deadline, record and classify the outcome.
 func (s *Server) servePlanning(w http.ResponseWriter, r *http.Request,
-	m *endpointMetrics, respond func(sql string) (any, int, error)) {
+	m *endpointMetrics, respond func(ctx context.Context, sql string) (any, int, error)) {
 
-	sql, ok := requestSQL(w, r, m)
+	sql, timeoutMs, ok := requestSQL(w, r, m)
 	if !ok {
 		return
 	}
@@ -199,12 +321,18 @@ func (s *Server) servePlanning(w http.ResponseWriter, r *http.Request,
 		return
 	}
 	defer release()
+	ctx, cancel := s.requestContext(r, timeoutMs)
+	defer cancel()
 
 	begin := time.Now()
-	resp, code, err := respond(sql)
+	resp, code, err := respond(ctx, sql)
 	if err != nil {
 		m.record(time.Since(begin), true)
-		writeError(w, code, err.Error())
+		lcCode, kind := m.classify(err)
+		if lcCode != 0 {
+			code = lcCode
+		}
+		writeErrorCoded(w, code, err.Error(), kind, nil)
 		return
 	}
 	m.record(time.Since(begin), false)
@@ -215,6 +343,11 @@ func (s *Server) servePlanning(w http.ResponseWriter, r *http.Request,
 // concurrency with 429 shedding, in-flight accounting. On success the
 // returned release must be deferred.
 func (s *Server) admit(w http.ResponseWriter, m *endpointMetrics) (release func(), ok bool) {
+	// The read lock pairs with DrainAndWait's write lock: a request
+	// either sees draining and is rejected, or joins the wait group
+	// strictly before the drain starts waiting on it.
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
 	if s.draining.Load() {
 		m.rejected.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
@@ -234,6 +367,7 @@ func (s *Server) admit(w http.ResponseWriter, m *endpointMetrics) (release func(
 		}
 	}
 	s.inFlight.Add(1)
+	s.wg.Add(1)
 	if s.admitted != nil {
 		s.admitted()
 	}
@@ -242,37 +376,67 @@ func (s *Server) admit(w http.ResponseWriter, m *endpointMetrics) (release func(
 		if acquired {
 			<-s.sem
 		}
+		s.wg.Done()
 	}, true
 }
 
-// requestSQL extracts the statement from a GET ?q= or a POST JSON body.
-func requestSQL(w http.ResponseWriter, r *http.Request, m *endpointMetrics) (string, bool) {
-	fail := func(code int, msg string) (string, bool) {
+// requestContext derives the execution context for one request:
+// the request's own context (cancelled on client disconnect) bounded
+// by the effective deadline — the client's timeoutMs if given, else
+// the server default, clamped to the server maximum. The returned
+// cancel must always be called.
+func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := s.defaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if s.maxTimeout > 0 && d > s.maxTimeout {
+		d = s.maxTimeout
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// requestSQL extracts the statement (and optional timeoutMs) from a
+// GET ?q=...&timeoutMs=... or a POST JSON body.
+func requestSQL(w http.ResponseWriter, r *http.Request, m *endpointMetrics) (string, int, bool) {
+	fail := func(code int, msg string) (string, int, bool) {
 		m.rejected.Add(1)
 		writeError(w, code, msg)
-		return "", false
+		return "", 0, false
 	}
 	var sql string
+	var timeoutMs int
 	switch r.Method {
 	case http.MethodGet:
 		sql = r.URL.Query().Get("q")
+		if v := r.URL.Query().Get("timeoutMs"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return fail(http.StatusBadRequest, "invalid timeoutMs: "+v)
+			}
+			timeoutMs = n
+		}
 	case http.MethodPost:
 		var req PlanRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			return fail(http.StatusBadRequest, "invalid request body: "+err.Error())
 		}
 		sql = req.SQL
+		timeoutMs = req.TimeoutMs
 	default:
 		return fail(http.StatusMethodNotAllowed, "use GET ?q=... or POST {\"sql\": ...}")
 	}
 	if strings.TrimSpace(sql) == "" {
 		return fail(http.StatusBadRequest, "empty sql")
 	}
-	return sql, true
+	return sql, timeoutMs, true
 }
 
-func (s *Server) planResponse(sql string) (any, int, error) {
-	pd, q, err := s.pl.PlanQuery(sql)
+func (s *Server) planResponse(ctx context.Context, sql string) (any, int, error) {
+	pd, q, err := s.pl.PlanQueryContext(ctx, sql)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
@@ -292,8 +456,8 @@ func (s *Server) planResponse(sql string) (any, int, error) {
 	return resp, 0, nil
 }
 
-func (s *Server) explainResponse(sql string) (any, int, error) {
-	pd, q, err := s.pl.PlanQuery(sql)
+func (s *Server) explainResponse(ctx context.Context, sql string) (any, int, error) {
+	pd, q, err := s.pl.PlanQueryContext(ctx, sql)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
@@ -374,37 +538,55 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
 
 	begin := time.Now()
-	resp, code, err := s.executeResponse(req, ds)
+	resp, ops, code, err := s.executeResponse(ctx, req, ds)
 	if err != nil {
 		m.record(time.Since(begin), true)
-		writeError(w, code, err.Error())
+		lcCode, kind := m.classify(err)
+		if lcCode != 0 {
+			code = lcCode
+		}
+		// Lifecycle failures (timeout, cancel, budget) return the
+		// partial per-operator counters gathered up to the cut, so a
+		// timed-out client still learns where the time went.
+		writeErrorCoded(w, code, err.Error(), kind, ops)
 		return
 	}
 	m.record(time.Since(begin), false)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) executeResponse(req ExecuteRequest, ds *exec.Dataset) (*ExecuteResponse, int, error) {
-	pd, q, err := s.pl.PlanQuery(req.SQL)
+func (s *Server) executeResponse(ctx context.Context, req ExecuteRequest, ds *exec.Dataset) (*ExecuteResponse, []exec.OpStats, int, error) {
+	pd, q, err := s.pl.PlanQueryContext(ctx, req.SQL)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, nil, http.StatusBadRequest, err
 	}
 	org := origin(pd, q)
 	runner := ds.Runner(org.Analysis())
+	runner.Budget = s.budget
+	runner.Accountant = s.acct
+	runner.Hook = s.execHook
 	pipe, err := runner.Compile(pd.Best)
 	if err != nil {
 		// The plan is valid but the dataset cannot serve it (e.g. a
 		// table without data): the client picked the wrong dataset.
-		return nil, http.StatusBadRequest, err
+		return nil, nil, http.StatusBadRequest, err
 	}
 	execBegin := time.Now()
-	rows, err := pipe.Execute()
+	rows, err := pipe.ExecuteContext(ctx)
 	if err != nil {
-		// Guard-rail failures (unsorted merge input, reopened group)
-		// mean the planner emitted an unsound plan — a server bug.
-		return nil, http.StatusInternalServerError, fmt.Errorf("executing plan: %w", err)
+		// Partial counters for the error path; the classifier decides
+		// whether this was a lifecycle cut (timeout/cancel/budget) or a
+		// guard-rail failure (unsorted merge input, reopened group —
+		// the planner emitted an unsound plan, a server bug).
+		ops := make([]exec.OpStats, len(pipe.Ops))
+		for i, op := range pipe.Ops {
+			ops[i] = *op
+		}
+		return nil, ops, http.StatusInternalServerError, fmt.Errorf("executing plan: %w", err)
 	}
 	execNs := time.Since(execBegin).Nanoseconds()
 
@@ -450,16 +632,18 @@ func (s *Server) executeResponse(req ExecuteRequest, ds *exec.Dataset) (*Execute
 	for i, op := range pipe.Ops {
 		resp.Operators[i] = *op
 	}
-	return resp, 0, nil
+	return resp, nil, 0, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &StatsResponse{
-		UptimeSec:   time.Since(s.start).Seconds(),
-		InFlight:    s.inFlight.Load(),
-		MaxInFlight: s.maxInFlight,
-		Draining:    s.draining.Load(),
-		Planner:     s.pl.Stats(),
+		UptimeSec:     time.Since(s.start).Seconds(),
+		InFlight:      s.inFlight.Load(),
+		MaxInFlight:   s.maxInFlight,
+		Draining:      s.draining.Load(),
+		MemUsedBytes:  s.acct.Used(),
+		MemLimitBytes: s.acct.Limit(),
+		Planner:       s.pl.Stats(),
 		Endpoints: map[string]EndpointStats{
 			"plan":    s.planMetrics.snapshot(),
 			"explain": s.explainMetrics.snapshot(),
@@ -470,13 +654,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := &HealthResponse{
-		Status:    "ok",
-		UptimeSec: time.Since(s.start).Seconds(),
-		InFlight:  s.inFlight.Load(),
+		Status:        "ok",
+		UptimeSec:     time.Since(s.start).Seconds(),
+		InFlight:      s.inFlight.Load(),
+		MaxInFlight:   s.maxInFlight,
+		MemUsedBytes:  s.acct.Used(),
+		MemLimitBytes: s.acct.Limit(),
 	}
 	code := http.StatusOK
 	if s.draining.Load() {
 		resp.Status = "draining"
+		resp.Draining = true
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, resp)
@@ -539,4 +727,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, &ErrorResponse{Error: msg})
+}
+
+// writeErrorCoded writes an error body carrying the lifecycle code
+// ("timeout", "canceled", "budget" — empty for ordinary failures) and,
+// for cut-short executions, the partial per-operator counters. Budget
+// rejections advertise a retry hint like admission shedding does: the
+// query may succeed once concurrent load releases its reservations.
+func writeErrorCoded(w http.ResponseWriter, code int, msg, kind string, ops []exec.OpStats) {
+	if kind == "budget" {
+		w.Header().Set("Retry-After", "1")
+	}
+	if kind == "" {
+		ops = nil
+	}
+	writeJSON(w, code, &ErrorResponse{Error: msg, Code: kind, Operators: ops})
 }
