@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: check build vet fmt staticcheck test race faults bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke examples
+.PHONY: check build vet fmt staticcheck test race faults bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke bench-parallel bench-parallel-smoke examples
 
 check: build vet fmt staticcheck test
 
@@ -44,7 +44,7 @@ faults:
 	$(GO) test -race ./internal/faultinject/ \
 		-run 'TestScenariosAcrossOperators|TestFault|TestHang|TestDelay|TestTracker|TestMatches'
 	$(GO) test -race ./internal/exec/ \
-		-run 'TestAccountant|TestBudget|TestMergeJoinGroupRelease|TestCancelDuringExecute|TestDeadlineMidMergeJoin|TestExecuteContextDeadPipeline'
+		-run 'TestAccountant|TestBudget|TestMergeJoinGroupRelease|TestCancelDuringExecute|TestDeadlineMidMergeJoin|TestExecuteContextDeadPipeline|TestExchange'
 	$(GO) test -race ./internal/server/ \
 		-run 'TestExecuteTimeout|TestExecuteDefaultTimeout|TestTimeoutClamp|TestExecuteBudget|TestGlobalMemBudget|TestExecuteClientCancel|TestDrainAndWait|TestClientRetry|TestRetryBackoff'
 	$(GO) test -race ./internal/experiments/ -run 'TestAbort'
@@ -81,11 +81,23 @@ bench-exec:
 bench-exec-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkExecRuntime$$' -benchtime 1x .
 
+# bench-parallel records morsel-parallel scaling: the execution
+# workloads planned at MaxDOP 1/2/4/8 and run through the exchange
+# operators. cmd/benchfmt derives speedup-vs-dop1 for every DOP above
+# the serial baseline. See docs/benchmarks.md.
+bench-parallel:
+	$(GO) test -run '^$$' -bench '^BenchmarkExecParallel$$' -benchmem -json . | $(GO) run ./cmd/benchfmt | tee BENCH_parallel.json
+
+# bench-parallel-smoke runs the parallel-scaling benchmark once (no
+# timing); CI runs it so the exchange benchmark path cannot rot.
+bench-parallel-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkExecParallel$$' -benchtime 1x .
+
 # bench-smoke compiles and runs every benchmark once (no timing) so
 # benchmark code cannot rot; CI runs it on every push. The execution
-# benchmark is excluded (the character class skips names starting
-# "BenchmarkEx") — bench-exec-smoke covers it, so CI runs each exactly
-# once.
+# benchmarks are excluded (the character class skips names starting
+# "BenchmarkEx") — bench-exec-smoke and bench-parallel-smoke cover
+# them, so CI runs each exactly once.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^Benchmark([^E]|E[^x])' -benchtime 1x ./...
 

@@ -29,6 +29,7 @@ package orderopt_test
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -712,6 +713,63 @@ func BenchmarkExecRuntime(b *testing.B) {
 					b.Fatal(err)
 				}
 				res, err := optimizer.Optimize(a, v.Config)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runner := w.Dataset.Runner(a)
+				runner.DisableTiming = true
+				var rows, sorted int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p, err := runner.Compile(res.Best)
+					if err != nil {
+						b.Fatal(err)
+					}
+					out, err := p.Execute()
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows = int64(len(out))
+					sorted = p.RowsSorted()
+				}
+				b.ReportMetric(float64(rows), "result-rows")
+				b.ReportMetric(float64(sorted), "rows-sorted/op")
+			})
+		}
+	}
+}
+
+// BenchmarkExecParallel measures morsel-parallel scaling: the TPC-R
+// execution workloads planned with the DFSM framework at MaxDOP 1, 2,
+// 4 and 8 (dop=1 is the serial plan — no exchange — and the baseline
+// cmd/benchfmt computes speedup against). The parallel plans run the
+// join spine through an order-preserving ExchangeMerge, so
+// rows-sorted/op stays 0 on the orders workload at every DOP
+// (make bench-parallel → BENCH_parallel.json).
+func BenchmarkExecParallel(b *testing.B) {
+	// A heap ballast pins the GC cycle rate so every DOP (including the
+	// dop=1 serial baseline) is measured under the same GC regime —
+	// without it, sub-millisecond queries are dominated by collector
+	// cycles triggered every couple of executions.
+	ballast := make([]byte, 96<<20)
+	defer runtime.KeepAlive(ballast)
+	workloads, err := experiments.ExecWorkloads(experiments.ExecSpec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workloads {
+		if !strings.HasPrefix(w.Name, "q8/") && !strings.HasPrefix(w.Name, "orders/") {
+			continue
+		}
+		a, err := query.Analyze(w.Graph, query.AnalyzeOptions{UseIndexes: true, TrackGroupings: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, dop := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/dop=%d", w.Name, dop), func(b *testing.B) {
+				cfg := optimizer.DefaultConfig(optimizer.ModeDFSM)
+				cfg.MaxDOP = dop
+				res, err := optimizer.Optimize(a, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,6 +11,13 @@
 // dropped; a failing input stream (any "fail" action) makes benchfmt
 // exit non-zero so a broken benchmark run cannot silently produce an
 // empty-but-committed artifact.
+//
+// Results whose name carries a "/dop=N" component (the parallel-scaling
+// benchmark) additionally get a derived "speedup-vs-dop1" metric: the
+// ns/op of the same benchmark's dop=1 run divided by this run's ns/op.
+// The dop=1 result always precedes the higher DOPs in the stream (the
+// benchmark runs DOPs in ascending order), so the metric is computed
+// on the fly without buffering.
 package main
 
 import (
@@ -48,6 +55,10 @@ func main() {
 
 	failed := false
 	results := 0
+	// serial ns/op per benchmark family, keyed by the name with its
+	// /dop=N component removed — the denominatorless baseline for the
+	// speedup-vs-dop1 metric.
+	serialNs := make(map[string]float64)
 	// test2json usually splits a benchmark result into two output
 	// events — the name when the benchmark starts, the measurements when
 	// it finishes — so a bare "BenchmarkX-8" line is held and stitched
@@ -78,6 +89,7 @@ func main() {
 			continue
 		}
 		pending = ""
+		addSpeedup(r, serialNs)
 		if err := enc.Encode(r); err != nil {
 			fmt.Fprintln(os.Stderr, "benchfmt:", err)
 			os.Exit(1)
@@ -143,4 +155,42 @@ func addMetric(r *result, name string, v float64) {
 		r.Metrics = make(map[string]float64)
 	}
 	r.Metrics[name] = v
+}
+
+// addSpeedup derives the parallel-scaling metric for results named with
+// a /dop=N component: dop=1 registers the family's serial ns/op, every
+// higher DOP reports serial ÷ own ns/op as "speedup-vs-dop1".
+func addSpeedup(r *result, serialNs map[string]float64) {
+	family, dop, ok := splitDOP(r.Name)
+	if !ok {
+		return
+	}
+	if dop == 1 {
+		serialNs[family] = r.NsPerOp
+		return
+	}
+	if base, seen := serialNs[family]; seen && r.NsPerOp > 0 {
+		addMetric(r, "speedup-vs-dop1", base/r.NsPerOp)
+	}
+}
+
+// splitDOP extracts the DOP from a benchmark name like
+// "BenchmarkExecParallel/orders/tpcr-large/dop=4-8", returning the name
+// with the /dop=N component cut out (the family key, which keeps the
+// trailing -procs suffix) and N.
+func splitDOP(name string) (family string, dop int, ok bool) {
+	i := strings.Index(name, "/dop=")
+	if i < 0 {
+		return "", 0, false
+	}
+	rest := name[i+len("/dop="):]
+	end := strings.IndexByte(rest, '-')
+	if end < 0 {
+		end = len(rest)
+	}
+	n, err := strconv.Atoi(rest[:end])
+	if err != nil || n <= 0 {
+		return "", 0, false
+	}
+	return name[:i] + rest[end:], n, true
 }

@@ -15,6 +15,11 @@
 //	experiments -table large   # adaptive tier: exact vs linearized DP on
 //	                           # large join graphs (time, plans, cost
 //	                           # ratio where both run)
+//	experiments -table exec    # end-to-end execution: DFSM vs Simmen vs
+//	                           # order-oblivious runtimes, plus the
+//	                           # parallel-scaling column (serial vs the
+//	                           # best DOP up to -workers, checksum-
+//	                           # verified)
 //	experiments -table all     # everything except enum, throughput,
 //	                           # serve and large (opt-in: clique points
 //	                           # run for seconds)
@@ -72,6 +77,7 @@ func main() {
 	execQueries := flag.Int("exec-queries", 3, "generated grouped queries in the exec table")
 	execRelations := flag.Int("exec-relations", 5, "relations per generated exec query")
 	execRows := flag.Int("exec-rows", 48, "rows per table for generated exec data")
+	workers := flag.Int("workers", 4, "max morsel workers for the exec table's parallel-scaling column (serial vs best DOP up to this; 1 disables)")
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(),
 			"experiments regenerates the paper's evaluation tables — see README.md and docs/benchmarks.md.")
@@ -188,6 +194,7 @@ func main() {
 			QuerygenQueries:   *execQueries,
 			QuerygenRelations: *execRelations,
 			QuerygenRows:      *execRows,
+			Workers:           *workers,
 		})
 		die(err)
 		fmt.Println("=== End-to-end execution: DFSM vs Simmen vs order-oblivious plans ===")

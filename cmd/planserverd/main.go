@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -74,6 +75,8 @@ func main() {
 		"rows one /execute pipeline may materialize before 429 (0 means unlimited)")
 	queryMemBudget := flag.Int64("query-mem-budget", 0,
 		"bytes one /execute pipeline may materialize before 429 (0 means unlimited)")
+	workers := flag.Int("workers", 0,
+		"max morsel workers per query: the optimizer plans exchanges up to this DOP and /execute clamps to it (0 means GOMAXPROCS, 1 disables parallel plans)")
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(),
 			"planserverd serves /plan, /explain, /execute, /stats and /healthz over the TPC-R schema — see docs/api.md and README.md.")
@@ -105,10 +108,16 @@ func main() {
 		log.Fatalf("planserverd: %v", err)
 	}
 
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+
 	cfg := planner.DefaultConfig(tpcr.Schema())
 	cfg.Optimizer = optimizer.DefaultConfig(m)
 	cfg.Optimizer.Enumerator = enum
 	cfg.Optimizer.Strategy = strat
+	cfg.Optimizer.MaxDOP = nw
 	cfg.PlanCacheSize = *planCache
 	cfg.PreparedCacheSize = *preparedCache
 
@@ -124,6 +133,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MemLimitBytes:  *memBudget,
 		QueryBudget:    exec.Budget{MaxRows: *queryRowsBudget, MaxBytes: *queryMemBudget},
+		Workers:        nw,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -155,8 +165,8 @@ func main() {
 	if datasets != nil {
 		execInfo = fmt.Sprintf("datasets %v", datasets.Names())
 	}
-	log.Printf("planserverd: serving TPC-R planning on %s (mode=%s enumerator=%s strategy=%s max-inflight=%d, execute: %s)",
-		*addr, m, enum, strat, *maxInFlight, execInfo)
+	log.Printf("planserverd: serving TPC-R planning on %s (mode=%s enumerator=%s strategy=%s max-inflight=%d workers=%d, execute: %s)",
+		*addr, m, enum, strat, *maxInFlight, nw, execInfo)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("planserverd: %v", err)
 	}

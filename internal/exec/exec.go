@@ -40,6 +40,20 @@ type Iterator interface {
 	Close() error
 }
 
+// batchIterator is implemented by operators that can hand out many
+// rows at once (the exchange operators): Collect and the root stats
+// wrapper then skip the per-row Next hand-off. A batch is only valid
+// until the next NextBatch call.
+type batchIterator interface {
+	NextBatch() ([]Row, bool, error)
+}
+
+// sizeHinter optionally accompanies batchIterator: an estimate of the
+// total row count, letting Collect presize its result buffer.
+type sizeHinter interface {
+	SizeHint() int
+}
+
 // Collect drains it and returns all rows.
 func Collect(it Iterator) ([]Row, error) {
 	if err := it.Open(); err != nil {
@@ -48,6 +62,23 @@ func Collect(it Iterator) ([]Row, error) {
 	}
 	defer it.Close()
 	var out []Row
+	if b, ok := it.(batchIterator); ok {
+		if sh, ok := it.(sizeHinter); ok {
+			if h := sh.SizeHint(); h > 0 && h <= 1<<22 {
+				out = make([]Row, 0, h)
+			}
+		}
+		for {
+			batch, ok, err := b.NextBatch()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return out, nil
+			}
+			out = append(out, batch...)
+		}
+	}
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
@@ -237,6 +268,16 @@ type MergeJoin struct {
 	prevRightKey  int64
 	havePrevRight bool
 	opened        bool
+
+	// seek, when set (morsel segments only), is the right input itself: a
+	// seekable scan over rows materialized and sorted-verified at exchange
+	// setup. The join then skips right rows below the current left key by
+	// binary search instead of streaming past them, and drops the
+	// right-side drain on left exhaustion (the shared materialization
+	// already verified the full right stream).
+	seek *seekScan
+
+	alloc rowAlloc // chunked allocator for output rows
 }
 
 // Open implements Iterator.
@@ -271,8 +312,14 @@ func (m *MergeJoin) nextLeft() (Row, bool, error) {
 	return row, true, nil
 }
 
-// nextRight advances the right lookahead, verifying sortedness.
+// nextRight advances the right lookahead, verifying sortedness. Seek
+// mode skips the verification: the shared materialization (or the
+// maintained index view) it reads from was verified once up front.
 func (m *MergeJoin) nextRight() (Row, bool, error) {
+	if m.seek != nil {
+		row, ok, _ := m.seek.Next()
+		return row, ok, nil
+	}
 	row, ok, err := m.Right.Next()
 	if err != nil || !ok {
 		return nil, false, err
@@ -352,7 +399,7 @@ func (m *MergeJoin) Next() (Row, bool, error) {
 	for {
 		if m.matching {
 			if m.gi < len(m.group) {
-				r := concatRows(m.left, m.group[m.gi])
+				r := m.alloc.concat(m.left, m.group[m.gi])
 				m.gi++
 				return r, true, nil
 			}
@@ -367,6 +414,12 @@ func (m *MergeJoin) Next() (Row, bool, error) {
 				return nil, false, err
 			}
 			if !ok {
+				if m.seek != nil {
+					// Seek mode: the shared materialization verified the
+					// whole right stream; draining it per morsel would
+					// undo the skip-ahead win.
+					return nil, false, nil
+				}
 				// Left exhausted: drain the right side so its
 				// sortedness check covers the full stream the plan
 				// claimed sorted (mirror of the left drain below).
@@ -383,6 +436,17 @@ func (m *MergeJoin) Next() (Row, bool, error) {
 			m.left = row
 		}
 		lk := m.left[m.LeftKey]
+		if m.seek != nil && (!m.haveGroup || m.groupKey < lk) {
+			// Skip right rows that can never match: the left stream is
+			// non-decreasing, so anything below lk is dead. Discard a
+			// stale lookahead and jump the scan to the first key >= lk.
+			if m.rightNext != nil && m.rightNext[m.RightKey] < lk {
+				m.rightNext = nil
+			}
+			if m.rightNext == nil && !m.rightDone {
+				m.seek.SeekGE(lk)
+			}
+		}
 		for !m.haveGroup || m.groupKey < lk {
 			ok, err := m.buildGroup()
 			if err != nil {
@@ -447,32 +511,44 @@ type HashJoin struct {
 	bucket []Row // its matches
 	bi     int
 	opened bool
+
+	// prebuilt, when set (morsel segments only), is a build table shared
+	// across morsel pipelines: Open adopts it instead of draining Right
+	// (which is then nil), and the rows were already charged once at
+	// exchange setup.
+	prebuilt map[int64][]Row
+
+	alloc rowAlloc // chunked allocator for output rows
 }
 
 // Open implements Iterator.
 func (h *HashJoin) Open() error {
-	if err := h.Right.Open(); err != nil {
-		return err
-	}
-	h.table = make(map[int64][]Row)
-	for {
-		row, ok, err := h.Right.Next()
-		if err != nil {
-			h.Right.Close()
+	if h.prebuilt != nil {
+		h.table = h.prebuilt
+	} else {
+		if err := h.Right.Open(); err != nil {
 			return err
 		}
-		if !ok {
-			break
+		h.table = make(map[int64][]Row)
+		for {
+			row, ok, err := h.Right.Next()
+			if err != nil {
+				h.Right.Close()
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := h.Life.holdRow(row); err != nil {
+				h.Right.Close()
+				return err
+			}
+			k := row[h.RightKey]
+			h.table[k] = append(h.table[k], row)
 		}
-		if err := h.Life.holdRow(row); err != nil {
-			h.Right.Close()
+		if err := h.Right.Close(); err != nil {
 			return err
 		}
-		k := row[h.RightKey]
-		h.table[k] = append(h.table[k], row)
-	}
-	if err := h.Right.Close(); err != nil {
-		return err
 	}
 	h.probe, h.bucket, h.bi = nil, nil, 0
 	if err := h.Left.Open(); err != nil {
@@ -486,7 +562,7 @@ func (h *HashJoin) Open() error {
 func (h *HashJoin) Next() (Row, bool, error) {
 	for {
 		if h.bi < len(h.bucket) {
-			r := concatRows(h.probe, h.bucket[h.bi])
+			r := h.alloc.concat(h.probe, h.bucket[h.bi])
 			h.bi++
 			return r, true, nil
 		}
@@ -524,34 +600,45 @@ type NestedLoopJoin struct {
 	outer  Row
 	ii     int
 	opened bool
+
+	// preloaded, when set (morsel segments only), is the materialized
+	// inner shared across morsel pipelines: Open adopts it instead of
+	// draining Inner (which is then nil); charged once at exchange setup.
+	preloaded []Row
+
+	alloc rowAlloc // chunked allocator for output rows
 }
 
 // Open implements Iterator.
 func (n *NestedLoopJoin) Open() error {
-	if err := n.Inner.Open(); err != nil {
-		n.Inner.Close()
-		return err
-	}
-	var rows []Row
-	for {
-		row, ok, err := n.Inner.Next()
-		if err != nil {
+	if n.preloaded != nil {
+		n.inner = n.preloaded
+	} else {
+		if err := n.Inner.Open(); err != nil {
 			n.Inner.Close()
 			return err
 		}
-		if !ok {
-			break
+		var rows []Row
+		for {
+			row, ok, err := n.Inner.Next()
+			if err != nil {
+				n.Inner.Close()
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := n.Life.holdRow(row); err != nil {
+				n.Inner.Close()
+				return err
+			}
+			rows = append(rows, row)
 		}
-		if err := n.Life.holdRow(row); err != nil {
-			n.Inner.Close()
+		if err := n.Inner.Close(); err != nil {
 			return err
 		}
-		rows = append(rows, row)
+		n.inner = rows
 	}
-	if err := n.Inner.Close(); err != nil {
-		return err
-	}
-	n.inner = rows
 	n.outer, n.ii = nil, 0
 	if err := n.Outer.Open(); err != nil {
 		return err
@@ -568,7 +655,7 @@ func (n *NestedLoopJoin) Next() (Row, bool, error) {
 				inner := n.inner[n.ii]
 				n.ii++
 				if n.Pred(n.outer, inner) {
-					return concatRows(n.outer, inner), true, nil
+					return n.alloc.concat(n.outer, inner), true, nil
 				}
 			}
 		}
@@ -596,6 +683,75 @@ func concatRows(a, b Row) Row {
 	out := make(Row, 0, len(a)+len(b))
 	out = append(out, a...)
 	return append(out, b...)
+}
+
+// rowAlloc chunk sizes (in int64s): chunks start small so short-lived
+// operator instances (morsel pipelines) don't over-allocate, and grow
+// geometrically so long streams amortize to one allocation per ~2k
+// rows.
+const (
+	rowAllocChunkMin = 512   // 4 KiB
+	rowAllocChunkMax = 16384 // 128 KiB
+)
+
+// rowAlloc carves output rows from pointer-free chunks instead of
+// allocating each row separately — join outputs dominate allocation
+// count otherwise, and []int64 chunks cost the garbage collector
+// nothing to scan. Rows stay valid after the allocator is gone; they
+// alias the chunks. Not safe for concurrent use: each operator
+// instance owns its allocator.
+type rowAlloc struct {
+	buf  Row
+	grow int // next chunk size
+}
+
+// concat returns a ++ b carved from the current chunk.
+func (al *rowAlloc) concat(a, b Row) Row {
+	n := len(a) + len(b)
+	if len(al.buf) < n {
+		switch {
+		case al.grow == 0:
+			al.grow = rowAllocChunkMin
+		case al.grow < rowAllocChunkMax:
+			al.grow <<= 1
+		}
+		sz := al.grow
+		if n > sz {
+			sz = n
+		}
+		al.buf = make(Row, sz)
+	}
+	out := al.buf[:n:n]
+	al.buf = al.buf[n:]
+	copy(out, a)
+	copy(out[len(a):], b)
+	return out
+}
+
+// concatN returns pieces[0] ++ ... ++ pieces[len-1] (total width n)
+// carved from the current chunk.
+func (al *rowAlloc) concatN(pieces []Row, n int) Row {
+	if len(al.buf) < n {
+		switch {
+		case al.grow == 0:
+			al.grow = rowAllocChunkMin
+		case al.grow < rowAllocChunkMax:
+			al.grow <<= 1
+		}
+		sz := al.grow
+		if n > sz {
+			sz = n
+		}
+		al.buf = make(Row, sz)
+	}
+	out := al.buf[:n:n]
+	al.buf = al.buf[n:]
+	o := 0
+	for _, p := range pieces {
+		copy(out[o:], p)
+		o += len(p)
+	}
+	return out
 }
 
 // Agg selects the aggregate computed by the group operators.

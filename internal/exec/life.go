@@ -115,17 +115,36 @@ func (a *Accountant) release(n int64) {
 
 // Life is one pipeline execution's lifecycle: the cancellation context,
 // the per-query budget and the (optional) shared accountant. A Life is
-// created at Compile, bound to a context at ExecuteContext, and used
-// from the single goroutine driving the pipeline — except Done/Err,
-// which fault-injection wrappers may consult while blocked.
+// created at Compile and bound to a context at ExecuteContext. The tick
+// and held counters are atomic: a parallel pipeline's morsel workers
+// all charge their budget use and poll cancellation through the one
+// shared Life, so one worker tripping the budget fails the query (and
+// cancels its siblings) exactly like the serial path would.
 type Life struct {
 	ctx  context.Context
-	tick int64
+	tick atomic.Int64
+
+	// failed, once set, makes every subsequent cancellation poll return
+	// the recorded error: an exchange worker hitting a terminal failure
+	// (budget exhaustion, injected fault) aborts its sibling workers
+	// through the shared Life within one poll interval, without needing
+	// a context of its own.
+	failed atomic.Pointer[error]
 
 	budget    Budget
 	acct      *Accountant
-	heldRows  int64
-	heldBytes int64
+	heldRows  atomic.Int64
+	heldBytes atomic.Int64
+}
+
+// abort records a terminal error; the first recorded error wins. Every
+// wrapper polling this Life (all of them, across all workers) starts
+// failing its Next within CancelCheckInterval rows.
+func (l *Life) abort(err error) {
+	if l == nil || err == nil {
+		return
+	}
+	l.failed.CompareAndSwap(nil, &err)
 }
 
 // bind attaches the execution context. It returns the context error
@@ -153,7 +172,13 @@ func (l *Life) Done() <-chan struct{} {
 func (l *Life) Err() error { return l.ctxErr() }
 
 func (l *Life) ctxErr() error {
-	if l == nil || l.ctx == nil {
+	if l == nil {
+		return nil
+	}
+	if p := l.failed.Load(); p != nil {
+		return *p
+	}
+	if l.ctx == nil {
 		return nil
 	}
 	if err := l.ctx.Err(); err != nil {
@@ -169,34 +194,41 @@ func (l *Life) step() error {
 	if l == nil {
 		return nil
 	}
-	l.tick++
-	if l.tick%CancelCheckInterval != 0 {
+	if l.tick.Add(1)%CancelCheckInterval != 0 {
 		return nil
 	}
 	return l.ctxErr()
 }
 
 // hold charges rows/bytes of materialized data against the per-query
-// budget and the shared accountant. On failure nothing is charged and
-// the returned error wraps ErrBudgetExceeded.
+// budget and the shared accountant. On failure nothing remains charged
+// and the returned error wraps ErrBudgetExceeded. The charge is
+// optimistic (add, check, roll back) so concurrent morsel workers can
+// charge one shared budget without a lock.
 func (l *Life) hold(rows, bytes int64) error {
 	if l == nil {
 		return nil
 	}
-	if l.budget.MaxRows > 0 && l.heldRows+rows > l.budget.MaxRows {
+	nr := l.heldRows.Add(rows)
+	nb := l.heldBytes.Add(bytes)
+	if l.budget.MaxRows > 0 && nr > l.budget.MaxRows {
+		l.heldRows.Add(-rows)
+		l.heldBytes.Add(-bytes)
 		return fmt.Errorf("%w: %d rows materialized (budget %d)",
-			ErrBudgetExceeded, l.heldRows+rows, l.budget.MaxRows)
+			ErrBudgetExceeded, nr, l.budget.MaxRows)
 	}
-	if l.budget.MaxBytes > 0 && l.heldBytes+bytes > l.budget.MaxBytes {
+	if l.budget.MaxBytes > 0 && nb > l.budget.MaxBytes {
+		l.heldRows.Add(-rows)
+		l.heldBytes.Add(-bytes)
 		return fmt.Errorf("%w: %d bytes materialized (budget %d)",
-			ErrBudgetExceeded, l.heldBytes+bytes, l.budget.MaxBytes)
+			ErrBudgetExceeded, nb, l.budget.MaxBytes)
 	}
 	if !l.acct.tryReserve(bytes) {
+		l.heldRows.Add(-rows)
+		l.heldBytes.Add(-bytes)
 		return fmt.Errorf("%w: global memory budget exhausted (%d of %d bytes in use)",
 			ErrBudgetExceeded, l.acct.Used(), l.acct.Limit())
 	}
-	l.heldRows += rows
-	l.heldBytes += bytes
 	return nil
 }
 
@@ -215,8 +247,8 @@ func (l *Life) release(rows, bytes int64) {
 	if l == nil {
 		return
 	}
-	l.heldRows -= rows
-	l.heldBytes -= bytes
+	l.heldRows.Add(-rows)
+	l.heldBytes.Add(-bytes)
 	l.acct.release(bytes)
 }
 
@@ -226,8 +258,8 @@ func (l *Life) releaseAll() {
 	if l == nil {
 		return
 	}
-	l.acct.release(l.heldBytes)
-	l.heldRows, l.heldBytes = 0, 0
+	l.acct.release(l.heldBytes.Swap(0))
+	l.heldRows.Store(0)
 }
 
 // HeldBytes reports the bytes currently charged by this query.
@@ -235,5 +267,5 @@ func (l *Life) HeldBytes() int64 {
 	if l == nil {
 		return 0
 	}
-	return l.heldBytes
+	return l.heldBytes.Load()
 }

@@ -1,0 +1,1123 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orderopt/internal/plan"
+	"orderopt/internal/query"
+)
+
+// This file is the morsel-driven parallel execution tier. An exchange
+// plan node (plan.ExchangeMerge / plan.ExchangeUnion) covers a
+// "segment": the left spine of joins from the exchange down to a single
+// driving scan, with every right-hand join input hanging off the spine.
+// Compilation splits the segment in two:
+//
+//   - Shared state, executed ONCE at exchange Open through the ordinary
+//     serial wrappers (stats counted once, cancellation polled, fault
+//     hooks applied): hash-join build tables, nested-loop inners, and —
+//     new relative to the serial operators — the merge joins' right
+//     inputs, materialized and sortedness-verified up front so workers
+//     can re-read them by binary-search seek instead of re-executing
+//     the subtree per morsel.
+//   - The spine, instantiated per MORSEL: the driving scan's rows are
+//     split into contiguous morsels pulled off an atomic counter by a
+//     worker pool; each worker builds a throwaway pipeline of cheap
+//     spine operators (filter, probe, merge-with-seek) over its morsel
+//     and the shared state, collects the output, and hands it back.
+//
+// Order preservation is the whole point of ExchangeMerge, and it holds
+// by a restriction argument rather than by sorting: every spine join
+// preserves its outer (left) order and emits, per outer row, a match
+// sequence fully determined by the shared right-side state (merge group
+// order, hash bucket order, nested-loop inner order — identical across
+// workers because the state is shared and immutable). A morsel's output
+// is therefore exactly the serial segment's output restricted to that
+// morsel's driving rows, and concatenating worker outputs in morsel
+// order reproduces the serial row sequence row for row. Every ordering,
+// grouping and FD property the child plan claims survives — with zero
+// sorting, which is what keeps rows-sorted/op at 0 for the DFSM plans.
+// The same argument is why Sort and Group operators are excluded from
+// the spine: Sort(morsel) is not Sort(all) restricted to the morsel.
+//
+// ExchangeUnion skips the morsel-order reassembly and emits results in
+// arrival order — cheaper (no head-of-line blocking), order-destroying,
+// for pipelines whose consumer claims no order.
+
+// activeWorkers counts morsel workers currently running across all
+// exchanges in the process — the serving layer's /healthz gauge.
+var activeWorkers atomic.Int64
+
+// ActiveWorkers reports the number of morsel workers currently running
+// process-wide.
+func ActiveWorkers() int64 { return activeWorkers.Load() }
+
+// morselMinSize/morselMaxSize clamp the adaptive morsel size: roughly
+// 2 morsels per worker for steal-balance, but never so small that
+// per-morsel pipeline setup dominates.
+const (
+	morselMinSize = 64
+	morselMaxSize = 8192
+)
+
+func morselSize(n, dop int) int {
+	sz := n / (2 * dop)
+	if sz < morselMinSize {
+		sz = morselMinSize
+	}
+	if sz > morselMaxSize {
+		sz = morselMaxSize
+	}
+	return sz
+}
+
+// spineStep is one join on the parallelized spine: its resolved
+// predicates, its compiled right-hand input (run once), and the shared
+// state workers probe.
+type spineStep struct {
+	op      plan.Op
+	st      *OpStats
+	right   Iterator // compiled serial right side; drained once at Open
+	leftLen int      // columns arriving from below on the spine
+	eqs     []joinEq
+	primary int
+	est     int // planner's right-side cardinality estimate (presizing)
+
+	// preset marks right sides adopted at compile time instead of
+	// streamed per execution: a merge join over a maintained (or
+	// runner-sorted) index view whose leading column is the merge key,
+	// or a hash join whose build side is a bare base-table scan (the
+	// runner caches the build table). Open neither streams nor
+	// re-verifies the subtree, and charges no budget: the state is a
+	// view of the dataset's own memory.
+	preset      bool
+	presetRows  int64    // preset: right-side row count for the stats entry
+	rightLeafSt *OpStats // preset: the adopted scan's stats entry
+
+	// Shared state, filled by materialize at exchange Open (or adopted
+	// at compile when preset); immutable (and therefore safely shared)
+	// once workers start.
+	hashTable map[int64][]Row // HashJoin: the one shared build table
+	hashDense [][]Row         // HashJoin preset, dense keys: bucket = hashDense[k-hashMin]
+	hashMin   int64
+	sorted    []Row // MergeJoin: materialized, verified right input
+	inner     []Row // NestedLoopJoin: materialized inner
+}
+
+// bulkHold batches budget charges during shared-side materialization:
+// one Life.hold per batch instead of two atomics per row.
+type bulkHold struct {
+	life      *Life
+	pendRows  int64
+	pendBytes int64
+}
+
+func (b *bulkHold) add(r Row) error {
+	b.pendRows++
+	b.pendBytes += rowBytes(r)
+	if b.pendRows >= 1024 {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *bulkHold) flush() error {
+	err := b.life.hold(b.pendRows, b.pendBytes)
+	b.pendRows, b.pendBytes = 0, 0 // a failed hold charged nothing
+	return err
+}
+
+// materialize builds the step's shared state. The preset fast path
+// only records the adopted view's row count (sortedness on the merge
+// key is structural: the key is the index's leading column); the
+// general path runs the compiled right-hand subtree to completion,
+// charging the materialized rows against the query budget (released
+// with the pipeline, like the serial builds).
+func (s *spineStep) materialize(life *Life) error {
+	key := s.eqs[s.primary].r - s.leftLen
+	if s.preset {
+		s.rightLeafSt.Rows = s.presetRows
+		return nil
+	}
+	bh := &bulkHold{life: life}
+	hint := s.est
+	if hint < 0 {
+		hint = 0
+	}
+	switch s.op {
+	case plan.HashJoin:
+		table := make(map[int64][]Row, hint)
+		if err := drainInto(s.right, func(row Row) error {
+			if err := bh.add(row); err != nil {
+				return err
+			}
+			table[row[key]] = append(table[row[key]], row)
+			return nil
+		}); err != nil {
+			return err
+		}
+		s.hashTable = table
+	case plan.MergeJoin:
+		rows := make([]Row, 0, hint)
+		var prev int64
+		have := false
+		if err := drainInto(s.right, func(row Row) error {
+			k := row[key]
+			if have && k < prev {
+				return fmt.Errorf("exec: merge join right input not sorted on column %d", key)
+			}
+			prev, have = k, true
+			if err := bh.add(row); err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			return nil
+		}); err != nil {
+			return err
+		}
+		s.sorted = rows
+	default: // NestedLoopJoin
+		rows := make([]Row, 0, hint)
+		if err := drainInto(s.right, func(row Row) error {
+			if err := bh.add(row); err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			return nil
+		}); err != nil {
+			return err
+		}
+		s.inner = rows
+	}
+	return bh.flush()
+}
+
+// drainInto opens it, feeds every row to f, and closes it — on success
+// and on every error path.
+func drainInto(it Iterator, f func(Row) error) error {
+	if err := it.Open(); err != nil {
+		it.Close()
+		return err
+	}
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := f(row); err != nil {
+			it.Close()
+			return err
+		}
+	}
+	return it.Close()
+}
+
+// seekScan streams a shared, already-sorted row slice with a
+// forward-only cursor that can jump: SeekGE binary-searches the
+// remaining rows for the first key >= k. Each morsel pipeline gets its
+// own seekScan over the one shared slice, so a morsel's merge join
+// touches only the right rows its own key range can match instead of
+// streaming the full input per morsel.
+type seekScan struct {
+	rows []Row
+	key  int
+	pos  int
+}
+
+func (s *seekScan) Open() error { s.pos = 0; return nil }
+
+func (s *seekScan) Next() (Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *seekScan) Close() error { return nil }
+
+// SeekGE advances (never rewinds) the cursor to the first remaining row
+// with key >= k. Seek keys ascend over a morsel's life, so the target
+// is usually close: gallop (exponential probe) from the cursor, then
+// binary-search the bracketed range — O(log distance) instead of
+// O(log remaining) per seek.
+func (s *seekScan) SeekGE(k int64) {
+	n := len(s.rows)
+	lo, width := s.pos, 1
+	for lo < n && s.rows[lo][s.key] < k {
+		lo += width
+		width <<= 1
+	}
+	hi := lo
+	lo -= width >> 1
+	if hi > n {
+		hi = n
+	}
+	s.pos = lo + sort.Search(hi-lo, func(i int) bool {
+		return s.rows[lo+i][s.key] >= k
+	})
+}
+
+// gallopGE returns the index of the first row in rows[from:] with
+// rows[i][key] >= k, galloping from `from` (keys ascend over a morsel's
+// life, so the target is usually near).
+func gallopGE(rows []Row, key, from int, k int64) int {
+	n := len(rows)
+	lo, width := from, 1
+	for lo < n && rows[lo][key] < k {
+		lo += width
+		width <<= 1
+	}
+	hi := lo
+	lo -= width >> 1
+	if hi > n {
+		hi = n
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool {
+		return rows[lo+i][key] >= k
+	})
+}
+
+// fusedEq is one join equality with the left side resolved to a
+// (piece, column) pair — pieces are the driving row plus each step's
+// matched right row, never concatenated until final emission.
+type fusedEq struct{ piece, col, rcol int }
+
+// fusedStep is one spine join compiled for the fused evaluator.
+type fusedStep struct {
+	op               plan.Op
+	s                *spineStep
+	keyPiece, keyCol int       // primary equality, left side
+	rightKey         int       // primary equality, column in the right piece
+	res              []fusedEq // non-primary equalities (merge/hash residual)
+	all              []fusedEq // every equality (nested-loop predicate)
+	dense            [][]Row   // HashJoin with a dense preset build: direct-address buckets
+	dmin             int64
+}
+
+func (f *fusedStep) resOK(pieces []Row, r Row) bool {
+	for _, e := range f.res {
+		if pieces[e.piece][e.col] != r[e.rcol] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildFused lowers the spine steps into the fused evaluator's form:
+// every column reference resolved to a (piece, column) pair against
+// the piece widths recorded at compile time.
+func (x *Exchange) buildFused() {
+	x.fused = make([]fusedStep, 0, len(x.steps))
+	for i, s := range x.steps {
+		f := fusedStep{op: s.op, s: s, dense: s.hashDense, dmin: s.hashMin}
+		widths := x.pieceWidths[:i+1]
+		k := s.eqs[s.primary]
+		f.keyPiece, f.keyCol = locatePiece(widths, k.l)
+		f.rightKey = k.r - s.leftLen
+		for ei, e := range s.eqs {
+			pe, ce := locatePiece(widths, e.l)
+			fe := fusedEq{piece: pe, col: ce, rcol: e.r - s.leftLen}
+			f.all = append(f.all, fe)
+			if ei != s.primary {
+				f.res = append(f.res, fe)
+			}
+		}
+		x.fused = append(x.fused, f)
+	}
+	x.fusedOn = true
+}
+
+// locatePiece maps a column position in the concatenated schema of the
+// given pieces to (piece index, column within piece).
+func locatePiece(widths []int, c int) (int, int) {
+	for j, w := range widths {
+		if c < w {
+			return j, c
+		}
+		c -= w
+	}
+	// unreachable for well-formed plans: the resolver only yields
+	// columns inside the combined schema
+	return len(widths) - 1, c
+}
+
+// runMorselFused evaluates one morsel through the whole spine in a
+// single nested loop: per driving row, each step's matches are located
+// directly in the shared state (merge groups by galloping seek, hash
+// buckets by lookup, nested-loop inners by scan) and only the final
+// result row is materialized — one allocation per output row, no
+// intermediate rows, no per-row operator hand-off. Output order is the
+// serial sequence restricted to the morsel, by the same restriction
+// argument as the composed pipeline: match order within a step is
+// fixed by the shared state, and the driving rows ascend.
+func (x *Exchange) runMorselFused(rows []Row) morselResult {
+	if err := x.life.Err(); err != nil {
+		return morselResult{err: err}
+	}
+	out := make([]Row, 0, x.morselHint())
+	var al rowAlloc
+	nsteps := len(x.fused)
+	totalW := 0
+	for _, w := range x.pieceWidths {
+		totalW += w
+	}
+	pieces := make([]Row, nsteps+1)
+	// merge cursors, one per step: the current duplicate-key group
+	// [gs, ge) and a forward-only seek frontier, like the serial merge
+	// join's group buffer but as a window into the shared slice.
+	type mcur struct {
+		gs, ge int
+		key    int64
+		have   bool
+	}
+	curs := make([]mcur, nsteps)
+	cnt := make([]int64, nsteps)
+	var leafRows int64
+	var rec func(level int) error
+	rec = func(level int) error {
+		if level == nsteps {
+			out = append(out, al.concatN(pieces, totalW))
+			return nil
+		}
+		f := &x.fused[level]
+		switch f.op {
+		case plan.MergeJoin:
+			lk := pieces[f.keyPiece][f.keyCol]
+			c := &curs[level]
+			if !c.have || c.key != lk {
+				if c.have && lk < c.key {
+					return fmt.Errorf("exec: merge join left input not sorted (key %d after %d)", lk, c.key)
+				}
+				sorted := f.s.sorted
+				gs := gallopGE(sorted, f.rightKey, c.ge, lk)
+				ge := gs
+				for ge < len(sorted) && sorted[ge][f.rightKey] == lk {
+					ge++
+				}
+				c.gs, c.ge, c.key, c.have = gs, ge, lk, true
+			}
+			sorted := f.s.sorted
+			for i := c.gs; i < c.ge; i++ {
+				r := sorted[i]
+				if len(f.res) > 0 && !f.resOK(pieces, r) {
+					continue
+				}
+				pieces[level+1] = r
+				cnt[level]++
+				if err := rec(level + 1); err != nil {
+					return err
+				}
+			}
+		case plan.HashJoin:
+			var bucket []Row
+			if f.dense != nil {
+				if i := pieces[f.keyPiece][f.keyCol] - f.dmin; i >= 0 && i < int64(len(f.dense)) {
+					bucket = f.dense[i]
+				}
+			} else {
+				bucket = f.s.hashTable[pieces[f.keyPiece][f.keyCol]]
+			}
+			for _, r := range bucket {
+				if len(f.res) > 0 && !f.resOK(pieces, r) {
+					continue
+				}
+				pieces[level+1] = r
+				cnt[level]++
+				if err := rec(level + 1); err != nil {
+					return err
+				}
+			}
+		default: // NestedLoopJoin
+		inner:
+			for _, r := range f.s.inner {
+				for _, e := range f.all {
+					if pieces[e.piece][e.col] != r[e.rcol] {
+						continue inner
+					}
+				}
+				pieces[level+1] = r
+				cnt[level]++
+				if err := rec(level + 1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, d := range rows {
+		if x.filter != nil && !x.filter(d) {
+			continue
+		}
+		leafRows++
+		if leafRows&(CancelCheckInterval-1) == 0 {
+			if err := x.life.Err(); err != nil {
+				return morselResult{err: err}
+			}
+		}
+		if nsteps == 0 {
+			out = append(out, d)
+			continue
+		}
+		pieces[0] = d
+		if err := rec(0); err != nil {
+			return morselResult{err: err}
+		}
+	}
+	atomic.AddInt64(&x.leafSt.Rows, leafRows)
+	for i := range x.fused {
+		atomic.AddInt64(&x.fused[i].s.st.Rows, cnt[i])
+	}
+	x.lastOut.Store(int64(len(out)))
+	var bytes int64
+	if len(out) > 0 {
+		bytes = int64(len(out)) * rowBytes(out[0])
+	}
+	if err := x.life.hold(int64(len(out)), bytes); err != nil {
+		return morselResult{err: err}
+	}
+	return morselResult{rows: out, bytes: bytes}
+}
+
+// morselHint estimates one morsel's output size from the planner's
+// exchange cardinality, refined by the last completed morsel's actual
+// output — planner estimates routinely undershoot, and a short hint
+// costs a chain of growslice copies per morsel.
+func (x *Exchange) morselHint() int {
+	hint := 16
+	if x.nm > 0 {
+		if h := int(x.estCard)/x.nm + 8; h > hint {
+			hint = h
+		}
+	}
+	if last := int(x.lastOut.Load()); last > 0 {
+		if h := last + last>>2; h > hint {
+			hint = h
+		}
+	}
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	return hint
+}
+
+// morselResult is one morsel's collected output (or the error that
+// killed it). rows are already charged against the query budget; the
+// consumer releases the charge as it emits them.
+type morselResult struct {
+	rows  []Row
+	bytes int64
+	err   error
+}
+
+// Exchange executes a compiled segment morsel-parallel. ordered selects
+// ExchangeMerge semantics (reassemble worker outputs in morsel order —
+// order-preserving) over ExchangeUnion (arrival order). One Exchange is
+// single-use, like the pipeline holding it.
+type Exchange struct {
+	ordered bool
+	dop     int
+	life    *Life
+	hook    IterHook
+	timing  bool
+	st      *OpStats
+	estCard float64      // planner's output estimate, sizes morsel buffers
+	lastOut atomic.Int64 // most recent morsel's actual output size, refines the estimate
+
+	driving     []Row
+	filter      func(Row) bool
+	leafSt      *OpStats
+	steps       []*spineStep // bottom-up along the spine
+	pieceWidths []int        // column width of the driving leaf, then each step's right side
+	fused       []fusedStep  // fused spine evaluator steps (see runMorselFused)
+	fusedOn     bool         // workers use the fused evaluator
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	outs     []chan morselResult // ordered: one per morsel, cap 1 (sends never block)
+	out      chan morselResult   // unordered: cap = morsel count
+	nm       int                 // morsel count
+	seq      int                 // morsels consumed
+	cur      []Row
+	curBytes int64
+	ci       int
+	opened   bool
+}
+
+// Open materializes the shared state (once, serially), partitions the
+// driving rows into morsels, and starts the worker pool. Workers run
+// ahead of the consumer; every morsel output is budget-charged, so
+// run-ahead is bounded by the query budget like any other
+// materialization.
+func (x *Exchange) Open() error {
+	if err := x.life.Err(); err != nil {
+		return err
+	}
+	for _, s := range x.steps {
+		if err := s.materialize(x.life); err != nil {
+			return err
+		}
+	}
+	// Without a fault hook the workers run the fused spine evaluator —
+	// one nested loop per morsel over the shared state, no intermediate
+	// operator hand-off. With a hook, morsels run as composed operator
+	// pipelines so injected faults interpose per operator.
+	if x.hook == nil {
+		x.buildFused()
+	}
+	d := x.driving
+	sz := morselSize(len(d), x.dop)
+	nm := (len(d) + sz - 1) / sz
+	workers := x.dop
+	if workers > nm {
+		workers = nm
+	}
+	x.nm = nm
+	x.seq, x.cur, x.curBytes, x.ci = 0, nil, 0, 0
+	x.stop = make(chan struct{})
+	if x.ordered {
+		x.outs = make([]chan morselResult, nm)
+		for i := range x.outs {
+			x.outs[i] = make(chan morselResult, 1)
+		}
+	} else {
+		x.out = make(chan morselResult, nm)
+	}
+	// Every result channel has capacity for every send, so workers
+	// never block handing a morsel back — the consumer may be gone
+	// (Close) and nothing leaks.
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		x.wg.Add(1)
+		go func() {
+			defer x.wg.Done()
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
+			for {
+				select {
+				case <-x.stop:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= nm {
+					return
+				}
+				hi := (i + 1) * sz
+				if hi > len(d) {
+					hi = len(d)
+				}
+				res := x.runMorsel(d[i*sz : hi])
+				if res.err != nil {
+					// First failure aborts the siblings through the
+					// shared Life (they observe it at their next
+					// cancellation poll). The consumer still receives a
+					// result for every claimed morsel, so it never
+					// blocks on a morsel nobody will deliver.
+					x.life.abort(res.err)
+				}
+				if x.ordered {
+					x.outs[i] <- res
+				} else {
+					x.out <- res
+				}
+			}
+		}()
+	}
+	x.opened = true
+	return nil
+}
+
+// runMorsel builds the throwaway spine pipeline over one morsel of
+// driving rows, collects its output and charges it against the budget.
+func (x *Exchange) runMorsel(rows []Row) morselResult {
+	if x.fusedOn {
+		return x.runMorselFused(rows)
+	}
+	if err := x.life.Err(); err != nil {
+		return morselResult{err: err}
+	}
+	it := Iterator(NewScan(rows))
+	if x.filter != nil {
+		it = &Filter{In: it, Pred: x.filter}
+	}
+	it = x.wrapMorsel(it, x.leafSt, len(x.steps) == 0)
+	for si, s := range x.steps {
+		k := s.eqs[s.primary]
+		switch s.op {
+		case plan.MergeJoin:
+			// Life stays nil: the duplicate-key group buffers only views
+			// into the shared materialization, charged once at setup.
+			sk := &seekScan{rows: s.sorted, key: k.r - s.leftLen}
+			it = &MergeJoin{
+				Left: it, Right: sk, seek: sk,
+				LeftKey: k.l, RightKey: sk.key,
+			}
+		case plan.HashJoin:
+			it = &HashJoin{
+				Left: it, prebuilt: s.hashTable,
+				LeftKey: k.l, RightKey: k.r - s.leftLen,
+			}
+		default: // NestedLoopJoin
+			eqs, ll := s.eqs, s.leftLen
+			it = &NestedLoopJoin{
+				Outer: it, preloaded: s.inner,
+				Pred: func(outer, inner Row) bool {
+					for _, e := range eqs {
+						if outer[e.l] != inner[e.r-ll] {
+							return false
+						}
+					}
+					return true
+				},
+			}
+		}
+		if len(s.eqs) > 1 && s.op != plan.NestedLoopJoin {
+			it = &Filter{In: it, Pred: residualPred(s.eqs, s.primary)}
+		}
+		it = x.wrapMorsel(it, s.st, si == len(x.steps)-1)
+	}
+	if err := it.Open(); err != nil {
+		it.Close()
+		return morselResult{err: err}
+	}
+	defer it.Close()
+	out := make([]Row, 0, x.morselHint())
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return morselResult{err: err}
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row)
+	}
+	x.lastOut.Store(int64(len(out)))
+	var bytes int64
+	if len(out) > 0 {
+		// all output rows of one pipeline have the same width
+		bytes = int64(len(out)) * rowBytes(out[0])
+	}
+	if err := x.life.hold(int64(len(out)), bytes); err != nil {
+		return morselResult{err: err}
+	}
+	return morselResult{rows: out, bytes: bytes}
+}
+
+// wrapMorsel is the morsel-instance counterpart of Runner.wrap: the
+// fault hook interposes per instance (each morsel pipeline is a real
+// pipeline, so injected faults and cancellation polling work inside
+// workers), and the counters update the segment's shared OpStats
+// atomically.
+func (x *Exchange) wrapMorsel(it Iterator, st *OpStats, poll bool) Iterator {
+	if x.hook != nil {
+		it = x.hook(st.Op, st.Detail, it, x.life)
+	}
+	return &atomicStatsIter{in: it, st: st, life: x.life, timing: x.timing, poll: poll}
+}
+
+// SizeHint implements sizeHinter with the planner's output estimate.
+func (x *Exchange) SizeHint() int { return int(x.estCard) }
+
+// NextBatch implements batchIterator: hand out each morsel's whole
+// output at once. The batch stays charged against the budget until the
+// following call advances past it, mirroring Next.
+func (x *Exchange) NextBatch() ([]Row, bool, error) {
+	for {
+		if x.ci < len(x.cur) {
+			batch := x.cur[x.ci:]
+			x.ci = len(x.cur)
+			return batch, true, nil
+		}
+		if x.cur != nil {
+			x.life.release(int64(len(x.cur)), x.curBytes)
+			x.cur, x.curBytes, x.ci = nil, 0, 0
+		}
+		if x.seq >= x.nm {
+			return nil, false, nil
+		}
+		var res morselResult
+		if x.ordered {
+			res = <-x.outs[x.seq]
+		} else {
+			res = <-x.out
+		}
+		x.seq++
+		if res.err != nil {
+			return nil, false, res.err
+		}
+		x.cur, x.curBytes, x.ci = res.rows, res.bytes, 0
+	}
+}
+
+// Next implements Iterator: emit the buffered morsel, then block for
+// the next one — the seq'th morsel's channel when order-preserving,
+// whatever arrives first when not.
+func (x *Exchange) Next() (Row, bool, error) {
+	for {
+		if x.ci < len(x.cur) {
+			r := x.cur[x.ci]
+			x.ci++
+			return r, true, nil
+		}
+		if x.cur != nil {
+			x.life.release(int64(len(x.cur)), x.curBytes)
+			x.cur, x.curBytes, x.ci = nil, 0, 0
+		}
+		if x.seq >= x.nm {
+			return nil, false, nil
+		}
+		var res morselResult
+		if x.ordered {
+			res = <-x.outs[x.seq]
+		} else {
+			res = <-x.out
+		}
+		x.seq++
+		if res.err != nil {
+			return nil, false, res.err
+		}
+		x.cur, x.curBytes, x.ci = res.rows, res.bytes, 0
+	}
+}
+
+// Close stops the pool, waits for every worker to exit (the
+// happens-before edge that makes the shared OpStats safe to read), and
+// releases whatever buffered morsel output the consumer never took.
+func (x *Exchange) Close() error {
+	if !x.opened {
+		return nil
+	}
+	x.opened = false
+	close(x.stop)
+	x.wg.Wait()
+	if x.cur != nil {
+		x.life.release(int64(len(x.cur)), x.curBytes)
+		x.cur, x.curBytes, x.ci = nil, 0, 0
+	}
+	drain := func(res morselResult) {
+		if res.rows != nil {
+			x.life.release(int64(len(res.rows)), res.bytes)
+		}
+	}
+	if x.ordered {
+		for i := x.seq; i < x.nm; i++ {
+			select {
+			case res := <-x.outs[i]:
+				drain(res)
+			default:
+			}
+		}
+	} else if x.out != nil {
+		for {
+			select {
+			case res := <-x.out:
+				drain(res)
+				continue
+			default:
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// atomicStatsIter is statsIter for operators instantiated inside morsel
+// workers: many instances across workers update one shared OpStats, so
+// the counters are atomic. Rows are counted locally per instance and
+// flushed at end of stream / Close, so the shared cache line is touched
+// once per morsel rather than once per row; wg.Wait in Exchange.Close
+// orders the flushes before any OpStats read. TimeNs sums time across
+// workers (it can exceed wall clock, like CPU time). Only the topmost
+// wrapper of a morsel pipeline polls the Life (poll): each top-level
+// Next drives a bounded amount of inner work, so one polling level
+// bounds cancellation latency without an atomic tick per level per row.
+type atomicStatsIter struct {
+	in     Iterator
+	st     *OpStats
+	life   *Life
+	timing bool
+	poll   bool
+	rows   int64 // locally counted, flushed to st.Rows
+}
+
+func (s *atomicStatsIter) flush() {
+	if s.rows != 0 {
+		atomic.AddInt64(&s.st.Rows, s.rows)
+		s.rows = 0
+	}
+}
+
+func (s *atomicStatsIter) Open() error {
+	if !s.timing {
+		return s.in.Open()
+	}
+	begin := time.Now()
+	err := s.in.Open()
+	atomic.AddInt64(&s.st.TimeNs, time.Since(begin).Nanoseconds())
+	return err
+}
+
+func (s *atomicStatsIter) Next() (Row, bool, error) {
+	if s.poll {
+		if err := s.life.step(); err != nil {
+			s.flush()
+			return nil, false, err
+		}
+	}
+	if !s.timing {
+		row, ok, err := s.in.Next()
+		if ok {
+			s.rows++
+		} else {
+			s.flush()
+		}
+		return row, ok, err
+	}
+	begin := time.Now()
+	row, ok, err := s.in.Next()
+	atomic.AddInt64(&s.st.TimeNs, time.Since(begin).Nanoseconds())
+	if ok {
+		s.rows++
+	} else {
+		s.flush()
+	}
+	return row, ok, err
+}
+
+func (s *atomicStatsIter) Close() error {
+	s.flush()
+	return s.in.Close()
+}
+
+// buildExchange compiles an exchange node: validate and split the
+// segment, register every segment operator's OpStats in plan preorder
+// (tagged with the effective DOP), and return the Exchange iterator.
+func (r *Runner) buildExchange(n *plan.Node, p *Pipeline, st *OpStats) (Iterator, []query.ColumnRef, error) {
+	dop := n.DOP
+	if r.MaxDOP > 0 && dop > r.MaxDOP {
+		dop = r.MaxDOP
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	st.DOP = dop
+	x := &Exchange{
+		ordered: n.Op == plan.ExchangeMerge,
+		dop:     dop,
+		life:    p.Life,
+		hook:    r.Hook,
+		timing:  !r.DisableTiming,
+		st:      st,
+		estCard: n.Card,
+	}
+	schema, err := r.buildSegment(n.Left, p, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.wrap(x, st, p), schema, nil
+}
+
+// buildSegment compiles the exchange's child: the join spine is
+// resolved into spineSteps (their right-hand inputs compiled as
+// ordinary serial subtrees), the driving leaf into the exchange's
+// morsel source. Any operator the restriction argument does not cover
+// (Sort, grouping, a nested exchange) is rejected — the optimizer
+// never emits one inside a segment.
+func (r *Runner) buildSegment(n *plan.Node, p *Pipeline, x *Exchange) ([]query.ColumnRef, error) {
+	g := r.A.Graph
+	switch n.Op {
+	case plan.TableScan, plan.IndexScan:
+		st := &OpStats{Op: n.Op.String(), EstRows: n.Card, DOP: x.dop}
+		p.Ops = append(p.Ops, st)
+		rel := &g.Relations[n.Rel]
+		st.Detail = rel.Alias
+		raw, ok := r.dataRows(rel.Table.Name)
+		if !ok {
+			return nil, fmt.Errorf("exec: no data for table %s", rel.Table.Name)
+		}
+		schema := make([]query.ColumnRef, len(rel.Table.Columns))
+		for c := range schema {
+			schema[c] = query.ColumnRef{Rel: n.Rel, Col: c}
+		}
+		x.driving = raw
+		if n.Op == plan.IndexScan {
+			ix := rel.Table.Indexes[n.Index]
+			st.Detail = rel.Alias + "/" + ix.Name
+			if sorted, ok := r.indexRows(rel.Table.Name, ix.Name); ok {
+				x.driving = sorted
+			} else {
+				// No maintained index: the runner sorts the view once
+				// and caches it — the per-execution sort the serial
+				// path pays is hoisted out of morsel partitioning
+				// entirely.
+				keys := make([]int, len(ix.Columns))
+				for i, name := range ix.Columns {
+					keys[i] = rel.Table.ColumnIndex(name)
+				}
+				x.driving = r.sortedIndexView(rel.Table.Name, ix.Name, raw, keys)
+			}
+		}
+		if len(rel.ConstPreds) > 0 {
+			relIdx := n.Rel
+			x.filter = func(row Row) bool {
+				for _, p := range g.Relations[relIdx].ConstPreds {
+					if !p.Matches(row[p.Col.Col]) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		x.leafSt = st
+		x.pieceWidths = append(x.pieceWidths, len(schema))
+		return schema, nil
+
+	case plan.MergeJoin, plan.HashJoin, plan.NestedLoopJoin:
+		st := &OpStats{Op: n.Op.String(), EstRows: n.Card, DOP: x.dop}
+		p.Ops = append(p.Ops, st)
+		ls, err := r.buildSegment(n.Left, p, x)
+		if err != nil {
+			return nil, err
+		}
+		step := &spineStep{op: n.Op, st: st}
+		var rs []query.ColumnRef
+		// Preset adoption skips instantiating the right-hand subtree, so
+		// a fault hook could never wrap its operators — with a hook set,
+		// every subtree streams per execution like the serial compiler's.
+		if n.Op == plan.MergeJoin && r.Hook == nil {
+			// Fast path: a merge join whose right side is a bare,
+			// unfiltered index scan with a maintained view — and whose
+			// merge key is the index's leading column, making the view
+			// sorted on it by construction — adopts the view as its
+			// shared state: no per-execution streaming of the subtree
+			// at all.
+			if rows, rst, rschema, ok := r.presortedLeaf(n.Right); ok {
+				eqs, primary, _, err := r.resolveJoinPreds(n, ls, rschema)
+				if err == nil {
+					rel := &g.Relations[n.Right.Rel]
+					ix := rel.Table.Indexes[n.Right.Index]
+					if eqs[primary].r-len(ls) == rel.Table.ColumnIndex(ix.Columns[0]) {
+						p.Ops = append(p.Ops, rst)
+						step.sorted, step.preset, step.rightLeafSt = rows, true, rst
+						step.presetRows = int64(len(rows))
+						rs = rschema
+					}
+				}
+			}
+		}
+		if n.Op == plan.HashJoin && r.Hook == nil {
+			// Analogous fast path for the build side: a bare, unfiltered
+			// base-table scan's build table depends only on (table, view,
+			// key column), so the runner builds it once and every
+			// execution adopts it. Bucket order follows the scan's stream
+			// order, preserving the serial match sequence.
+			if rows, ck, rst, rschema, ok := r.bareScanRows(n.Right); ok {
+				eqs, primary, _, err := r.resolveJoinPreds(n, ls, rschema)
+				if err == nil {
+					hv := r.buildHashView(ck, eqs[primary].r-len(ls), rows)
+					p.Ops = append(p.Ops, rst)
+					step.hashTable = hv.table
+					step.hashDense, step.hashMin = hv.dense, hv.min
+					step.preset, step.rightLeafSt = true, rst
+					step.presetRows = int64(len(rows))
+					rs = rschema
+				}
+			}
+		}
+		if rs == nil {
+			right, rschema, err := r.build(n.Right, p)
+			if err != nil {
+				return nil, err
+			}
+			step.right, rs = right, rschema
+		}
+		schema := append(append([]query.ColumnRef{}, ls...), rs...)
+		eqs, primary, detail, err := r.resolveJoinPreds(n, ls, rs)
+		if err != nil {
+			return nil, err
+		}
+		st.Detail = detail
+		step.leftLen, step.eqs, step.primary = len(ls), eqs, primary
+		step.est = int(n.Right.Card)
+		x.pieceWidths = append(x.pieceWidths, len(rs))
+		x.steps = append(x.steps, step)
+		return schema, nil
+	}
+	return nil, fmt.Errorf("exec: exchange over non-parallelizable operator %v", n.Op)
+}
+
+// presortedLeaf reports the maintained presorted view for a plan node
+// that is a bare, unfiltered IndexScan, together with a fresh OpStats
+// entry and the scan's schema. The view is sorted by construction
+// (Dataset.BuildIndexes).
+// bareScanRows reports the cached row view a bare, unfiltered scan
+// node would stream — a table scan's raw rows, or an index scan's
+// maintained view — together with a cache key naming the view, a fresh
+// OpStats entry, and the scan's schema. An index scan without a
+// maintained view is rejected: its serial twin streams through a Sort,
+// and a cached substitute would have to prove order equivalence.
+func (r *Runner) bareScanRows(n *plan.Node) ([]Row, string, *OpStats, []query.ColumnRef, bool) {
+	if n.Op != plan.TableScan && n.Op != plan.IndexScan {
+		return nil, "", nil, nil, false
+	}
+	g := r.A.Graph
+	rel := &g.Relations[n.Rel]
+	if len(rel.ConstPreds) > 0 {
+		return nil, "", nil, nil, false
+	}
+	var (
+		rows []Row
+		ok   bool
+		ck   = rel.Table.Name + "/raw"
+	)
+	st := &OpStats{Op: n.Op.String(), Detail: rel.Alias, EstRows: n.Card}
+	if n.Op == plan.TableScan {
+		rows, ok = r.dataRows(rel.Table.Name)
+	} else {
+		ix := rel.Table.Indexes[n.Index]
+		rows, ok = r.indexRows(rel.Table.Name, ix.Name)
+		ck = rel.Table.Name + "/" + ix.Name
+		st.Detail = rel.Alias + "/" + ix.Name
+	}
+	if !ok {
+		return nil, "", nil, nil, false
+	}
+	schema := make([]query.ColumnRef, len(rel.Table.Columns))
+	for c := range schema {
+		schema[c] = query.ColumnRef{Rel: n.Rel, Col: c}
+	}
+	return rows, ck, st, schema, true
+}
+
+func (r *Runner) presortedLeaf(n *plan.Node) ([]Row, *OpStats, []query.ColumnRef, bool) {
+	if n.Op != plan.IndexScan {
+		return nil, nil, nil, false
+	}
+	g := r.A.Graph
+	rel := &g.Relations[n.Rel]
+	if len(rel.ConstPreds) > 0 {
+		return nil, nil, nil, false
+	}
+	ix := rel.Table.Indexes[n.Index]
+	sorted, ok := r.indexRows(rel.Table.Name, ix.Name)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	st := &OpStats{Op: n.Op.String(), Detail: rel.Alias + "/" + ix.Name, EstRows: n.Card}
+	schema := make([]query.ColumnRef, len(rel.Table.Columns))
+	for c := range schema {
+		schema[c] = query.ColumnRef{Rel: n.Rel, Col: c}
+	}
+	return sorted, st, schema, true
+}

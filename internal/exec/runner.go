@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"orderopt/internal/order"
@@ -43,10 +44,137 @@ type Runner struct {
 	// Hook, when set, wraps every operator as it is compiled — the
 	// fault-injection seam (see internal/faultinject). It runs inside
 	// the stats wrapper, so injected behavior shows up in the operator
-	// counters like any other work.
+	// counters like any other work. Inside exchange segments the hook
+	// wraps every morsel instance, so faults fire inside workers too.
 	Hook IterHook
+	// MaxDOP, when > 0, caps the degree of parallelism of any exchange
+	// in a compiled plan below what the optimizer planned — the
+	// per-request maxDOP clamp of the serving layer.
+	MaxDOP int
 
 	equiv map[query.ColumnRef]int // lazily built column equivalence classes
+
+	// rowViews/idxViews lazily cache the []Row views of Data and Indexed
+	// so repeated compiles on one runner don't re-allocate a slice of
+	// row headers per scan (a 40k-row view is ~1MB of headers). The
+	// views alias the underlying rows, which no operator mutates.
+	rowViews map[string][]Row
+	idxViews map[string]map[string][]Row
+	// sortedDriving caches index views the parallel tier had to sort
+	// itself (no maintained view), keyed "table/index". Kept separate
+	// from idxViews on purpose: serial index scans must keep paying
+	// their per-execution Sort so rows-sorted accounting stays honest.
+	sortedDriving map[string][]Row
+	// hashViews caches hash-join build tables over bare base-table
+	// scans for the parallel tier, keyed "table/view/keycol". Bucket
+	// contents follow the scan's stream order, so fused probes emit the
+	// exact serial match sequence.
+	hashViews map[string]*hashView
+}
+
+// hashView is one cached build table. table is always populated (the
+// composed morsel pipeline probes it); dense is an additional direct
+// address accelerator the fused evaluator uses when the key domain is
+// packed: bucket = dense[k-min].
+type hashView struct {
+	table map[int64][]Row
+	dense [][]Row
+	min   int64
+}
+
+// buildHashView returns (building and caching on first use) the build
+// table over the given rows keyed on column col. When the observed key
+// span is within 4x the row count the rows also get a direct-address
+// bucket array, which replaces the map lookup on the fused hot path.
+func (r *Runner) buildHashView(ck string, col int, rows []Row) *hashView {
+	ck = fmt.Sprintf("%s/%d", ck, col)
+	if hv, ok := r.hashViews[ck]; ok {
+		return hv
+	}
+	hv := &hashView{table: make(map[int64][]Row, len(rows))}
+	var min, max int64
+	for i, row := range rows {
+		k := row[col]
+		hv.table[k] = append(hv.table[k], row)
+		if i == 0 || k < min {
+			min = k
+		}
+		if i == 0 || k > max {
+			max = k
+		}
+	}
+	if n := len(rows); n > 0 {
+		if span := max - min + 1; span > 0 && span <= int64(4*n+16) {
+			hv.min = min
+			hv.dense = make([][]Row, span)
+			for _, row := range rows {
+				k := row[col] - min
+				hv.dense[k] = append(hv.dense[k], row)
+			}
+		}
+	}
+	if r.hashViews == nil {
+		r.hashViews = make(map[string]*hashView)
+	}
+	r.hashViews[ck] = hv
+	return hv
+}
+
+// sortedIndexView returns (building and caching on first use) the rows
+// of a table sorted in the given index order — the parallel tier's
+// driving view when the dataset maintains no view for the index.
+func (r *Runner) sortedIndexView(table, index string, raw []Row, keys []int) []Row {
+	ck := table + "/" + index
+	if rows, ok := r.sortedDriving[ck]; ok {
+		return rows
+	}
+	rows := append(make([]Row, 0, len(raw)), raw...)
+	sort.SliceStable(rows, func(i, j int) bool { return lessByKeys(rows[i], rows[j], keys) })
+	if r.sortedDriving == nil {
+		r.sortedDriving = make(map[string][]Row)
+	}
+	r.sortedDriving[ck] = rows
+	return rows
+}
+
+// dataRows returns the cached []Row view of a table's raw rows.
+func (r *Runner) dataRows(name string) ([]Row, bool) {
+	if rows, ok := r.rowViews[name]; ok {
+		return rows, true
+	}
+	raw, ok := r.Data[name]
+	if !ok {
+		return nil, false
+	}
+	if r.rowViews == nil {
+		r.rowViews = make(map[string][]Row)
+	}
+	rows := asRows(raw)
+	r.rowViews[name] = rows
+	return rows, true
+}
+
+// indexRows returns the cached []Row view of a maintained index's
+// presorted rows, when the dataset maintains one.
+func (r *Runner) indexRows(table, index string) ([]Row, bool) {
+	if rows, ok := r.idxViews[table][index]; ok {
+		return rows, true
+	}
+	sorted := r.Indexed[table][index]
+	if sorted == nil {
+		return nil, false
+	}
+	if r.idxViews == nil {
+		r.idxViews = make(map[string]map[string][]Row)
+	}
+	m := r.idxViews[table]
+	if m == nil {
+		m = make(map[string][]Row)
+		r.idxViews[table] = m
+	}
+	rows := asRows(sorted)
+	m[index] = rows
+	return rows, true
 }
 
 // IterHook rewrites one compiled operator. op and detail match the
@@ -69,8 +197,14 @@ type OpStats struct {
 	Rows int64 `json:"rows"`
 	// TimeNs is cumulative wall time spent in the operator's Open and
 	// Next calls, children included (EXPLAIN ANALYZE convention); 0 when
-	// the runner's timing is disabled.
+	// the runner's timing is disabled. For operators running inside an
+	// exchange segment it sums time across morsel workers, so it can
+	// exceed wall clock (CPU-time convention).
 	TimeNs int64 `json:"timeNs"`
+	// DOP is the effective degree of parallelism for exchange operators
+	// and the segment operators running inside their workers; 0 for
+	// serial operators.
+	DOP int `json:"dop,omitempty"`
 }
 
 // Pipeline is a compiled plan: the operator tree plus its output schema
@@ -167,6 +301,38 @@ func (s *statsIter) Next() (Row, bool, error) {
 
 func (s *statsIter) Close() error { return s.in.Close() }
 
+// batchStatsIter adds batch passthrough to statsIter when the wrapped
+// operator emits batches: one cancellation poll and one counter update
+// per batch instead of per row.
+type batchStatsIter struct {
+	statsIter
+	b batchIterator
+}
+
+// SizeHint forwards the wrapped operator's estimate, when it has one.
+func (s *batchStatsIter) SizeHint() int {
+	if sh, ok := s.b.(sizeHinter); ok {
+		return sh.SizeHint()
+	}
+	return 0
+}
+
+func (s *batchStatsIter) NextBatch() ([]Row, bool, error) {
+	if err := s.life.step(); err != nil {
+		return nil, false, err
+	}
+	if !s.timing {
+		batch, ok, err := s.b.NextBatch()
+		s.st.Rows += int64(len(batch))
+		return batch, ok, err
+	}
+	begin := time.Now()
+	batch, ok, err := s.b.NextBatch()
+	s.st.TimeNs += time.Since(begin).Nanoseconds()
+	s.st.Rows += int64(len(batch))
+	return batch, ok, err
+}
+
 // Run compiles and executes the plan, returning its rows together with
 // the output schema (one entry per column, identifying the source
 // relation/column; AggColumn for the aggregate of group pipelines).
@@ -206,7 +372,13 @@ func (r *Runner) wrap(it Iterator, st *OpStats, p *Pipeline) Iterator {
 	if r.Hook != nil {
 		it = r.Hook(st.Op, st.Detail, it, p.Life)
 	}
-	return &statsIter{in: it, st: st, life: p.Life, timing: !r.DisableTiming}
+	si := statsIter{in: it, st: st, life: p.Life, timing: !r.DisableTiming}
+	// A hooked operator loses the batch path by design: the hook's
+	// wrapper interposes per row, which is what fault injection needs.
+	if b, ok := it.(batchIterator); ok {
+		return &batchStatsIter{statsIter: si, b: b}
+	}
+	return &si
 }
 
 func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, error) {
@@ -217,7 +389,7 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 	case plan.TableScan, plan.IndexScan:
 		rel := &g.Relations[n.Rel]
 		st.Detail = rel.Alias
-		raw, ok := r.Data[rel.Table.Name]
+		raw, ok := r.dataRows(rel.Table.Name)
 		if !ok {
 			return nil, nil, fmt.Errorf("exec: no data for table %s", rel.Table.Name)
 		}
@@ -229,9 +401,9 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 		if n.Op == plan.IndexScan {
 			ix := rel.Table.Indexes[n.Index]
 			st.Detail = rel.Alias + "/" + ix.Name
-			if sorted := r.Indexed[rel.Table.Name][ix.Name]; sorted != nil {
+			if sorted, ok := r.indexRows(rel.Table.Name, ix.Name); ok {
 				// The dataset maintains this index: stream it in order.
-				it = NewScan(asRows(sorted))
+				it = NewScan(sorted)
 			} else {
 				// No maintained index: simulate the index order by
 				// sorting (costed like a scan by the planner, but the
@@ -240,10 +412,10 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 				for i, name := range ix.Columns {
 					keys[i] = rel.Table.ColumnIndex(name)
 				}
-				it = &Sort{In: NewScan(asRows(raw)), Keys: keys}
+				it = &Sort{In: NewScan(raw), Keys: keys}
 			}
 		} else {
-			it = NewScan(asRows(raw))
+			it = NewScan(raw)
 		}
 		if len(rel.ConstPreds) > 0 {
 			relIdx := n.Rel
@@ -272,6 +444,9 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 
 	case plan.MergeJoin, plan.HashJoin, plan.NestedLoopJoin:
 		return r.buildJoin(n, p, st)
+
+	case plan.ExchangeMerge, plan.ExchangeUnion:
+		return r.buildExchange(n, p, st)
 
 	case plan.GroupSorted, plan.GroupHash, plan.GroupClustered:
 		in, schema, err := r.build(n.Left, p)
@@ -315,26 +490,40 @@ func asRows(raw [][]int64) []Row {
 	return rows
 }
 
-func (r *Runner) buildJoin(n *plan.Node, p *Pipeline, st *OpStats) (Iterator, []query.ColumnRef, error) {
-	g := r.A.Graph
-	left, ls, err := r.build(n.Left, p)
-	if err != nil {
-		return nil, nil, err
-	}
-	right, rs, err := r.build(n.Right, p)
-	if err != nil {
-		return nil, nil, err
-	}
-	schema := append(append([]query.ColumnRef{}, ls...), rs...)
+// joinEq is one equality predicate's column positions in a join's
+// combined (left ++ right) output schema.
+type joinEq struct{ l, r int }
 
-	// All equality predicates crossing the two sides must hold on the
-	// output; the join algorithm evaluates one, a filter the rest.
+// residualPred checks every predicate in eqs except the skip'th on a
+// combined-schema row — the filter above a join whose algorithm
+// evaluates only the primary predicate.
+func residualPred(eqs []joinEq, skip int) func(Row) bool {
+	return func(row Row) bool {
+		for i, e := range eqs {
+			if i == skip {
+				continue
+			}
+			if row[e.l] != row[e.r] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// resolveJoinPreds maps every equality predicate crossing a join's two
+// sides to combined-schema positions. It returns the predicates, the
+// index of the plan's primary predicate (the one the join algorithm
+// evaluates) and its display detail. All predicates must hold on the
+// output; a residual filter enforces the non-primary ones.
+func (r *Runner) resolveJoinPreds(n *plan.Node, ls, rs []query.ColumnRef) ([]joinEq, int, string, error) {
+	g := r.A.Graph
 	leftRels := relMask(ls)
 	rightRels := relMask(rs)
 	crossing := g.EdgesBetween(leftRels, rightRels)
-	type eq struct{ l, r int } // positions in the combined schema
-	var eqs []eq
+	var eqs []joinEq
 	primary := -1
+	detail := ""
 	for _, e := range crossing {
 		for pi, pred := range g.Edges[e].Preds {
 			lp, rp := pred.Left, pred.Right
@@ -345,35 +534,39 @@ func (r *Runner) buildJoin(n *plan.Node, p *Pipeline, st *OpStats) (Iterator, []
 				rpos = colPos(rs, lp)
 			}
 			if lpos < 0 || rpos < 0 {
-				return nil, nil, fmt.Errorf("exec: join predicate columns not in schemas")
+				return nil, 0, "", fmt.Errorf("exec: join predicate columns not in schemas")
 			}
-			eqs = append(eqs, eq{lpos, len(ls) + rpos})
+			eqs = append(eqs, joinEq{lpos, len(ls) + rpos})
 			if e == n.Edge && pi == n.Pred {
 				primary = len(eqs) - 1
-				st.Detail = fmt.Sprintf("%s = %s", g.ColumnName(lp), g.ColumnName(rp))
+				detail = fmt.Sprintf("%s = %s", g.ColumnName(lp), g.ColumnName(rp))
 			}
 		}
 	}
 	if len(eqs) == 0 {
-		return nil, nil, fmt.Errorf("exec: join without predicates")
+		return nil, 0, "", fmt.Errorf("exec: join without predicates")
 	}
 	if primary < 0 {
 		primary = 0
 	}
+	return eqs, primary, detail, nil
+}
 
-	residualFrom := func(skip int) func(Row) bool {
-		return func(row Row) bool {
-			for i, e := range eqs {
-				if i == skip {
-					continue
-				}
-				if row[e.l] != row[e.r] {
-					return false
-				}
-			}
-			return true
-		}
+func (r *Runner) buildJoin(n *plan.Node, p *Pipeline, st *OpStats) (Iterator, []query.ColumnRef, error) {
+	left, ls, err := r.build(n.Left, p)
+	if err != nil {
+		return nil, nil, err
 	}
+	right, rs, err := r.build(n.Right, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := append(append([]query.ColumnRef{}, ls...), rs...)
+	eqs, primary, detail, err := r.resolveJoinPreds(n, ls, rs)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Detail = detail
 
 	switch n.Op {
 	case plan.MergeJoin:
@@ -384,7 +577,7 @@ func (r *Runner) buildJoin(n *plan.Node, p *Pipeline, st *OpStats) (Iterator, []
 			Life:     p.Life,
 		})
 		if len(eqs) > 1 {
-			it = &Filter{In: it, Pred: residualFrom(primary)}
+			it = &Filter{In: it, Pred: residualPred(eqs, primary)}
 		}
 		return r.wrap(it, st, p), schema, nil
 	case plan.HashJoin:
@@ -395,7 +588,7 @@ func (r *Runner) buildJoin(n *plan.Node, p *Pipeline, st *OpStats) (Iterator, []
 			Life:     p.Life,
 		})
 		if len(eqs) > 1 {
-			it = &Filter{In: it, Pred: residualFrom(primary)}
+			it = &Filter{In: it, Pred: residualPred(eqs, primary)}
 		}
 		return r.wrap(it, st, p), schema, nil
 	default: // NestedLoopJoin

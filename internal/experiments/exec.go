@@ -74,6 +74,11 @@ type ExecSpec struct {
 	QuerygenRows      int
 	// Seed offsets workload generation.
 	Seed int64
+	// Workers bounds the parallel-scaling measurement: the dfsm variant
+	// is additionally planned and run at every DOP in {2, 4, 8} up to
+	// Workers, the fastest reported per workload (checksum-verified
+	// against the serial result). 0 or 1 skips the measurement.
+	Workers int
 }
 
 func (s *ExecSpec) defaults() {
@@ -117,6 +122,14 @@ type ExecRow struct {
 	Sorts         int
 	HashGroups    int
 	OrderedGroups int
+
+	// ParallelTime / ParallelDOP report the morsel-parallel scaling
+	// measurement (dfsm rows only, when ExecSpec.Workers > 1): the best
+	// pipeline wall time over the DOP sweep and the DOP that achieved
+	// it. The parallel result is checksum-verified against the serial
+	// one before it is reported.
+	ParallelTime time.Duration
+	ParallelDOP  int
 }
 
 // ExecWorkload is one query + dataset the variants all run; shared by
@@ -196,6 +209,28 @@ func Exec(spec ExecSpec) ([]ExecRow, error) {
 			row.Workload = w.Name
 			if vi == 0 {
 				refRows, refSum = count, sum
+				// Parallel scaling rides on the dfsm row: the same plan
+				// family at increasing DOP, fastest wins. Checksums must
+				// match the serial run — the exchanges may not change the
+				// result, only the wall clock.
+				for _, dop := range []int{2, 4, 8} {
+					if dop > spec.Workers {
+						break
+					}
+					pv := v
+					pv.Config.MaxDOP = dop
+					prow, pcount, psum, err := ExecOne(w.Graph, w.Dataset, pv, spec.Runs)
+					if err != nil {
+						return nil, fmt.Errorf("exec %s/%s dop=%d: %w", w.Name, v.Name, dop, err)
+					}
+					if pcount != count || psum != sum {
+						return nil, fmt.Errorf("exec %s: dop=%d result (%d rows, checksum %d) differs from serial (%d rows, checksum %d)",
+							w.Name, dop, pcount, psum, count, sum)
+					}
+					if row.ParallelDOP == 0 || prow.ExecTime < row.ParallelTime {
+						row.ParallelTime, row.ParallelDOP = prow.ExecTime, dop
+					}
+				}
 			} else if count != refRows || sum != refSum {
 				return nil, fmt.Errorf("exec %s: variant %s result (%d rows, checksum %d) differs from %s (%d rows, checksum %d)",
 					w.Name, v.Name, count, sum, ExecVariants()[0].Name, refRows, refSum)
@@ -290,14 +325,33 @@ func checksumRows(rows []exec.Row) int64 {
 }
 
 // FormatExec renders the execution table plus the headline speedups
-// (dfsm vs oblivious runtime per workload).
+// (dfsm vs oblivious runtime per workload, and — when the experiment
+// ran the DOP sweep — serial vs best-DOP parallel scaling).
 func FormatExec(rows []ExecRow) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %-10s | %9s %9s | %8s %10s | %2s %2s %2s %2s %2s\n",
-		"workload", "variant", "plan(ms)", "exec(ms)", "rows", "rows-sorted", "mj", "hj", "so", "gh", "go")
+	parallel := false
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-16s %-10s | %9.2f %9.2f | %8d %10d | %2d %2d %2d %2d %2d\n",
-			r.Workload, r.Variant, ms(r.PlanTime), ms(r.ExecTime),
+		if r.ParallelDOP > 0 {
+			parallel = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-10s | %9s %9s |", "workload", "variant", "plan(ms)", "exec(ms)")
+	if parallel {
+		fmt.Fprintf(&b, " %8s %3s |", "par(ms)", "dop")
+	}
+	fmt.Fprintf(&b, " %8s %10s | %2s %2s %2s %2s %2s\n",
+		"rows", "rows-sorted", "mj", "hj", "so", "gh", "go")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-10s | %9.2f %9.2f |",
+			r.Workload, r.Variant, ms(r.PlanTime), ms(r.ExecTime))
+		if parallel {
+			if r.ParallelDOP > 0 {
+				fmt.Fprintf(&b, " %8.2f %3d |", ms(r.ParallelTime), r.ParallelDOP)
+			} else {
+				fmt.Fprintf(&b, " %8s %3s |", "-", "-")
+			}
+		}
+		fmt.Fprintf(&b, " %8d %10d | %2d %2d %2d %2d %2d\n",
 			r.Rows, r.RowsSorted,
 			r.MergeJoins, r.HashJoins, r.Sorts, r.HashGroups, r.OrderedGroups)
 	}
@@ -315,6 +369,12 @@ func FormatExec(rows []ExecRow) string {
 		if dfsm > 0 && obl > 0 {
 			fmt.Fprintf(&b, "%s: dfsm vs order-oblivious runtime = %.2fx\n",
 				r.Workload, float64(obl)/float64(dfsm))
+		}
+	}
+	for _, r := range rows {
+		if r.ParallelDOP > 0 && r.ExecTime > 0 && r.ParallelTime > 0 {
+			fmt.Fprintf(&b, "%s: parallel scaling serial vs dop=%d = %.2fx\n",
+				r.Workload, r.ParallelDOP, float64(r.ExecTime)/float64(r.ParallelTime))
 		}
 	}
 	return b.String()

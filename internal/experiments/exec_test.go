@@ -17,6 +17,7 @@ func TestExecSmall(t *testing.T) {
 		Runs:            1,
 		QuerygenQueries: 1,
 		QuerygenRows:    16,
+		Workers:         2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -52,8 +53,23 @@ func TestExecSmall(t *testing.T) {
 	if obl.MergeJoins != 0 || obl.OrderedGroups != 0 {
 		t.Errorf("oblivious plan exploits order: %+v", obl)
 	}
+	// The parallel-scaling sweep rode on the dfsm rows: every workload
+	// ran at DOP 2 (Workers: 2 above), checksum-verified by Exec itself.
+	for _, r := range rows {
+		if r.Variant == "dfsm" {
+			if r.ParallelDOP != 2 || r.ParallelTime <= 0 {
+				t.Errorf("%s/dfsm: parallel measurement missing: dop=%d time=%v",
+					r.Workload, r.ParallelDOP, r.ParallelTime)
+			}
+		} else if r.ParallelDOP != 0 {
+			t.Errorf("%s/%s: parallel measurement on a non-dfsm row", r.Workload, r.Variant)
+		}
+	}
 	out := FormatExec(rows)
 	if !strings.Contains(out, "dfsm vs order-oblivious runtime") {
 		t.Errorf("missing speedup lines:\n%s", out)
+	}
+	if !strings.Contains(out, "par(ms)") || !strings.Contains(out, "parallel scaling serial vs dop=2") {
+		t.Errorf("missing parallel-scaling column or speedup lines:\n%s", out)
 	}
 }

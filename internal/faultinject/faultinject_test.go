@@ -30,6 +30,8 @@ func variants() []variant {
 	oblivious := optimizer.DefaultConfig(optimizer.ModeDFSM)
 	oblivious.DisableMergeJoin = true
 	oblivious.DisableOrderedGrouping = true
+	parallel := optimizer.DefaultConfig(optimizer.ModeDFSM)
+	parallel.MaxDOP = 4
 	return []variant{
 		{
 			name:    "dfsm",
@@ -40,6 +42,16 @@ func variants() []variant {
 			name:    "oblivious",
 			analyze: query.AnalyzeOptions{},
 			config:  oblivious,
+		},
+		{
+			// Parallel plans: the same fault menu must hold when the
+			// faulted operator is a morsel instance inside an exchange
+			// worker (error propagates across the worker boundary, hangs
+			// unblock on cancellation/deadline, nothing leaks) and when
+			// it is the exchange itself.
+			name:    "parallel",
+			analyze: query.AnalyzeOptions{UseIndexes: true, TrackGroupings: true},
+			config:  parallel,
 		},
 	}
 }
@@ -170,6 +182,8 @@ func TestScenariosAcrossOperators(t *testing.T) {
 				want = []plan.Op{plan.IndexScan, plan.MergeJoin}
 			case "oblivious":
 				want = []plan.Op{plan.TableScan, plan.HashJoin, plan.Sort, plan.GroupHash}
+			case "parallel":
+				want = []plan.Op{plan.ExchangeMerge, plan.MergeJoin}
 			}
 			for _, op := range want {
 				if !covered[op.String()] {

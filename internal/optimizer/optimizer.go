@@ -92,6 +92,13 @@ type Config struct {
 	// candidates: GROUP BY always plans as hash grouping (the
 	// order-oblivious baseline's other half).
 	DisableOrderedGrouping bool
+	// MaxDOP, when > 1, adds parallel candidates to the final plans:
+	// every parallelizable full-set plan is also considered wrapped in
+	// an order-preserving ExchangeMerge and an order-destroying
+	// ExchangeUnion at this degree of parallelism, priced by
+	// plan.ExchangeCost — so "parallel + merge" competes with "serial +
+	// order-preserved" on cost, per pipeline. 0 or 1 plans serial only.
+	MaxDOP int
 }
 
 // DefaultConfig returns the configuration used by the experiments: all
@@ -838,6 +845,38 @@ func (o *optimizer) finish(full uint64) (*plan.Node, error) {
 
 func (o *optimizer) finishOne(p *plan.Node) []*plan.Node {
 	cands := []*plan.Node{p}
+	// Exchange candidates go under the grouping/ordering finishing:
+	// parallelism covers the join pipeline, and any Sort or Group the
+	// query still needs lands above the exchange (a Sort inside a
+	// morsel segment would break the order-restriction argument).
+	if dop := o.p.cfg.MaxDOP; dop > 1 {
+		if spine, ok := parallelSpineCost(p); ok {
+			shared := p.Cost - spine
+			for _, op := range [...]plan.Op{plan.ExchangeMerge, plan.ExchangeUnion} {
+				n := o.arena.New()
+				*n = plan.Node{
+					Op: op, Left: p, DOP: dop,
+					Cost:   plan.ExchangeCost(op, spine, shared, p.Card, dop),
+					Card:   p.Card,
+					FDMask: p.FDMask,
+				}
+				switch {
+				case op == plan.ExchangeMerge && o.p.fw != nil:
+					// Order-preserving: workers reassemble in morsel
+					// order, reproducing the serial row sequence.
+					n.State = p.State
+				case op == plan.ExchangeMerge:
+					n.Ann = p.Ann
+				case o.p.fw != nil:
+					n.State = o.p.fw.Produce(order.EmptyID)
+				default:
+					n.Ann = o.sim.Produce(order.EmptyID)
+				}
+				o.generated++
+				cands = append(cands, n)
+			}
+		}
+	}
 	if o.p.a.GroupByOrd != order.EmptyID {
 		groupOrds := o.p.a.GroupByOrds
 		if len(groupOrds) == 0 {
@@ -889,6 +928,34 @@ func (o *optimizer) finishOne(p *plan.Node) []*plan.Node {
 		cands = ordered
 	}
 	return cands
+}
+
+// parallelSpineCost splits a join tree's cumulative cost into the part
+// a morsel worker executes per morsel (the left spine: driving scan,
+// probe work, merge advances) and the part an exchange executes once at
+// setup (right-hand subtrees and hash builds). It reports ok=false when
+// the tree is not parallelizable: the left spine must run through joins
+// only, down to a single scan leaf — a Sort on the spine would break
+// the exchange's order-restriction argument.
+func parallelSpineCost(p *plan.Node) (spine float64, ok bool) {
+	n := p
+	for {
+		switch n.Op {
+		case plan.TableScan, plan.IndexScan:
+			return spine + n.Cost, true
+		case plan.MergeJoin, plan.HashJoin, plan.NestedLoopJoin:
+			op := n.Cost - n.Left.Cost - n.Right.Cost
+			if n.Op == plan.HashJoin {
+				// The build table is built once and shared; only the
+				// probe work parallelizes.
+				op -= n.Right.Card * plan.CHashBuild
+			}
+			spine += op
+			n = n.Left
+		default:
+			return 0, false
+		}
+	}
 }
 
 func (o *optimizer) groupCard(in float64) float64 {

@@ -41,6 +41,15 @@ const (
 	// values adjacent) but not necessarily sorted — the grouping
 	// extension's streaming operator, as cheap as sorted grouping.
 	GroupClustered
+	// ExchangeMerge runs its child pipeline morsel-parallel across DOP
+	// workers and reassembles the worker outputs in morsel order —
+	// order-preserving: the output is row-for-row the serial child's
+	// stream, so every ordering the child claims survives the exchange.
+	ExchangeMerge
+	// ExchangeUnion runs its child morsel-parallel and emits worker
+	// outputs in arrival order — cheaper than ExchangeMerge (no
+	// head-of-line blocking) but order-destroying.
+	ExchangeUnion
 )
 
 func (o Op) String() string {
@@ -63,6 +72,10 @@ func (o Op) String() string {
 		return "GroupHash"
 	case GroupClustered:
 		return "GroupClustered"
+	case ExchangeMerge:
+		return "ExchangeMerge"
+	case ExchangeUnion:
+		return "ExchangeUnion"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -79,6 +92,7 @@ type Node struct {
 	SortOrd order.ID // Sort: target ordering
 	Edge    int      // joins: join-graph edge index
 	Pred    int      // MergeJoin: predicate index within the edge
+	DOP     int      // exchanges: planned degree of parallelism
 
 	Cost float64 // cumulative cost
 	Card float64 // output cardinality estimate
@@ -186,6 +200,8 @@ func (n *Node) format(b *strings.Builder, depth int) {
 		}
 	case MergeJoin, HashJoin, NestedLoopJoin:
 		fmt.Fprintf(b, " edge=%d", n.Edge)
+	case ExchangeMerge, ExchangeUnion:
+		fmt.Fprintf(b, " dop=%d", n.DOP)
 	}
 	b.WriteByte('\n')
 	if n.Left != nil {
@@ -214,18 +230,45 @@ func (n *Node) Ops() map[Op]int {
 
 // Cost model constants. They follow the usual textbook shape: sequential
 // scans are the unit, sorting is n·log n, merge joins touch each input
-// once, hash joins pay a build/probe premium over merge, nested loops
-// pay per pair.
+// once, hash joins pay per probe and a build premium per materialized
+// build tuple, nested loops pay per pair. The sort and hash constants
+// are calibrated against measured executor runtimes (BENCH_exec.json):
+//
+//   - CSortTuple: the order-oblivious orders/tpcr-large plan (sorts
+//     12191 rows) ran at ~106ns per cost unit against ~35ns/unit for
+//     the sort-free DFSM plan under the old 0.2 — sorting was ~10x
+//     underpriced. At 2.0 the two plans' ns-per-cost-unit agree.
+//   - CHashBuild vs CHashProbe: the old symmetric 1.5 per tuple could
+//     not distinguish probing 40k lineitems against a small build
+//     (cheap: q8's hash plan, measured faster than its merge plan)
+//     from building 40k lineitems (expensive: the orders workload's
+//     hash alternative, measured 4.5x slower than its merge plan).
+//     Probing costs like scanning; building materializes and is
+//     charged like other materializing work.
 const (
 	CSeqTuple   = 1.0  // per tuple scanned sequentially
 	CIdxTuple   = 1.5  // per tuple through an unclustered index
 	CIdxClust   = 1.05 // per tuple through a clustered index
-	CSortTuple  = 0.2  // per tuple per log₂ level
+	CSortTuple  = 2.0  // per tuple per log₂ level
 	CMergeTuple = 1.0  // per input tuple merged
-	CHashTuple  = 1.5  // per tuple built/probed
+	CHashProbe  = 1.0  // per probe-side tuple hashed and looked up
+	CHashBuild  = 1.6  // per build-side tuple materialized into the table
 	CNLTuple    = 0.05 // per tuple pair examined
 	CGroupTuple = 0.5  // per tuple grouped (hash); sorted grouping is free
 	COutTuple   = 0.1  // per output tuple materialized
+)
+
+// Parallel cost constants (exchange operators). The efficiency factor
+// discounts the ideal DOP-fold speedup for dispatch overhead and skew;
+// per-tuple exchange costs price moving rows between workers and the
+// consumer, with a premium for ordered (head-of-line blocking)
+// reassembly; per-worker setup prices goroutine spawn plus the morsel
+// pipeline compile.
+const (
+	CParallelEff      = 0.7   // fraction of ideal speedup per added worker
+	CExchTuple        = 0.05  // per tuple through an exchange
+	CExchMergePremium = 0.05  // extra per tuple for order-preserving reassembly
+	CWorkerSetup      = 500.0 // per worker: spawn + per-morsel pipeline setup
 )
 
 // ScanCost is the cost of a sequential scan over rows tuples.
@@ -255,12 +298,32 @@ func MergeJoinCost(cardL, cardR, cardOut float64) float64 {
 
 // HashJoinCost is the cost of building on R and probing with L.
 func HashJoinCost(cardL, cardR, cardOut float64) float64 {
-	return (cardL+cardR)*CHashTuple + cardOut*COutTuple
+	return cardL*CHashProbe + cardR*CHashBuild + cardOut*COutTuple
 }
 
 // NestedLoopCost is the cost of scanning the inner per outer tuple.
 func NestedLoopCost(cardOuter, cardInner, cardOut float64) float64 {
 	return cardOuter*cardInner*CNLTuple + cardOut*COutTuple
+}
+
+// ExchangeCost is the total cost of running a child pipeline
+// morsel-parallel at dop workers and reassembling the result: the
+// child's spine work (the per-morsel part: driving scan, probe sides,
+// merge advances) divided by the efficiency-discounted speedup, plus
+// the shared work executed once at exchange setup (hash builds, merge
+// right-side materialization, nested-loop inners), plus per-tuple
+// exchange transfer and per-worker setup. op selects the
+// order-preserving premium (ExchangeMerge) or not (ExchangeUnion).
+func ExchangeCost(op Op, spineCost, sharedCost, card float64, dop int) float64 {
+	if dop < 1 {
+		dop = 1
+	}
+	speedup := 1 + CParallelEff*float64(dop-1)
+	perTuple := CExchTuple
+	if op == ExchangeMerge {
+		perTuple += CExchMergePremium
+	}
+	return sharedCost + spineCost/speedup + card*perTuple + float64(dop)*CWorkerSetup
 }
 
 // GroupCost is the cost of grouping card tuples.

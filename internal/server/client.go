@@ -34,9 +34,12 @@ type PlanNode struct {
 	Relation string `json:"relation,omitempty"`
 	Index    string `json:"index,omitempty"`
 	// SortOrder is the target ordering of a Sort, e.g. "(n.n_name)".
-	SortOrder string    `json:"sortOrder,omitempty"`
-	Left      *PlanNode `json:"left,omitempty"`
-	Right     *PlanNode `json:"right,omitempty"`
+	SortOrder string `json:"sortOrder,omitempty"`
+	// DOP is the planned degree of parallelism of an exchange operator
+	// (ExchangeMerge/ExchangeUnion); 0 on serial operators.
+	DOP   int       `json:"dop,omitempty"`
+	Left  *PlanNode `json:"left,omitempty"`
+	Right *PlanNode `json:"right,omitempty"`
 }
 
 // PlanResponse is the result of /plan.
@@ -94,6 +97,11 @@ type ExecuteRequest struct {
 	// expired deadline cancels the pipeline mid-stream and returns 504
 	// with the partial operator counters.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// MaxDOP caps the degree of parallelism this execution may use,
+	// below the server's configured worker count: exchange operators in
+	// the plan run with at most this many morsel workers. 0 uses the
+	// server's configuration; 1 forces serial execution.
+	MaxDOP int `json:"maxDOP,omitempty"`
 }
 
 // ExecuteResponse is the result of /execute: the plan (as /plan reports
@@ -139,11 +147,14 @@ type EndpointStats struct {
 	// TimedOut requests cut by the deadline (504), and BudgetRejected
 	// queries that exceeded a per-query or global resource budget
 	// (429, "code": "budget"). All three are also included in Errors.
-	Canceled       int64   `json:"canceled"`
-	TimedOut       int64   `json:"timedOut"`
-	BudgetRejected int64   `json:"budgetRejected"`
-	MeanLatencyUs  float64 `json:"meanLatencyUs"`
-	MaxLatencyUs   float64 `json:"maxLatencyUs"`
+	Canceled       int64 `json:"canceled"`
+	TimedOut       int64 `json:"timedOut"`
+	BudgetRejected int64 `json:"budgetRejected"`
+	// Parallel counts requests answered with a parallel plan (one
+	// containing an exchange operator).
+	Parallel      int64   `json:"parallel"`
+	MeanLatencyUs float64 `json:"meanLatencyUs"`
+	MaxLatencyUs  float64 `json:"maxLatencyUs"`
 }
 
 // StatsResponse is the result of /stats.
@@ -172,6 +183,12 @@ type HealthResponse struct {
 	MaxInFlight   int     `json:"maxInFlight"`
 	MemUsedBytes  int64   `json:"memUsedBytes"`
 	MemLimitBytes int64   `json:"memLimitBytes"`
+	// Parallel-execution gauges: the scheduler's processor count, the
+	// configured per-query worker cap, and the morsel workers running
+	// across all in-flight pipelines right now.
+	GoMaxProcs    int   `json:"goMaxProcs"`
+	Workers       int   `json:"workers"`
+	ActiveWorkers int64 `json:"activeWorkers"`
 }
 
 // ErrorResponse is the body of every non-2xx planning response.

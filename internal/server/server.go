@@ -60,6 +60,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -121,6 +122,11 @@ type Config struct {
 	// fault-injection seam used by the abort experiment and the fault
 	// harness. Leave nil in production.
 	ExecHook exec.IterHook
+	// Workers caps the morsel workers any single /execute pipeline may
+	// use, regardless of what the planner's exchanges ask for; requests
+	// can clamp further with maxDOP but never raise it. 0 defaults to
+	// GOMAXPROCS.
+	Workers int
 }
 
 // DefaultMaxTimeout clamps client-supplied timeouts when
@@ -145,6 +151,7 @@ type Server struct {
 	budget         exec.Budget
 	acct           *exec.Accountant
 	execHook       exec.IterHook
+	workers        int
 
 	planMetrics    endpointMetrics
 	explainMetrics endpointMetrics
@@ -169,6 +176,7 @@ type endpointMetrics struct {
 	canceled atomic.Int64
 	timedOut atomic.Int64
 	budget   atomic.Int64
+	parallel atomic.Int64
 	totalNs  atomic.Int64
 	maxNs    atomic.Int64
 }
@@ -217,6 +225,7 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 		Canceled:       m.canceled.Load(),
 		TimedOut:       m.timedOut.Load(),
 		BudgetRejected: m.budget.Load(),
+		Parallel:       m.parallel.Load(),
 	}
 	if s.Requests > 0 {
 		s.MeanLatencyUs = float64(m.totalNs.Load()) / float64(s.Requests) / 1e3
@@ -238,6 +247,10 @@ func New(cfg Config) *Server {
 	if maxT == 0 {
 		maxT = DefaultMaxTimeout
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	s := &Server{
 		pl:             cfg.Planner,
 		datasets:       cfg.Datasets,
@@ -249,6 +262,7 @@ func New(cfg Config) *Server {
 		budget:         cfg.QueryBudget,
 		acct:           exec.NewAccountant(cfg.MemLimitBytes),
 		execHook:       cfg.ExecHook,
+		workers:        workers,
 	}
 	if max > 0 {
 		s.sem = make(chan struct{}, max)
@@ -435,10 +449,25 @@ func requestSQL(w http.ResponseWriter, r *http.Request, m *endpointMetrics) (str
 	return sql, timeoutMs, true
 }
 
+// hasExchange reports whether the plan contains a parallel exchange
+// operator — the /stats parallel-query counters key off it.
+func hasExchange(n *plan.Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Op == plan.ExchangeMerge || n.Op == plan.ExchangeUnion {
+		return true
+	}
+	return hasExchange(n.Left) || hasExchange(n.Right)
+}
+
 func (s *Server) planResponse(ctx context.Context, sql string) (any, int, error) {
 	pd, q, err := s.pl.PlanQueryContext(ctx, sql)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
+	}
+	if hasExchange(pd.Best) {
+		s.planMetrics.parallel.Add(1)
 	}
 	resp := &PlanResponse{
 		SQL:      sql,
@@ -460,6 +489,9 @@ func (s *Server) explainResponse(ctx context.Context, sql string) (any, int, err
 	pd, q, err := s.pl.PlanQueryContext(ctx, sql)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
+	}
+	if hasExchange(pd.Best) {
+		s.explainMetrics.parallel.Add(1)
 	}
 	// Decode everything through the query whose DP run produced the
 	// tree: on a plan-cache hit from a differently spelled statement,
@@ -569,6 +601,13 @@ func (s *Server) executeResponse(ctx context.Context, req ExecuteRequest, ds *ex
 	runner.Budget = s.budget
 	runner.Accountant = s.acct
 	runner.Hook = s.execHook
+	runner.MaxDOP = s.workers
+	if req.MaxDOP > 0 && req.MaxDOP < runner.MaxDOP {
+		runner.MaxDOP = req.MaxDOP
+	}
+	if hasExchange(pd.Best) {
+		s.executeMetrics.parallel.Add(1)
+	}
 	pipe, err := runner.Compile(pd.Best)
 	if err != nil {
 		// The plan is valid but the dataset cannot serve it (e.g. a
@@ -660,6 +699,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight:   s.maxInFlight,
 		MemUsedBytes:  s.acct.Used(),
 		MemLimitBytes: s.acct.Limit(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Workers:       s.workers,
+		ActiveWorkers: exec.ActiveWorkers(),
 	}
 	code := http.StatusOK
 	if s.draining.Load() {
@@ -709,6 +751,8 @@ func planJSON(n *plan.Node, q *planner.PreparedQuery) *PlanNode {
 			}
 		case plan.Sort:
 			out.SortOrder = in.Format(reg, n.SortOrd)
+		case plan.ExchangeMerge, plan.ExchangeUnion:
+			out.DOP = n.DOP
 		}
 		out.Left = conv(n.Left)
 		out.Right = conv(n.Right)

@@ -554,3 +554,99 @@ func TestExecuteConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestExecuteParallel covers the parallel serving surface: a server
+// whose planner parallelizes up to 4 workers reports exchange nodes
+// (with their DOP) in the plan tree, honors the per-request maxDOP
+// clamp, counts parallel queries per endpoint, and exposes the worker
+// gauges on /healthz.
+func TestExecuteParallel(t *testing.T) {
+	cfg := planner.DefaultConfig(tpcr.Schema())
+	cfg.Optimizer.MaxDOP = 4
+	_, c, done := newTestServer(t, Config{
+		Planner:  planner.New(cfg),
+		Datasets: exec.TPCRRegistry(),
+		Workers:  4,
+	})
+	defer done()
+
+	sql := "select * from orders, customer where o_custkey = c_custkey order by o_orderkey"
+	exchangeDOP := func(resp *ExecuteResponse) int {
+		for _, op := range resp.Operators {
+			if op.Op == "ExchangeMerge" || op.Op == "ExchangeUnion" {
+				return op.DOP
+			}
+		}
+		return 0
+	}
+
+	resp, err := c.Execute(ExecuteRequest{SQL: sql, Dataset: "tpcr-mid"})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	var planDOP int
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		if n == nil {
+			return
+		}
+		if n.Op == "ExchangeMerge" || n.Op == "ExchangeUnion" {
+			planDOP = n.DOP
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(resp.Plan)
+	if planDOP != 4 {
+		t.Fatalf("plan tree exchange DOP = %d, want 4 (plan %+v)", planDOP, resp.Plan)
+	}
+	if got := exchangeDOP(resp); got != 4 {
+		t.Fatalf("operator exchange DOP = %d, want 4", got)
+	}
+	for i := 1; i < len(resp.Rows); i++ {
+		if resp.Rows[i][0] < resp.Rows[i-1][0] {
+			t.Fatalf("parallel result rows not ordered: %v", resp.Rows)
+		}
+	}
+
+	// The request-level clamp caps execution below the plan's DOP.
+	clamped, err := c.Execute(ExecuteRequest{SQL: sql, Dataset: "tpcr-mid", MaxDOP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exchangeDOP(clamped); got != 2 {
+		t.Fatalf("clamped exchange DOP = %d, want 2", got)
+	}
+	if clamped.RowCount != resp.RowCount {
+		t.Fatalf("row count changed under clamp: %d vs %d", clamped.RowCount, resp.RowCount)
+	}
+	serial, err := c.Execute(ExecuteRequest{SQL: sql, Dataset: "tpcr-mid", MaxDOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exchangeDOP(serial); got != 1 {
+		t.Fatalf("serial exchange DOP = %d, want 1", got)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Endpoints["execute"].Parallel; got != 3 {
+		t.Errorf("execute parallel counter = %d, want 3", got)
+	}
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Workers != 4 {
+		t.Errorf("healthz workers = %d, want 4", h.Workers)
+	}
+	if h.GoMaxProcs < 1 {
+		t.Errorf("healthz goMaxProcs = %d", h.GoMaxProcs)
+	}
+	if h.ActiveWorkers != 0 {
+		t.Errorf("healthz activeWorkers = %d with no query in flight", h.ActiveWorkers)
+	}
+}
