@@ -5,9 +5,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: check build vet fmt staticcheck test race faults bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke bench-parallel bench-parallel-smoke examples
+.PHONY: check build vet fmt staticcheck test race faults conformance conformance-update cover fuzz-smoke bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke bench-parallel bench-parallel-smoke bench-topk bench-topk-smoke examples
 
-check: build vet fmt staticcheck test
+check: build vet fmt staticcheck test conformance
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,40 @@ faults:
 	$(GO) test -race ./internal/server/ \
 		-run 'TestExecuteTimeout|TestExecuteDefaultTimeout|TestTimeoutClamp|TestExecuteBudget|TestGlobalMemBudget|TestExecuteClientCancel|TestDrainAndWait|TestClientRetry|TestRetryBackoff'
 	$(GO) test -race ./internal/experiments/ -run 'TestAbort'
+
+# conformance runs the declarative golden corpus (internal/conformance)
+# under the race detector: every fixture across the full strategy ×
+# planning-idiom × DOP × operator-toggle matrix, asserting identical
+# result checksums in every cell plus the recorded plan trees and
+# order verdicts. See docs/testing.md.
+conformance:
+	$(GO) test -race ./internal/conformance/
+
+# conformance-update re-records every fixture's expectation block
+# (checksums, row counts, order verdicts, golden plan trees) after an
+# intentional planner or executor change. Review the diff before
+# committing — the corpus is the executable spec.
+conformance-update:
+	$(GO) test ./internal/conformance/ -run TestCorpus -update
+
+# COVER_FLOOR is the pinned combined statement coverage of the executor
+# and its conformance corpus; cover fails when new executor code lands
+# without conformance or unit coverage.
+COVER_FLOOR := 85
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/exec/...,./internal/conformance/... \
+		./internal/exec/ ./internal/conformance/
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "combined exec+conformance coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# fuzz-smoke runs the SQL round-trip fuzzer briefly on top of its
+# checked-in seed corpus (internal/sqlparse/testdata/fuzz): parse →
+# bind → render → re-bind must never panic and must keep fingerprints
+# stable. CI runs it so the fuzz target cannot rot.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSQLRoundTrip$$' -fuzztime 10s ./internal/sqlparse/
 
 # bench runs the root-package benchmarks (the paper tables plus the
 # enumerator comparison) and records the compact machine-readable log
@@ -92,6 +126,18 @@ bench-parallel:
 # timing); CI runs it so the exchange benchmark path cannot rot.
 bench-parallel-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkExecParallel$$' -benchtime 1x .
+
+# bench-topk records LIMIT-k execution: the order-flow query with
+# k ∈ {1, 10, 100}, the limit-aware costing's order-satisfying
+# early-out pipeline vs the order-oblivious hash + full-sort plan
+# (ns/op = pipeline wall time). See docs/benchmarks.md.
+bench-topk:
+	$(GO) test -run '^$$' -bench '^BenchmarkExecTopK$$' -benchmem -json . | $(GO) run ./cmd/benchfmt | tee BENCH_topk.json
+
+# bench-topk-smoke runs the top-k benchmark once (no timing); CI runs
+# it so the top-k benchmark path cannot rot.
+bench-topk-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkExecTopK$$' -benchtime 1x .
 
 # bench-smoke compiles and runs every benchmark once (no timing) so
 # benchmark code cannot rot; CI runs it on every push. The execution

@@ -25,6 +25,11 @@
 //	      DFSM framework, the Simmen baseline and order-obliviously,
 //	      each executed by the streaming executor (runtime + rows-sorted
 //	      metrics; make bench-exec → BENCH_exec.json).
+//	BenchmarkExecTopK
+//	    — LIMIT-k execution: the order-flow query with k ∈ {1, 10, 100},
+//	      the limit-aware costing's order-satisfying early-out pipeline
+//	      vs the order-oblivious hash + full-sort plan
+//	      (make bench-topk → BENCH_topk.json).
 package orderopt_test
 
 import (
@@ -35,9 +40,11 @@ import (
 
 	"orderopt"
 	"orderopt/internal/catalog"
+	"orderopt/internal/exec"
 	"orderopt/internal/experiments"
 	"orderopt/internal/optimizer"
 	"orderopt/internal/order"
+	"orderopt/internal/plan"
 	"orderopt/internal/planner"
 	"orderopt/internal/query"
 	"orderopt/internal/querygen"
@@ -792,6 +799,66 @@ func BenchmarkExecParallel(b *testing.B) {
 				b.ReportMetric(float64(rows), "result-rows")
 				b.ReportMetric(float64(sorted), "rows-sorted/op")
 			})
+		}
+	}
+}
+
+// BenchmarkExecTopK measures LIMIT-k execution on the order-flow query:
+// the DFSM plan streams the result order off the clustered indexes and
+// stops after k rows (the Limit quiesces the pipeline), while the
+// order-oblivious plan must hash-join everything and sort the full
+// result before it knows the first k rows. The limit-aware costing
+// picks the early-out pipeline automatically — the benchmark fails if
+// it ever chooses a sorting plan for the dfsm variant
+// (make bench-topk → BENCH_topk.json).
+func BenchmarkExecTopK(b *testing.B) {
+	reg := exec.TPCRRegistry()
+	variants := experiments.ExecVariants()
+	for _, dsName := range []string{"tpcr-mid", "tpcr-large"} {
+		ds, ok := reg.Get(dsName)
+		if !ok {
+			b.Fatalf("no dataset %s", dsName)
+		}
+		for _, k := range []int{1, 10, 100} {
+			for _, v := range []experiments.ExecVariant{variants[0], variants[2]} {
+				b.Run(fmt.Sprintf("orders/%s/k=%d/%s", dsName, k, v.Name), func(b *testing.B) {
+					_, g, err := tpcr.OrderStreamGraph()
+					if err != nil {
+						b.Fatal(err)
+					}
+					g.Limit, g.HasLimit = k, true
+					ds.ApplyStats(g)
+					a, err := query.Analyze(g, v.Analyze)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := optimizer.Optimize(a, v.Config)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if v.Name == "dfsm" && res.Best.Ops()[plan.Sort] != 0 {
+						b.Fatalf("limit-aware costing chose a sorting plan:\n%s", res.Best)
+					}
+					runner := ds.Runner(a)
+					runner.DisableTiming = true
+					var rows, sorted int64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						p, err := runner.Compile(res.Best)
+						if err != nil {
+							b.Fatal(err)
+						}
+						out, err := p.Execute()
+						if err != nil {
+							b.Fatal(err)
+						}
+						rows = int64(len(out))
+						sorted = p.RowsSorted()
+					}
+					b.ReportMetric(float64(rows), "result-rows")
+					b.ReportMetric(float64(sorted), "rows-sorted/op")
+				})
+			}
 		}
 	}
 }

@@ -20,9 +20,12 @@
 //	                           # parallel-scaling column (serial vs the
 //	                           # best DOP up to -workers, checksum-
 //	                           # verified)
+//	experiments -table topk    # LIMIT-k runtime: the order-satisfying
+//	                           # early-out pipeline vs the oblivious
+//	                           # hash + full-sort plan, k in -topk-ks
 //	experiments -table all     # everything except enum, throughput,
-//	                           # serve and large (opt-in: clique points
-//	                           # run for seconds)
+//	                           # serve, large, exec and topk (opt-in:
+//	                           # clique points run for seconds)
 //
 // The sweep is configurable: -sizes 5,6,7,8,9,10 -extras 0,1,2 -seeds 5,
 // -enumerator dpccp|naive; the enum table via -enum-shapes and
@@ -48,7 +51,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "prep, q8, fig13, fig14, enum, throughput, serve, large or all")
+	table := flag.String("table", "all", "prep, q8, fig13, fig14, enum, throughput, serve, large, exec, topk or all")
 	sizes := flag.String("sizes", "5,6,7,8,9,10", "relation counts for the sweep")
 	extras := flag.String("extras", "0,1,2", "extra edges beyond the chain (0→n-1 edges, 1→n, 2→n+1)")
 	seeds := flag.Int("seeds", 5, "queries averaged per configuration")
@@ -72,7 +75,8 @@ func main() {
 	largeSizes := flag.String("large-sizes", "10,16,20,24,30", "relation counts for the large table")
 	largeSeeds := flag.Int("large-seeds", 3, "queries averaged per large configuration")
 	largeCompareMax := flag.Int("large-compare-max", 10, "largest n on which the exact tier also runs for the cost-ratio column")
-	execDatasets := flag.String("exec-datasets", "tpcr-mid,tpcr-large", "TPC-R datasets for the exec table")
+	execDatasets := flag.String("exec-datasets", "tpcr-mid,tpcr-large", "TPC-R datasets for the exec and topk tables")
+	topkKs := flag.String("topk-ks", "1,10,100", "LIMIT values for the topk table")
 	execRuns := flag.Int("exec-runs", 3, "timed executions per exec measurement (minimum reported)")
 	execQueries := flag.Int("exec-queries", 3, "generated grouped queries in the exec table")
 	execRelations := flag.Int("exec-relations", 5, "relations per generated exec query")
@@ -103,6 +107,7 @@ func main() {
 	runServe := *table == "serve"
 	runLarge := *table == "large"
 	runExec := *table == "exec"
+	runTopk := *table == "topk"
 
 	if runPrep {
 		rows, err := experiments.PrepQ8(*tested)
@@ -199,6 +204,16 @@ func main() {
 		die(err)
 		fmt.Println("=== End-to-end execution: DFSM vs Simmen vs order-oblivious plans ===")
 		fmt.Print(experiments.FormatExec(rows))
+	}
+	if runTopk {
+		rows, err := experiments.Topk(experiments.TopkSpec{
+			Datasets: splitList(*execDatasets),
+			Ks:       parseInts(*topkKs),
+			Runs:     *execRuns,
+		})
+		die(err)
+		fmt.Println("=== Top-k execution: order-satisfying early-out vs hash + full sort ===")
+		fmt.Print(experiments.FormatTopk(rows))
 	}
 	if runServe {
 		fmt.Println("=== Served throughput: HTTP planning service under closed-loop load ===")

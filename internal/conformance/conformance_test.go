@@ -1,0 +1,169 @@
+package conformance
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"orderopt/internal/exec"
+	"orderopt/internal/plan"
+)
+
+var update = flag.Bool("update", false, "re-record fixture expectation blocks (checksums, verdicts, golden plans)")
+
+// MinFixtures is the corpus floor: the fixture set must keep covering
+// at least this many scenarios.
+const MinFixtures = 30
+
+// TestCorpus runs every fixture across the full configuration matrix,
+// asserting the cross-cell invariants and the recorded expectations.
+// With -update, the observed expectations are written back instead.
+func TestCorpus(t *testing.T) {
+	fixtures, err := Load("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) < MinFixtures {
+		t.Fatalf("corpus shrank: %d fixtures, want at least %d", len(fixtures), MinFixtures)
+	}
+	for _, f := range fixtures {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			r := &Runner{}
+			got, err := r.Run(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *update {
+				f.Expect = got
+				if err := f.Save(); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if diffs := Diff(f.Expect, got); len(diffs) > 0 {
+				t.Errorf("fixture %s:\n%s", f.Name, FormatDiff(diffs))
+			}
+		})
+	}
+}
+
+// TestMatrixShape pins the matrix dimensions the corpus promises:
+// 3 strategies × 3 idioms × 3 DOPs × 2 × 2 operator toggles.
+func TestMatrixShape(t *testing.T) {
+	m := Matrix()
+	if len(m) != 108 {
+		t.Fatalf("matrix has %d cells, want 108", len(m))
+	}
+	canonical := 0
+	for _, c := range m {
+		if c.Canonical() {
+			canonical++
+		}
+	}
+	if canonical != 3 {
+		t.Fatalf("matrix has %d canonical cells, want 3 (one per idiom)", canonical)
+	}
+}
+
+// dropFirstRow is the deliberately broken operator of the
+// bug-demonstration test: it swallows the first row its input emits.
+type dropFirstRow struct {
+	in      exec.Iterator
+	dropped bool
+}
+
+func (d *dropFirstRow) Open() error { d.dropped = false; return d.in.Open() }
+func (d *dropFirstRow) Next() (exec.Row, bool, error) {
+	row, ok, err := d.in.Next()
+	if ok && !d.dropped {
+		d.dropped = true
+		return d.in.Next()
+	}
+	return row, ok, err
+}
+func (d *dropFirstRow) Close() error { return d.in.Close() }
+
+// TestCorpusCatchesOperatorBug demonstrates the corpus's purpose: a
+// deliberately-introduced operator bug (a merge join that drops its
+// first output row) must not survive the matrix. Cells whose plans use
+// the broken operator diverge from cells whose plans don't — the
+// oblivious idiom never merge-joins — so the identical-checksum
+// invariant trips.
+func TestCorpusCatchesOperatorBug(t *testing.T) {
+	f, err := ParseFile("testdata/orderstream-small.fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.Expect.Plans["dfsm"], plan.MergeJoin.String()) {
+		t.Fatalf("fixture %s no longer merge-joins in its dfsm plan; pick another demonstration fixture", f.Name)
+	}
+	hook := func(op, detail string, it exec.Iterator, life *exec.Life) exec.Iterator {
+		if op == plan.MergeJoin.String() {
+			return &dropFirstRow{in: it}
+		}
+		return it
+	}
+	// The canonical dfsm cell merge-joins; the canonical oblivious cell
+	// cannot. One of the two must disagree with the recorded corpus —
+	// and since Run compares cells against each other, the pair alone
+	// already trips the invariant.
+	var cells []Cell
+	for _, c := range Matrix() {
+		if c.Canonical() {
+			cells = append(cells, c)
+		}
+	}
+	r := &Runner{Hook: hook, Cells: cells}
+	got, err := r.Run(f)
+	if err != nil {
+		// The cross-cell checksum invariant caught the corruption.
+		if !strings.Contains(err.Error(), "diverges") {
+			t.Fatalf("expected a divergence failure, got: %v", err)
+		}
+		return
+	}
+	// All cells agreed with each other (possible if every canonical
+	// plan merge-joined); the recorded checksum must still disagree.
+	if diffs := Diff(f.Expect, got); len(diffs) == 0 {
+		t.Fatal("corrupted merge join produced the recorded corpus result; the corpus failed to catch the bug")
+	}
+}
+
+// TestFixtureRoundTrip pins the fixture format: parse(format(f)) == f.
+func TestFixtureRoundTrip(t *testing.T) {
+	sat := true
+	f := &Fixture{
+		Name:    "rt",
+		Desc:    "round trip",
+		Dataset: "tpcr-small",
+		SQL:     "select * from orders, customer where o_custkey = c_custkey order by o_orderkey",
+		Expect: Expect{
+			Strategy:       "exact",
+			Rows:           42,
+			Checksum:       -7,
+			OrderSatisfied: &sat,
+			Plans: map[string]string{
+				"dfsm": "MergeJoin (cost=1.0 card=2.0) edge=0\n  IndexScan (cost=1.0 card=1.0) rel=0 index=0\n  IndexScan (cost=1.0 card=1.0) rel=1 index=0\n",
+			},
+		},
+	}
+	back, err := Parse(f.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Desc != f.Desc || back.Dataset != f.Dataset || back.SQL != f.SQL {
+		t.Fatalf("header did not round-trip: %+v", back)
+	}
+	if back.Expect.Strategy != f.Expect.Strategy || back.Expect.Rows != f.Expect.Rows ||
+		back.Expect.Checksum != f.Expect.Checksum {
+		t.Fatalf("expect block did not round-trip: %+v", back.Expect)
+	}
+	if back.Expect.OrderSatisfied == nil || *back.Expect.OrderSatisfied != sat {
+		t.Fatalf("order-satisfied did not round-trip")
+	}
+	if back.Expect.Plans["dfsm"] != f.Expect.Plans["dfsm"] {
+		t.Fatalf("plan tree did not round-trip:\n%q\nwant\n%q", back.Expect.Plans["dfsm"], f.Expect.Plans["dfsm"])
+	}
+}

@@ -1,0 +1,21 @@
+package exec
+
+// ChecksumRows is an order-insensitive multiset checksum over result
+// rows: each row is FNV-hashed individually and the hashes are summed,
+// so two results compare equal exactly when they are the same multiset
+// of rows regardless of row order (an ORDER BY fixes a prefix of the
+// column order; ties remain free). Columns must already be positionally
+// comparable across the results being compared — grouped outputs are by
+// construction (grouping columns then the aggregates), ungrouped
+// outputs after Canonicalize.
+func ChecksumRows(rows []Row) int64 {
+	var sum int64
+	for _, r := range rows {
+		h := int64(1469598103934665603)
+		for _, v := range r {
+			h = (h ^ v) * 1099511628211
+		}
+		sum += h
+	}
+	return sum
+}

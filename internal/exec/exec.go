@@ -764,45 +764,92 @@ const (
 	AggSum
 	// AggMin keeps the minimum of AggCol per group.
 	AggMin
+	// AggMax keeps the maximum of AggCol per group.
+	AggMax
+	// AggAvg averages AggCol per group (integer semantics: sum/count,
+	// truncated toward zero).
+	AggAvg
 )
 
+// AggSpec is one aggregate of a group operator's output: the function
+// and its input column (ignored for AggCount).
+type AggSpec struct {
+	Fn  Agg
+	Col int
+}
+
+// normalizeAggs resolves a group operator's aggregate list: the Aggs
+// slice when set, else the legacy single (Agg, AggCol) pair — so
+// existing single-aggregate call sites keep working unchanged.
+func normalizeAggs(aggs []AggSpec, agg Agg, aggCol int) []AggSpec {
+	if len(aggs) > 0 {
+		return aggs
+	}
+	return []AggSpec{{Fn: agg, Col: aggCol}}
+}
+
 // groupAcc is the shared per-group accumulator of the streaming group
-// operators.
+// operators: one running value per aggregate plus the shared row count
+// (count(*) and the divisor of avg).
 type groupAcc struct {
 	cur     Row
-	acc     int64
+	accs    []int64
+	count   int64
 	started bool
 }
 
-func (g *groupAcc) start(row Row, agg Agg, aggCol int) {
+func (g *groupAcc) start(row Row, specs []AggSpec) {
 	g.cur = row
 	g.started = true
-	if agg == AggCount {
-		g.acc = 1
+	g.count = 1
+	if cap(g.accs) < len(specs) {
+		g.accs = make([]int64, len(specs))
 	} else {
-		g.acc = row[aggCol]
+		g.accs = g.accs[:len(specs)]
 	}
-}
-
-func (g *groupAcc) add(row Row, agg Agg, aggCol int) {
-	switch agg {
-	case AggCount:
-		g.acc++
-	case AggSum:
-		g.acc += row[aggCol]
-	case AggMin:
-		if row[aggCol] < g.acc {
-			g.acc = row[aggCol]
+	for i, s := range specs {
+		if s.Fn == AggCount {
+			g.accs[i] = 0
+		} else {
+			g.accs[i] = row[s.Col]
 		}
 	}
 }
 
-func (g *groupAcc) emit(keys []int) Row {
-	out := make(Row, 0, len(keys)+1)
+func (g *groupAcc) add(row Row, specs []AggSpec) {
+	g.count++
+	for i, s := range specs {
+		switch s.Fn {
+		case AggSum, AggAvg:
+			g.accs[i] += row[s.Col]
+		case AggMin:
+			if v := row[s.Col]; v < g.accs[i] {
+				g.accs[i] = v
+			}
+		case AggMax:
+			if v := row[s.Col]; v > g.accs[i] {
+				g.accs[i] = v
+			}
+		}
+	}
+}
+
+func (g *groupAcc) emit(keys []int, specs []AggSpec) Row {
+	out := make(Row, 0, len(keys)+len(specs))
 	for _, k := range keys {
 		out = append(out, g.cur[k])
 	}
-	return append(out, g.acc)
+	for i, s := range specs {
+		switch s.Fn {
+		case AggCount:
+			out = append(out, g.count)
+		case AggAvg:
+			out = append(out, g.accs[i]/g.count)
+		default:
+			out = append(out, g.accs[i])
+		}
+	}
+	return out
 }
 
 // GroupSorted groups an input already sorted on Keys; output rows are
@@ -815,8 +862,12 @@ type GroupSorted struct {
 	Keys   []int
 	Agg    Agg
 	AggCol int
+	// Aggs, when set, lists the aggregates to compute (select-list
+	// order); it overrides the single Agg/AggCol pair.
+	Aggs []AggSpec
 
 	g      groupAcc
+	specs  []AggSpec
 	opened bool
 	prev   Row // sortedness check
 }
@@ -824,6 +875,7 @@ type GroupSorted struct {
 // Open implements Iterator.
 func (g *GroupSorted) Open() error {
 	g.g, g.prev = groupAcc{}, nil
+	g.specs = normalizeAggs(g.Aggs, g.Agg, g.AggCol)
 	g.opened = true
 	return g.In.Open()
 }
@@ -838,7 +890,7 @@ func (g *GroupSorted) Next() (Row, bool, error) {
 		if !ok {
 			if g.g.started {
 				g.g.started = false
-				return g.g.emit(g.Keys), true, nil
+				return g.g.emit(g.Keys, g.specs), true, nil
 			}
 			return nil, false, nil
 		}
@@ -847,15 +899,15 @@ func (g *GroupSorted) Next() (Row, bool, error) {
 		}
 		g.prev = row
 		if g.g.started && sameKeys(g.g.cur, row, g.Keys) {
-			g.g.add(row, g.Agg, g.AggCol)
+			g.g.add(row, g.specs)
 			continue
 		}
 		if g.g.started {
-			out := g.g.emit(g.Keys)
-			g.g.start(row, g.Agg, g.AggCol)
+			out := g.g.emit(g.Keys, g.specs)
+			g.g.start(row, g.specs)
 			return out, true, nil
 		}
-		g.g.start(row, g.Agg, g.AggCol)
+		g.g.start(row, g.specs)
 	}
 }
 
@@ -888,11 +940,15 @@ type GroupClustered struct {
 	Keys   []int
 	Agg    Agg
 	AggCol int
+	// Aggs, when set, lists the aggregates to compute (select-list
+	// order); it overrides the single Agg/AggCol pair.
+	Aggs []AggSpec
 	// Life, when set, charges the growing seen set (one entry per
 	// closed group) against the query budget.
 	Life *Life
 
 	g      groupAcc
+	specs  []AggSpec
 	opened bool
 	seen   seenSet
 }
@@ -900,6 +956,7 @@ type GroupClustered struct {
 // Open implements Iterator.
 func (g *GroupClustered) Open() error {
 	g.g = groupAcc{}
+	g.specs = normalizeAggs(g.Aggs, g.Agg, g.AggCol)
 	g.seen = newSeenSet(len(g.Keys))
 	g.opened = true
 	return g.In.Open()
@@ -915,12 +972,12 @@ func (g *GroupClustered) Next() (Row, bool, error) {
 		if !ok {
 			if g.g.started {
 				g.g.started = false
-				return g.g.emit(g.Keys), true, nil
+				return g.g.emit(g.Keys, g.specs), true, nil
 			}
 			return nil, false, nil
 		}
 		if g.g.started && sameKeys(g.g.cur, row, g.Keys) {
-			g.g.add(row, g.Agg, g.AggCol)
+			g.g.add(row, g.specs)
 			continue
 		}
 		if !g.seen.insert(row, g.Keys) {
@@ -930,11 +987,11 @@ func (g *GroupClustered) Next() (Row, bool, error) {
 			return nil, false, err
 		}
 		if g.g.started {
-			out := g.g.emit(g.Keys)
-			g.g.start(row, g.Agg, g.AggCol)
+			out := g.g.emit(g.Keys, g.specs)
+			g.g.start(row, g.specs)
 			return out, true, nil
 		}
-		g.g.start(row, g.Agg, g.AggCol)
+		g.g.start(row, g.specs)
 	}
 }
 
@@ -958,11 +1015,15 @@ type GroupHash struct {
 	Keys   []int
 	Agg    Agg
 	AggCol int
+	// Aggs, when set, lists the aggregates to compute (select-list
+	// order); it overrides the single Agg/AggCol pair.
+	Aggs []AggSpec
 	// Life, when set, charges every distinct group's accumulator (which
 	// pins its first input row) against the query budget.
 	Life *Life
 
 	groups groupTable
+	specs  []AggSpec
 	pos    int
 	opened bool
 }
@@ -973,6 +1034,7 @@ func (g *GroupHash) Open() error {
 		return err
 	}
 	g.opened = true
+	g.specs = normalizeAggs(g.Aggs, g.Agg, g.AggCol)
 	g.groups = newGroupTable(len(g.Keys))
 	g.pos = 0
 	for {
@@ -988,9 +1050,9 @@ func (g *GroupHash) Open() error {
 			if err := g.Life.holdRow(row); err != nil {
 				return err
 			}
-			acc.start(row, g.Agg, g.AggCol)
+			acc.start(row, g.specs)
 		} else {
-			acc.add(row, g.Agg, g.AggCol)
+			acc.add(row, g.specs)
 		}
 	}
 }
@@ -1001,7 +1063,7 @@ func (g *GroupHash) Next() (Row, bool, error) {
 	if g.pos >= len(accs) {
 		return nil, false, nil
 	}
-	r := accs[g.pos].emit(g.Keys)
+	r := accs[g.pos].emit(g.Keys, g.specs)
 	g.pos++
 	return r, true, nil
 }
@@ -1014,6 +1076,56 @@ func (g *GroupHash) Close() error {
 		return g.In.Close()
 	}
 	return nil
+}
+
+// Limit yields at most N input rows, then stops pulling — the top-k
+// early-out the limit-aware costing prices. On reaching the limit it
+// quiesces the pipeline's Life so background producers (morsel workers
+// feeding an exchange below) stop doing work that can no longer reach
+// the output; quiescence is a graceful stop, not an abort, so the
+// already-emitted prefix stays a successful result.
+type Limit struct {
+	In Iterator
+	N  int64
+	// Life, when set, is quiesced once the limit is reached.
+	Life *Life
+
+	n      int64
+	opened bool
+}
+
+// Open implements Iterator.
+func (l *Limit) Open() error {
+	l.n = 0
+	err := l.In.Open()
+	l.opened = err == nil
+	return err
+}
+
+// Next implements Iterator.
+func (l *Limit) Next() (Row, bool, error) {
+	if l.n >= l.N {
+		l.Life.quiesce()
+		return nil, false, nil
+	}
+	row, ok, err := l.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.n++
+	if l.n >= l.N {
+		l.Life.quiesce()
+	}
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (l *Limit) Close() error {
+	if !l.opened {
+		return nil
+	}
+	l.opened = false
+	return l.In.Close()
 }
 
 // SatisfiesOrdering reports whether the row stream satisfies the logical

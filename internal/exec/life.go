@@ -135,6 +135,29 @@ type Life struct {
 	acct      *Accountant
 	heldRows  atomic.Int64
 	heldBytes atomic.Int64
+
+	// quiesced is the graceful counterpart of failed: a Limit operator
+	// that has emitted its k rows sets it so background producers
+	// (exchange morsel workers) stop doing work whose output can no
+	// longer be consumed. Unlike abort, quiescence is not an error — the
+	// consuming side of the pipeline keeps returning rows normally and
+	// the query still succeeds.
+	quiesced atomic.Bool
+}
+
+// quiesce asks background producers to stop at their next poll; the
+// pipeline's result so far stays valid (no error is recorded).
+func (l *Life) quiesce() {
+	if l == nil {
+		return
+	}
+	l.quiesced.Store(true)
+}
+
+// drained reports whether the pipeline was quiesced (the limit was
+// reached and producers should wind down).
+func (l *Life) drained() bool {
+	return l != nil && l.quiesced.Load()
 }
 
 // abort records a terminal error; the first recorded error wins. Every

@@ -463,6 +463,12 @@ func (x *Exchange) runMorselFused(rows []Row) morselResult {
 			if err := x.life.Err(); err != nil {
 				return morselResult{err: err}
 			}
+			if x.life.drained() {
+				// Quiesced mid-morsel: the consumer can never observe
+				// this morsel's output, so abandon it without error (the
+				// collected prefix was not yet budget-charged).
+				return morselResult{}
+			}
 		}
 		if nsteps == 0 {
 			out = append(out, d)
@@ -608,6 +614,11 @@ func (x *Exchange) Open() error {
 					return
 				default:
 				}
+				if x.life.drained() {
+					// The consumer's Limit is satisfied: no output past
+					// this point can be observed, so stop claiming morsels.
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= nm {
 					return
@@ -693,6 +704,10 @@ func (x *Exchange) runMorsel(rows []Row) morselResult {
 	defer it.Close()
 	out := make([]Row, 0, x.morselHint())
 	for {
+		if x.life.drained() {
+			// Quiesced mid-morsel (see runMorselFused): abandon cleanly.
+			return morselResult{}
+		}
 		row, ok, err := it.Next()
 		if err != nil {
 			return morselResult{err: err}

@@ -205,6 +205,11 @@ type OpStats struct {
 	// and the segment operators running inside their workers; 0 for
 	// serial operators.
 	DOP int `json:"dop,omitempty"`
+	// Limited marks operators running under a Limit: EstRows is the
+	// optimizer's pre-limit estimate of the full stream, so Rows can
+	// legitimately stop far short of it once the limit quiesces the
+	// pipeline. Without the marker that gap reads as a misestimate.
+	Limited bool `json:"limited,omitempty"`
 }
 
 // Pipeline is a compiled plan: the operator tree plus its output schema
@@ -214,7 +219,9 @@ type Pipeline struct {
 	// Root is the top operator (already wrapped in counters).
 	Root Iterator
 	// Schema describes Root's output columns; group pipelines emit the
-	// grouping columns followed by AggColumn.
+	// grouping columns followed by one Rel -1 column per aggregate
+	// select-list item (AggColumn when the query binds none and the
+	// default count(*) applies).
 	Schema []query.ColumnRef
 	// Ops lists the per-operator counters in plan preorder.
 	Ops []*OpStats
@@ -448,6 +455,20 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 	case plan.ExchangeMerge, plan.ExchangeUnion:
 		return r.buildExchange(n, p, st)
 
+	case plan.Limit:
+		start := len(p.Ops)
+		in, schema, err := r.build(n.Left, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Everything below a Limit runs under early-out: flag it so the
+		// stats reader knows EstRows is the pre-limit estimate.
+		for _, o := range p.Ops[start:] {
+			o.Limited = true
+		}
+		st.Detail = fmt.Sprintf("k=%d", n.Limit)
+		return r.wrap(&Limit{In: in, N: int64(n.Limit), Life: p.Life}, st, p), schema, nil
+
 	case plan.GroupSorted, plan.GroupHash, plan.GroupClustered:
 		in, schema, err := r.build(n.Left, p)
 		if err != nil {
@@ -467,15 +488,49 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 			}
 			st.Detail += g.ColumnName(c)
 		}
-		outSchema = append(outSchema, AggColumn)
+		// Bound aggregate select list, when the query declares one;
+		// otherwise the executor's default single count(*). Aggregate
+		// output columns get Rel -1 / select-list position, which the
+		// serving layer renders back through Graph.AggregateName.
+		var aggs []AggSpec
+		for i, a := range g.Aggregates {
+			spec := AggSpec{}
+			switch a.Fn {
+			case query.AggCount:
+				spec.Fn = AggCount
+			case query.AggSum:
+				spec.Fn = AggSum
+			case query.AggAvg:
+				spec.Fn = AggAvg
+			case query.AggMin:
+				spec.Fn = AggMin
+			case query.AggMax:
+				spec.Fn = AggMax
+			default:
+				return nil, nil, fmt.Errorf("exec: unsupported aggregate function %v", a.Fn)
+			}
+			if a.Fn != query.AggCount {
+				pos := r.colPosEquiv(schema, a.Col)
+				if pos < 0 {
+					return nil, nil, fmt.Errorf("exec: aggregate column %s not in schema", g.ColumnName(a.Col))
+				}
+				spec.Col = pos
+			}
+			aggs = append(aggs, spec)
+			outSchema = append(outSchema, query.ColumnRef{Rel: -1, Col: i})
+			st.Detail += ", " + g.AggregateName(a)
+		}
+		if len(aggs) == 0 {
+			outSchema = append(outSchema, AggColumn)
+		}
 		var it Iterator
 		switch n.Op {
 		case plan.GroupSorted:
-			it = &GroupSorted{In: in, Keys: keys, Agg: AggCount}
+			it = &GroupSorted{In: in, Keys: keys, Agg: AggCount, Aggs: aggs}
 		case plan.GroupClustered:
-			it = &GroupClustered{In: in, Keys: keys, Agg: AggCount, Life: p.Life}
+			it = &GroupClustered{In: in, Keys: keys, Agg: AggCount, Aggs: aggs, Life: p.Life}
 		default:
-			it = &GroupHash{In: in, Keys: keys, Agg: AggCount, Life: p.Life}
+			it = &GroupHash{In: in, Keys: keys, Agg: AggCount, Aggs: aggs, Life: p.Life}
 		}
 		return r.wrap(it, st, p), outSchema, nil
 	}
@@ -640,6 +695,12 @@ func colPos(schema []query.ColumnRef, c query.ColumnRef) int {
 		}
 	}
 	return -1
+}
+
+// ColPos returns the position of c in a pipeline's output schema, or
+// -1 when the column is not carried.
+func ColPos(schema []query.ColumnRef, c query.ColumnRef) int {
+	return colPos(schema, c)
 }
 
 // colPosEquiv is colPos with a fallback through the query's column

@@ -306,23 +306,11 @@ func ExecOne(g *query.Graph, ds *exec.Dataset, v ExecVariant, runs int) (ExecRow
 	return row, row.Rows, sum, nil
 }
 
-// checksumRows is an order-insensitive multiset checksum (rows hashed
-// individually, hashes summed): row order may differ across variants
-// (the ORDER BY fixes a prefix, ties are free). Columns must already
-// be positionally comparable — grouped outputs are by construction
-// (grouping columns then the aggregate), ungrouped outputs after
-// Canonicalize.
-func checksumRows(rows []exec.Row) int64 {
-	var sum int64
-	for _, r := range rows {
-		h := int64(1469598103934665603)
-		for _, v := range r {
-			h = (h ^ v) * 1099511628211
-		}
-		sum += h
-	}
-	return sum
-}
+// checksumRows is the shared order-insensitive multiset checksum (see
+// exec.ChecksumRows); the conformance corpus uses the same function, so
+// its recorded checksums and the experiment's cross-variant comparisons
+// agree on what "identical result" means.
+func checksumRows(rows []exec.Row) int64 { return exec.ChecksumRows(rows) }
 
 // FormatExec renders the execution table plus the headline speedups
 // (dfsm vs oblivious runtime per workload, and — when the experiment

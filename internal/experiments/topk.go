@@ -1,0 +1,224 @@
+// The top-k experiment: what limit-aware costing buys at runtime. The
+// order-flow query (orders ⋈ customer ⋈ lineitem ordered by
+// o_orderkey) is given a LIMIT k and planned two ways — with the DFSM
+// order framework, whose clustered-index merge pipeline satisfies the
+// ORDER BY as it streams and therefore stops after k rows, and
+// order-obliviously, where the only way to know the first k rows is to
+// hash-join everything and sort the full result. The gap between the
+// two is the entire join minus k rows of work, so it widens with the
+// dataset and shrinks only marginally with k.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"orderopt/internal/exec"
+	"orderopt/internal/optimizer"
+	"orderopt/internal/plan"
+	"orderopt/internal/query"
+	"orderopt/internal/tpcr"
+)
+
+// TopkSpec parameterizes the top-k experiment.
+type TopkSpec struct {
+	// Datasets names the TPC-R datasets (default tpcr-mid, tpcr-large).
+	Datasets []string
+	// Ks lists the LIMIT values (default 1, 10, 100).
+	Ks []int
+	// Runs is the number of timed executions per cell; the minimum is
+	// reported (default 3).
+	Runs int
+}
+
+func (s *TopkSpec) defaults() {
+	if len(s.Datasets) == 0 {
+		s.Datasets = []string{"tpcr-mid", "tpcr-large"}
+	}
+	if len(s.Ks) == 0 {
+		s.Ks = []int{1, 10, 100}
+	}
+	if s.Runs == 0 {
+		s.Runs = 3
+	}
+}
+
+// TopkRow is one (workload, k, variant) measurement.
+type TopkRow struct {
+	Workload string
+	K        int
+	Variant  string // dfsm or oblivious
+
+	// PlanTime is prep + DP; ExecTime the minimum pipeline wall time
+	// over the spec's runs.
+	PlanTime time.Duration
+	ExecTime time.Duration
+	// Rows is the emitted cardinality (min(k, result size)); RowsSorted
+	// how many rows passed through Sort operators — the full join for
+	// the oblivious plan, 0 when the pipeline satisfies the order.
+	Rows       int64
+	RowsSorted int64
+	// OrderSatisfying reports a sort-free chosen plan: the limit-aware
+	// costing recognized that an order-satisfying pipeline plus a cheap
+	// top-k beats hash-everything plus a full sort.
+	OrderSatisfying bool
+}
+
+// topkVariants is the two-sided comparison: the full order framework
+// against the order-oblivious baseline (no merge joins, no index
+// orders — the plan must sort at the top to know the first k rows).
+func topkVariants() []ExecVariant {
+	all := ExecVariants()
+	return []ExecVariant{all[0], all[2]}
+}
+
+// Topk runs the experiment: every dataset × k × variant, with
+// cross-variant verification that both plans emitted the same ordered
+// key prefix.
+func Topk(spec TopkSpec) ([]TopkRow, error) {
+	spec.defaults()
+	reg := exec.TPCRRegistry()
+	var rows []TopkRow
+	for _, name := range spec.Datasets {
+		ds, ok := reg.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown TPC-R dataset %q (have %v)", name, reg.Names())
+		}
+		for _, k := range spec.Ks {
+			var refKeys []int64
+			for vi, v := range topkVariants() {
+				row, keys, err := topkOne(ds, k, v, spec.Runs)
+				if err != nil {
+					return nil, fmt.Errorf("topk %s/k=%d/%s: %w", name, k, v.Name, err)
+				}
+				row.Workload = "orders/" + name
+				row.K = k
+				// The ORDER BY key is not unique (an order joins many
+				// lineitems), so the k-th row is ambiguous within its key
+				// group — but the multiset of emitted keys is not. That is
+				// the cross-variant invariant.
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				if vi == 0 {
+					refKeys = keys
+				} else if !int64sEqual(keys, refKeys) {
+					return nil, fmt.Errorf("topk %s/k=%d: variant %s emitted a different key prefix than %s",
+						name, k, v.Name, topkVariants()[0].Name)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// topkOne plans the order-flow query with LIMIT k under one variant and
+// executes it, returning the measurement and the emitted ORDER BY keys.
+func topkOne(ds *exec.Dataset, k int, v ExecVariant, runs int) (TopkRow, []int64, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	_, g, err := tpcr.OrderStreamGraph()
+	if err != nil {
+		return TopkRow{}, nil, err
+	}
+	g.Limit, g.HasLimit = k, true
+	ds.ApplyStats(g)
+	a, err := query.Analyze(g, v.Analyze)
+	if err != nil {
+		return TopkRow{}, nil, err
+	}
+	res, err := optimizer.Optimize(a, v.Config)
+	if err != nil {
+		return TopkRow{}, nil, err
+	}
+	ops := res.Best.Ops()
+	if ops[plan.Limit] == 0 {
+		return TopkRow{}, nil, fmt.Errorf("chosen plan has no Limit operator:\n%s", res.Best)
+	}
+	row := TopkRow{
+		Variant:         v.Name,
+		PlanTime:        res.PrepTime + res.PlanTime,
+		OrderSatisfying: ops[plan.Sort] == 0,
+	}
+	runner := ds.Runner(a)
+	runner.DisableTiming = true
+	var keys []int64
+	for i := 0; i < runs; i++ {
+		p, err := runner.Compile(res.Best)
+		if err != nil {
+			return TopkRow{}, nil, err
+		}
+		begin := time.Now()
+		out, err := p.Execute()
+		elapsed := time.Since(begin)
+		if err != nil {
+			return TopkRow{}, nil, err
+		}
+		if i == 0 {
+			row.ExecTime = elapsed
+			row.Rows = int64(len(out))
+			row.RowsSorted = p.RowsSorted()
+			cols := make([]int, len(g.OrderBy))
+			for ci, c := range g.OrderBy {
+				if cols[ci] = exec.ColPos(p.Schema, c); cols[ci] < 0 {
+					return TopkRow{}, nil, fmt.Errorf("ORDER BY column %v missing from output schema", c)
+				}
+			}
+			if !exec.SatisfiesOrdering(out, cols) {
+				return TopkRow{}, nil, fmt.Errorf("limited result violates the ORDER BY")
+			}
+			keys = make([]int64, len(out))
+			for ri, r := range out {
+				keys[ri] = r[cols[0]]
+			}
+		} else if elapsed < row.ExecTime {
+			row.ExecTime = elapsed
+		}
+	}
+	return row, keys, nil
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatTopk renders the top-k table plus the headline speedups (dfsm
+// vs oblivious runtime per workload and k).
+func FormatTopk(rows []TopkRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %5s %-10s | %9s %9s | %6s %11s | %s\n",
+		"workload", "k", "variant", "plan(ms)", "exec(ms)", "rows", "rows-sorted", "order-satisfying")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %5d %-10s | %9.2f %9.2f | %6d %11d | %v\n",
+			r.Workload, r.K, r.Variant, ms(r.PlanTime), ms(r.ExecTime),
+			r.Rows, r.RowsSorted, r.OrderSatisfying)
+	}
+	times := map[string]time.Duration{}
+	for _, r := range rows {
+		times[fmt.Sprintf("%s/%d/%s", r.Workload, r.K, r.Variant)] = r.ExecTime
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		key := fmt.Sprintf("%s/%d", r.Workload, r.K)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		dfsm, obl := times[key+"/dfsm"], times[key+"/oblivious"]
+		if dfsm > 0 && obl > 0 {
+			fmt.Fprintf(&b, "%s k=%d: dfsm vs order-oblivious runtime = %.2fx\n",
+				r.Workload, r.K, float64(obl)/float64(dfsm))
+		}
+	}
+	return b.String()
+}

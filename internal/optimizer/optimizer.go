@@ -927,6 +927,36 @@ func (o *optimizer) finishOne(p *plan.Node) []*plan.Node {
 		}
 		cands = ordered
 	}
+	if k := o.p.a.Graph.Limit; o.p.a.Graph.Limited() {
+		// Top-k: every candidate is re-priced for producing only k rows
+		// (plan.LimitedCost) — this is where an order-satisfying pipeline
+		// (streaming top, nearly fully discounted) beats a full-sort plan
+		// (pays everything below the Sort) automatically.
+		limited := make([]*plan.Node, 0, len(cands))
+		for _, c := range cands {
+			n := o.arena.New()
+			card := float64(k)
+			if c.Card < card {
+				card = c.Card
+			}
+			*n = plan.Node{
+				Op: plan.Limit, Left: c, Limit: k,
+				Cost:   plan.LimitedCost(c, float64(k)) + plan.LimitCost(float64(k)),
+				Card:   card,
+				FDMask: c.FDMask,
+			}
+			// A k-prefix of the stream keeps every order/grouping/FD
+			// property the stream had.
+			if o.p.fw != nil {
+				n.State = c.State
+			} else {
+				n.Ann = c.Ann
+			}
+			o.generated++
+			limited = append(limited, n)
+		}
+		cands = limited
+	}
 	return cands
 }
 

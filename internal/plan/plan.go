@@ -50,6 +50,10 @@ const (
 	// outputs in arrival order — cheaper than ExchangeMerge (no
 	// head-of-line blocking) but order-destroying.
 	ExchangeUnion
+	// Limit emits the first Limit rows of its input and stops pulling —
+	// top-k early-out. Order-neutral: it passes its child's properties
+	// through (a prefix of an ordered stream keeps the order).
+	Limit
 )
 
 func (o Op) String() string {
@@ -76,6 +80,8 @@ func (o Op) String() string {
 		return "ExchangeMerge"
 	case ExchangeUnion:
 		return "ExchangeUnion"
+	case Limit:
+		return "Limit"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -93,6 +99,7 @@ type Node struct {
 	Edge    int      // joins: join-graph edge index
 	Pred    int      // MergeJoin: predicate index within the edge
 	DOP     int      // exchanges: planned degree of parallelism
+	Limit   int      // Limit: row cap (k)
 
 	Cost float64 // cumulative cost
 	Card float64 // output cardinality estimate
@@ -202,6 +209,8 @@ func (n *Node) format(b *strings.Builder, depth int) {
 		fmt.Fprintf(b, " edge=%d", n.Edge)
 	case ExchangeMerge, ExchangeUnion:
 		fmt.Fprintf(b, " dop=%d", n.DOP)
+	case Limit:
+		fmt.Fprintf(b, " k=%d", n.Limit)
 	}
 	b.WriteByte('\n')
 	if n.Left != nil {
@@ -332,6 +341,79 @@ func GroupCost(card float64, sorted bool) float64 {
 		return card * COutTuple
 	}
 	return card * CGroupTuple
+}
+
+// LimitCost is the cost of the Limit operator itself: it forwards at
+// most k tuples.
+func LimitCost(k float64) float64 { return k * COutTuple }
+
+// LimitedCost estimates the cost of executing n only until its first k
+// output rows have been produced — what a Limit directly above n makes
+// the executor do. Blocking work (a Sort's full input and sort, a hash
+// join's build side, hash grouping's full input) happens before the
+// first output row and is charged in full; streaming work above the
+// blocking points scales with the fraction of the output actually
+// pulled. This is the costing that prices "order-satisfying pipeline +
+// cheap top-k" against "full work + sort": a pipeline whose top is
+// streaming (no Sort) is almost fully discounted at small k, while a
+// sort-based plan pays everything below and including the Sort.
+func LimitedCost(n *Node, k float64) float64 {
+	if n == nil {
+		return 0
+	}
+	if k < 0 {
+		k = 0
+	}
+	frac := 1.0
+	if n.Card > 0 && k < n.Card {
+		frac = k / n.Card
+	}
+	switch n.Op {
+	case Sort, GroupHash:
+		// Fully blocking: the entire input runs (and is sorted/grouped)
+		// before the first row emerges.
+		return n.Cost
+	case TableScan, IndexScan:
+		return n.Cost * frac
+	case MergeJoin:
+		own := n.Cost - n.Left.Cost - n.Right.Cost
+		return own*frac +
+			LimitedCost(n.Left, n.Left.Card*frac) +
+			LimitedCost(n.Right, n.Right.Card*frac)
+	case HashJoin:
+		own := n.Cost - n.Left.Cost - n.Right.Cost
+		build := n.Right.Card * CHashBuild
+		stream := own - build
+		if stream < 0 {
+			stream = 0
+		}
+		return n.Right.Cost + build + stream*frac +
+			LimitedCost(n.Left, n.Left.Card*frac)
+	case NestedLoopJoin:
+		own := n.Cost - n.Left.Cost - n.Right.Cost
+		return n.Right.Cost + own*frac +
+			LimitedCost(n.Left, n.Left.Card*frac)
+	case GroupSorted, GroupClustered:
+		own := n.Cost - n.Left.Cost
+		return own*frac + LimitedCost(n.Left, n.Left.Card*frac)
+	case ExchangeMerge, ExchangeUnion:
+		// Worker setup happens regardless; the parallel work itself winds
+		// down once the consumer's limit quiesces the pipeline.
+		setup := float64(n.DOP) * CWorkerSetup
+		rest := n.Cost - setup
+		if rest < 0 {
+			rest = 0
+		}
+		return setup + rest*frac
+	case Limit:
+		kk := float64(n.Limit)
+		if k < kk {
+			kk = k
+		}
+		return LimitedCost(n.Left, kk) + LimitCost(kk)
+	default:
+		return n.Cost
+	}
 }
 
 func log2(x float64) float64 {

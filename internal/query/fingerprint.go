@@ -83,6 +83,25 @@ func (g *Graph) AppendCanonical(buf []byte) []byte {
 	for _, c := range g.OrderBy {
 		buf = appendRef(buf, c)
 	}
+
+	// Aggregate select list (order-sensitive: it fixes the output column
+	// sequence) and LIMIT. Both change what the executor produces, so two
+	// graphs differing only here must not share a cached plan's origin.
+	buf = appendUvarint(buf, uint64(len(g.Aggregates)))
+	for _, a := range g.Aggregates {
+		buf = append(buf, byte(a.Fn))
+		buf = appendRef(buf, a.Col)
+	}
+	buf = appendUvarint(buf, uint64(g.Limit))
+	// The limited bit is derived (Limited()), not the raw HasLimit
+	// flag, so a programmatic Limit > 0 and its SQL round trip (which
+	// rebinds with HasLimit set) hash identically while LIMIT 0 still
+	// differs from "no limit".
+	if g.Limited() {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
 	return buf
 }
 

@@ -89,6 +89,46 @@ func (p ConstPred) DefaultSelectivity(t *catalog.Table) float64 {
 	}
 }
 
+// AggFn identifies an aggregate function of a select list.
+type AggFn uint8
+
+const (
+	// AggCount is count(*): no input column.
+	AggCount AggFn = iota
+	// AggSum is sum(col).
+	AggSum
+	// AggAvg is avg(col) — integer semantics: sum/count, truncated.
+	AggAvg
+	// AggMin is min(col).
+	AggMin
+	// AggMax is max(col).
+	AggMax
+)
+
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFn(%d)", uint8(f))
+	}
+}
+
+// Aggregate is one aggregate select-list item. Col is the input column;
+// AggCount ignores it (count(*)).
+type Aggregate struct {
+	Fn  AggFn
+	Col ColumnRef
+}
+
 // JoinPred is an equality between columns of two relations (a = b). It
 // induces the equation FD a = b on the join operator.
 type JoinPred struct {
@@ -119,6 +159,21 @@ type Graph struct {
 	Edges     []Edge
 	GroupBy   []ColumnRef
 	OrderBy   []ColumnRef
+
+	// Aggregates lists the aggregate select-list items of a grouped
+	// query, in select-list order. Empty means the executor's default
+	// (a single count(*) when grouping).
+	Aggregates []Aggregate
+
+	// Limit caps the number of result rows; 0 means no limit unless
+	// HasLimit is set. It applies after grouping and ordering, so the
+	// executor's Limit operator sits at the very top of the pipeline.
+	Limit int
+	// HasLimit distinguishes an explicit LIMIT 0 (empty result) from
+	// the zero value's "no limit". Any Limit > 0 implies a limit
+	// whether or not HasLimit is set, so programmatic graph builders
+	// can keep assigning Limit directly.
+	HasLimit bool
 
 	// masks caches the bitset view of the graph (EdgeMasks). It is
 	// rebuilt lazily whenever relations or edges were added since the
@@ -325,5 +380,34 @@ func (g *Graph) Validate() error {
 			return err
 		}
 	}
+	for _, a := range g.Aggregates {
+		if a.Fn > AggMax {
+			return fmt.Errorf("query: unknown aggregate function %d", a.Fn)
+		}
+		if a.Fn == AggCount {
+			continue // count(*) has no input column
+		}
+		if err := g.checkRef(a.Col); err != nil {
+			return err
+		}
+	}
+	if g.Limit < 0 {
+		return fmt.Errorf("query: negative limit %d", g.Limit)
+	}
 	return nil
+}
+
+// Limited reports whether the query caps its result rows — either a
+// positive Limit or an explicit LIMIT 0 (HasLimit).
+func (g *Graph) Limited() bool {
+	return g.HasLimit || g.Limit > 0
+}
+
+// AggregateName renders an aggregate as it appears in a select list,
+// e.g. "sum(o.o_totalprice)" or "count(*)".
+func (g *Graph) AggregateName(a Aggregate) string {
+	if a.Fn == AggCount {
+		return "count(*)"
+	}
+	return a.Fn.String() + "(" + g.ColumnName(a.Col) + ")"
 }

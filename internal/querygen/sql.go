@@ -15,18 +15,49 @@ import (
 // that the binder drops predicate literals (it plans from statistics,
 // not values); TestSQLRoundTrip pins the equivalence.
 func SQL(g *query.Graph) (string, error) {
+	col := func(c query.ColumnRef) string {
+		rel := &g.Relations[c.Rel]
+		return rel.Alias + "." + rel.Table.Columns[c.Col].Name
+	}
+
 	var b strings.Builder
-	b.WriteString("select * from ")
+	b.WriteString("select ")
+	if len(g.Aggregates) == 0 {
+		b.WriteString("*")
+	} else {
+		// Grouping columns first, then the aggregates — the executor's
+		// output column order (group keys, then one column per
+		// aggregate), so the rendered select list matches what runs.
+		for i, c := range g.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(col(c))
+		}
+		for i, a := range g.Aggregates {
+			if i > 0 || len(g.GroupBy) > 0 {
+				b.WriteString(", ")
+			}
+			if a.Fn == query.AggCount {
+				b.WriteString("count(*)")
+			} else {
+				fmt.Fprintf(&b, "%s(%s)", a.Fn, col(a.Col))
+			}
+		}
+	}
+	b.WriteString(" from ")
 	for i := range g.Relations {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(g.Relations[i].Alias)
-	}
-
-	col := func(c query.ColumnRef) string {
-		rel := &g.Relations[c.Rel]
-		return rel.Alias + "." + rel.Table.Columns[c.Col].Name
+		// An aliased relation ("nation n1") must render both names:
+		// the table to look up in the catalog, the alias to qualify
+		// column references with.
+		b.WriteString(g.Relations[i].Table.Name)
+		if g.Relations[i].Alias != g.Relations[i].Table.Name {
+			b.WriteString(" ")
+			b.WriteString(g.Relations[i].Alias)
+		}
 	}
 
 	var conj []string
@@ -68,5 +99,8 @@ func SQL(g *query.Graph) (string, error) {
 	}
 	writeCols(" group by ", g.GroupBy)
 	writeCols(" order by ", g.OrderBy)
+	if g.Limited() {
+		fmt.Fprintf(&b, " limit %d", g.Limit)
+	}
 	return b.String(), nil
 }

@@ -37,7 +37,9 @@ type PlanNode struct {
 	SortOrder string `json:"sortOrder,omitempty"`
 	// DOP is the planned degree of parallelism of an exchange operator
 	// (ExchangeMerge/ExchangeUnion); 0 on serial operators.
-	DOP   int       `json:"dop,omitempty"`
+	DOP int `json:"dop,omitempty"`
+	// Limit is the row cap of a Limit operator; 0 elsewhere.
+	Limit int       `json:"limit,omitempty"`
 	Left  *PlanNode `json:"left,omitempty"`
 	Right *PlanNode `json:"right,omitempty"`
 }
@@ -114,7 +116,8 @@ type ExecuteResponse struct {
 	Cost     float64   `json:"cost"`
 	Plan     *PlanNode `json:"plan"`
 	// Columns names the result columns; grouped queries end with the
-	// aggregate ("count(*)").
+	// aggregate select-list items ("count(*)", "sum(l.l_qty)", ... —
+	// a lone "count(*)" when the query spelled no aggregates).
 	Columns []string `json:"columns"`
 	// RowCount is the full result cardinality; Rows the first MaxRows
 	// result rows (Truncated says whether RowCount exceeded them).

@@ -651,10 +651,15 @@ func (s *Server) executeResponse(ctx context.Context, req ExecuteRequest, ds *ex
 	}
 	g := org.Prepared().Graph()
 	for _, c := range pipe.Schema {
-		if c == exec.AggColumn {
-			resp.Columns = append(resp.Columns, "count(*)")
-		} else {
+		switch {
+		case c.Rel >= 0:
 			resp.Columns = append(resp.Columns, g.ColumnName(c))
+		case c.Col >= 0 && c.Col < len(g.Aggregates):
+			// Rel -1 marks aggregate output columns, numbered by
+			// select-list position.
+			resp.Columns = append(resp.Columns, g.AggregateName(g.Aggregates[c.Col]))
+		default:
+			resp.Columns = append(resp.Columns, "count(*)")
 		}
 	}
 	out := rows
@@ -753,6 +758,8 @@ func planJSON(n *plan.Node, q *planner.PreparedQuery) *PlanNode {
 			out.SortOrder = in.Format(reg, n.SortOrd)
 		case plan.ExchangeMerge, plan.ExchangeUnion:
 			out.DOP = n.DOP
+		case plan.Limit:
+			out.Limit = n.Limit
 		}
 		out.Left = conv(n.Left)
 		out.Right = conv(n.Right)

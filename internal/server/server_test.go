@@ -466,6 +466,77 @@ func TestExecuteEndpoint(t *testing.T) {
 	}
 }
 
+// TestExecuteLimitAndAggregates pins the /execute surface for top-k
+// and multi-aggregate queries: the plan tree carries the Limit node's
+// row cap, operators under a limit are marked `limited` with their
+// actual (early-out) row counts, and aggregate select lists name their
+// output columns.
+func TestExecuteLimitAndAggregates(t *testing.T) {
+	_, c, done := newExecServer(t)
+	defer done()
+
+	resp, err := c.Execute(ExecuteRequest{
+		SQL:     "select * from orders, customer where o_custkey = c_custkey order by o_orderkey limit 7",
+		Dataset: "tpcr-small",
+	})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if resp.RowCount != 7 || len(resp.Rows) != 7 {
+		t.Fatalf("rows: count=%d returned=%d", resp.RowCount, len(resp.Rows))
+	}
+	if resp.Plan == nil || resp.Plan.Op != "Limit" || resp.Plan.Limit != 7 {
+		t.Fatalf("plan root is not the Limit node: %+v", resp.Plan)
+	}
+	for _, op := range resp.Operators {
+		if op.Op == "Limit" {
+			if op.Rows != 7 {
+				t.Errorf("Limit operator rows = %d, want 7", op.Rows)
+			}
+			if op.Limited {
+				t.Error("the Limit operator itself must not carry the limited marker")
+			}
+			continue
+		}
+		// Everything below the limit is marked: its Rows may stop short
+		// of EstRows once the limit quiesces the pipeline.
+		if !op.Limited {
+			t.Errorf("operator %s under a Limit lacks the limited marker", op.Op)
+		}
+	}
+
+	agg, err := c.Execute(ExecuteRequest{
+		SQL: "select o_custkey, count(*), sum(o_orderdate), avg(o_orderdate), min(o_orderdate), max(o_orderdate)" +
+			" from orders, customer where o_custkey = c_custkey group by o_custkey order by o_custkey",
+		Dataset: "tpcr-small",
+	})
+	if err != nil {
+		t.Fatalf("aggregate execute: %v", err)
+	}
+	want := []string{
+		"orders.o_custkey", "count(*)", "sum(orders.o_orderdate)",
+		"avg(orders.o_orderdate)", "min(orders.o_orderdate)", "max(orders.o_orderdate)",
+	}
+	if len(agg.Columns) != len(want) {
+		t.Fatalf("aggregate columns = %v, want %v", agg.Columns, want)
+	}
+	for i, w := range want {
+		if agg.Columns[i] != w {
+			t.Fatalf("column %d = %q, want %q (all: %v)", i, agg.Columns[i], w, agg.Columns)
+		}
+	}
+	if len(agg.Rows) == 0 || len(agg.Rows[0]) != len(want) {
+		t.Fatalf("aggregate rows malformed: %v", agg.Rows)
+	}
+	// count ≥ 1 and min ≤ avg ≤ max on every group.
+	for _, r := range agg.Rows {
+		cnt, avg, min, max := r[1], r[3], r[4], r[5]
+		if cnt < 1 || min > avg || avg > max {
+			t.Fatalf("implausible aggregate row %v", r)
+		}
+	}
+}
+
 func TestExecuteErrors(t *testing.T) {
 	_, c, done := newExecServer(t)
 	defer done()

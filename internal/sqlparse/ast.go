@@ -200,6 +200,8 @@ type SelectStmt struct {
 	Where   Expr // nil when absent
 	GroupBy []Expr
 	OrderBy []OrderItem
+	// Limit is the LIMIT row count; nil when absent.
+	Limit *int64
 }
 
 func (s *SelectStmt) String() string {
@@ -238,6 +240,9 @@ func (s *SelectStmt) String() string {
 			}
 			b.WriteString(o.String())
 		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *s.Limit)
 	}
 	return b.String()
 }

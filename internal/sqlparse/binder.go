@@ -54,10 +54,67 @@ func Bind(stmt *SelectStmt, cat *catalog.Catalog) (*BoundQuery, error) {
 		}
 		b.g.OrderBy = append(b.g.OrderBy, ref)
 	}
+	if err := b.bindAggregates(stmt); err != nil {
+		return nil, err
+	}
+	if stmt.Limit != nil {
+		if *stmt.Limit > int64(int(^uint(0)>>1)) {
+			return nil, fmt.Errorf("sql: LIMIT %d out of range", *stmt.Limit)
+		}
+		b.g.Limit = int(*stmt.Limit)
+		// An explicit LIMIT 0 means an empty result, not "no limit".
+		b.g.HasLimit = true
+	}
 	if err := b.g.Validate(); err != nil {
 		return nil, err
 	}
 	return &BoundQuery{Graph: b.g, Residual: b.residual, Aliases: b.aliases}, nil
+}
+
+// aggFns maps aggregate function names to their graph representation.
+var aggFns = map[string]query.AggFn{
+	"COUNT": query.AggCount,
+	"SUM":   query.AggSum,
+	"AVG":   query.AggAvg,
+	"MIN":   query.AggMin,
+	"MAX":   query.AggMax,
+}
+
+// bindAggregates collects the aggregate select-list items into
+// Graph.Aggregates, in select-list order. Aggregates are only
+// meaningful over groups, so they require GROUP BY; count(col) is
+// bound as count(*) (all values are non-null integers here).
+func (b *binder) bindAggregates(stmt *SelectStmt) error {
+	for _, item := range stmt.Items {
+		f, ok := item.Expr.(*FuncCall)
+		if !ok {
+			continue
+		}
+		fn, ok := aggFns[f.Name]
+		if !ok {
+			continue // non-aggregate function: stays an alias/projection
+		}
+		if len(stmt.GroupBy) == 0 {
+			return fmt.Errorf("sql: aggregate %s requires GROUP BY", item.Expr)
+		}
+		if fn == query.AggCount {
+			b.g.Aggregates = append(b.g.Aggregates, query.Aggregate{Fn: query.AggCount})
+			continue
+		}
+		if f.Star || len(f.Args) != 1 {
+			return fmt.Errorf("sql: %s wants exactly one column argument", f.Name)
+		}
+		col, ok := b.substitute(f.Args[0]).(*ColumnRef)
+		if !ok {
+			return fmt.Errorf("sql: %s wants a plain column argument, found %s", f.Name, f.Args[0])
+		}
+		ref, err := b.resolve(col)
+		if err != nil {
+			return err
+		}
+		b.g.Aggregates = append(b.g.Aggregates, query.Aggregate{Fn: fn, Col: ref})
+	}
+	return nil
 }
 
 type binder struct {

@@ -53,6 +53,7 @@ var keywords = map[string]bool{
 	"THEN": true, "ELSE": true, "END": true, "EXTRACT": true, "DATE": true,
 	"ASC": true, "DESC": true, "IS": true, "NULL": true, "DISTINCT": true,
 	"HAVING": true, "EXISTS": true, "ON": true, "JOIN": true, "INNER": true,
+	"LIMIT": true,
 }
 
 // LexError reports a lexing failure with its position.

@@ -155,6 +155,25 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			}
 		}
 	}
+	if p.acceptKeyword("LIMIT") {
+		if p.peek().Kind != TokNumber {
+			return nil, p.errf("expected row count after LIMIT, found %s", p.peek())
+		}
+		t := p.next()
+		var v int64
+		for i := 0; i < len(t.Text); i++ {
+			c := t.Text[i]
+			if c < '0' || c > '9' {
+				return nil, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("LIMIT wants a non-negative integer, found %s", t.Text)}
+			}
+			d := int64(c - '0')
+			if v > (1<<62)/10 {
+				return nil, &ParseError{Pos: t.Pos, Msg: "LIMIT count overflows"}
+			}
+			v = v*10 + d
+		}
+		stmt.Limit = &v
+	}
 	return stmt, nil
 }
 
