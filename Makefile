@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: check build vet fmt staticcheck test race faults conformance conformance-update cover fuzz-smoke bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke bench-parallel bench-parallel-smoke bench-topk bench-topk-smoke examples
+.PHONY: check build vet fmt staticcheck test race faults conformance conformance-update cover fuzz-smoke bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke bench-parallel bench-parallel-smoke bench-topk bench-topk-smoke bench-vector bench-vector-smoke examples
 
 check: build vet fmt staticcheck test conformance
 
@@ -42,9 +42,9 @@ race:
 # its own step so a lifecycle regression is named, not buried.
 faults:
 	$(GO) test -race ./internal/faultinject/ \
-		-run 'TestScenariosAcrossOperators|TestFault|TestHang|TestDelay|TestTracker|TestMatches'
+		-run 'TestScenariosAcrossOperators|TestFault|TestHang|TestDelay|TestTracker|TestMatches|TestExtSortMidSpillAbort'
 	$(GO) test -race ./internal/exec/ \
-		-run 'TestAccountant|TestBudget|TestMergeJoinGroupRelease|TestCancelDuringExecute|TestDeadlineMidMergeJoin|TestExecuteContextDeadPipeline|TestExchange'
+		-run 'TestAccountant|TestBudget|TestMergeJoinGroupRelease|TestCancelDuringExecute|TestDeadlineMidMergeJoin|TestExecuteContextDeadPipeline|TestExchange|TestExtSort'
 	$(GO) test -race ./internal/server/ \
 		-run 'TestExecuteTimeout|TestExecuteDefaultTimeout|TestTimeoutClamp|TestExecuteBudget|TestGlobalMemBudget|TestExecuteClientCancel|TestDrainAndWait|TestClientRetry|TestRetryBackoff'
 	$(GO) test -race ./internal/experiments/ -run 'TestAbort'
@@ -138,6 +138,22 @@ bench-topk:
 # it so the top-k benchmark path cannot rot.
 bench-topk-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkExecTopK$$' -benchtime 1x .
+
+# bench-vector records vectorized execution: the order-flow query in
+# row and batch mode over tpcr-large and the million-row tpcr-xl tier
+# (cmd/benchfmt derives speedup-vs-row for the vec rows), plus the
+# external-sort contrast where the order-oblivious plan's top sort
+# spills under a 256 KiB budget while the sort-free DFSM plan has no
+# sort to spill. See docs/execution.md and docs/benchmarks.md.
+bench-vector:
+	$(GO) test -run '^$$' -bench '^BenchmarkExecVector$$' -benchmem -json . | $(GO) run ./cmd/benchfmt | tee BENCH_vector.json
+
+# bench-vector-smoke runs the vectorized-execution benchmark once over
+# the registry datasets (tpcr-xl excluded via -short: generating a
+# million rows is not smoke); CI runs it so the vector benchmark path
+# cannot rot.
+bench-vector-smoke:
+	$(GO) test -short -run '^$$' -bench '^BenchmarkExecVector$$' -benchtime 1x .
 
 # bench-smoke compiles and runs every benchmark once (no timing) so
 # benchmark code cannot rot; CI runs it on every push. The execution

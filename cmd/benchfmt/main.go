@@ -17,7 +17,11 @@
 // ns/op of the same benchmark's dop=1 run divided by this run's ns/op.
 // The dop=1 result always precedes the higher DOPs in the stream (the
 // benchmark runs DOPs in ascending order), so the metric is computed
-// on the fly without buffering.
+// on the fly without buffering. Results with a "/mode=M" component (the
+// vectorized-execution benchmark) get the analogous "speedup-vs-row":
+// the same family's mode=row ns/op divided by this run's ns/op, on
+// every mode except row itself — again relying on the baseline
+// preceding the contenders in the stream.
 package main
 
 import (
@@ -57,8 +61,10 @@ func main() {
 	results := 0
 	// serial ns/op per benchmark family, keyed by the name with its
 	// /dop=N component removed — the denominatorless baseline for the
-	// speedup-vs-dop1 metric.
+	// speedup-vs-dop1 metric. rowNs is the same for /mode=M families
+	// (mode=row the baseline) and speedup-vs-row.
 	serialNs := make(map[string]float64)
+	rowNs := make(map[string]float64)
 	// test2json usually splits a benchmark result into two output
 	// events — the name when the benchmark starts, the measurements when
 	// it finishes — so a bare "BenchmarkX-8" line is held and stitched
@@ -90,6 +96,7 @@ func main() {
 		}
 		pending = ""
 		addSpeedup(r, serialNs)
+		addModeSpeedup(r, rowNs)
 		if err := enc.Encode(r); err != nil {
 			fmt.Fprintln(os.Stderr, "benchfmt:", err)
 			os.Exit(1)
@@ -172,6 +179,43 @@ func addSpeedup(r *result, serialNs map[string]float64) {
 	if base, seen := serialNs[family]; seen && r.NsPerOp > 0 {
 		addMetric(r, "speedup-vs-dop1", base/r.NsPerOp)
 	}
+}
+
+// addModeSpeedup derives the vectorization metric for results named
+// with a /mode=M component: mode=row registers the family's baseline
+// ns/op, every other mode reports baseline ÷ own ns/op as
+// "speedup-vs-row".
+func addModeSpeedup(r *result, rowNs map[string]float64) {
+	family, mode, ok := splitMode(r.Name)
+	if !ok {
+		return
+	}
+	if mode == "row" {
+		rowNs[family] = r.NsPerOp
+		return
+	}
+	if base, seen := rowNs[family]; seen && r.NsPerOp > 0 {
+		addMetric(r, "speedup-vs-row", base/r.NsPerOp)
+	}
+}
+
+// splitMode extracts the mode from a benchmark name like
+// "BenchmarkExecVector/orders/tpcr-xl/mode=vec-8", returning the name
+// with the /mode=M component cut out (keeping the -procs suffix) and M.
+func splitMode(name string) (family, mode string, ok bool) {
+	i := strings.Index(name, "/mode=")
+	if i < 0 {
+		return "", "", false
+	}
+	rest := name[i+len("/mode="):]
+	end := strings.IndexByte(rest, '-')
+	if end < 0 {
+		end = len(rest)
+	}
+	if rest[:end] == "" {
+		return "", "", false
+	}
+	return name[:i] + rest[end:], rest[:end], true
 }
 
 // splitDOP extracts the DOP from a benchmark name like

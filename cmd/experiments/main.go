@@ -23,9 +23,13 @@
 //	experiments -table topk    # LIMIT-k runtime: the order-satisfying
 //	                           # early-out pipeline vs the oblivious
 //	                           # hash + full-sort plan, k in -topk-ks
+//	experiments -table vector  # vectorized execution: row vs batch
+//	                           # pipelines per workload, plus the
+//	                           # external-sort spill contrast (sort-free
+//	                           # dfsm vs oblivious under a spill budget)
 //	experiments -table all     # everything except enum, throughput,
-//	                           # serve, large, exec and topk (opt-in:
-//	                           # clique points run for seconds)
+//	                           # serve, large, exec, topk and vector
+//	                           # (opt-in: clique points run for seconds)
 //
 // The sweep is configurable: -sizes 5,6,7,8,9,10 -extras 0,1,2 -seeds 5,
 // -enumerator dpccp|naive; the enum table via -enum-shapes and
@@ -51,7 +55,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "prep, q8, fig13, fig14, enum, throughput, serve, large, exec, topk or all")
+	table := flag.String("table", "all", "prep, q8, fig13, fig14, enum, throughput, serve, large, exec, topk, vector or all")
 	sizes := flag.String("sizes", "5,6,7,8,9,10", "relation counts for the sweep")
 	extras := flag.String("extras", "0,1,2", "extra edges beyond the chain (0→n-1 edges, 1→n, 2→n+1)")
 	seeds := flag.Int("seeds", 5, "queries averaged per configuration")
@@ -82,6 +86,10 @@ func main() {
 	execRelations := flag.Int("exec-relations", 5, "relations per generated exec query")
 	execRows := flag.Int("exec-rows", 48, "rows per table for generated exec data")
 	workers := flag.Int("workers", 4, "max morsel workers for the exec table's parallel-scaling column (serial vs best DOP up to this; 1 disables)")
+	vectorDatasets := flag.String("vector-datasets", "tpcr-large,tpcr-xl", "TPC-R datasets for the vector table (tpcr-xl resolves outside the registry)")
+	vectorRuns := flag.Int("vector-runs", 5, "timed executions per vector measurement (minimum reported)")
+	vectorBatch := flag.Int("vector-batch", 0, "vector width for the vector table (0: exec default)")
+	vectorSpill := flag.Int64("vector-spill", 256<<10, "external-sort budget in bytes for the vector table's spill contrast")
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(),
 			"experiments regenerates the paper's evaluation tables — see README.md and docs/benchmarks.md.")
@@ -108,6 +116,7 @@ func main() {
 	runLarge := *table == "large"
 	runExec := *table == "exec"
 	runTopk := *table == "topk"
+	runVector := *table == "vector"
 
 	if runPrep {
 		rows, err := experiments.PrepQ8(*tested)
@@ -214,6 +223,17 @@ func main() {
 		die(err)
 		fmt.Println("=== Top-k execution: order-satisfying early-out vs hash + full sort ===")
 		fmt.Print(experiments.FormatTopk(rows))
+	}
+	if runVector {
+		rows, spills, err := experiments.Vector(experiments.VectorSpec{
+			Datasets:   splitList(*vectorDatasets),
+			Runs:       *vectorRuns,
+			BatchSize:  *vectorBatch,
+			SpillBytes: *vectorSpill,
+		})
+		die(err)
+		fmt.Println("=== Vectorized execution: row vs batch pipelines, and the spill contrast ===")
+		fmt.Print(experiments.FormatVector(rows, spills))
 	}
 	if runServe {
 		fmt.Println("=== Served throughput: HTTP planning service under closed-loop load ===")

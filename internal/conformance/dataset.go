@@ -69,11 +69,9 @@ func resolveGen(f *Fixture, stmt *sqlparse.SelectStmt) (*exec.Dataset, *sqlparse
 	if err != nil {
 		return nil, nil, fmt.Errorf("fixture %s: %w", f.Name, err)
 	}
-	ds := &exec.Dataset{
-		Name: f.Dataset,
-		Desc: fmt.Sprintf("conformance synthetic: %d tables × %d rows, seed %d", spec.Relations, rows, seed),
-		Rows: querygen.GenerateData(q.Graph, rows, seed+500),
-	}
+	ds := exec.NewDataset(f.Dataset,
+		fmt.Sprintf("conformance synthetic: %d tables × %d rows, seed %d", spec.Relations, rows, seed),
+		querygen.GenerateData(q.Graph, rows, seed+500))
 	ds.BuildIndexes(cat)
 	ds.ApplyStats(q.Graph)
 	return ds, q, nil

@@ -1,0 +1,84 @@
+package exec
+
+import "testing"
+
+// TestProjectAllocsAmortized pins Project's per-row allocation
+// behavior: output rows are carved from chunked slabs, so a long
+// stream costs one heap allocation per ~2k rows, not one per row.
+func TestProjectAllocsAmortized(t *testing.T) {
+	rows := make([]Row, 256)
+	for i := range rows {
+		rows[i] = Row{int64(i), int64(2 * i), int64(3 * i), int64(4 * i)}
+	}
+	pr := &Project{In: NewScan(rows), Cols: []int{3, 1}}
+	if err := pr.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	avg := testing.AllocsPerRun(4000, func() {
+		row, ok, err := pr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if err := pr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := pr.Open(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		if len(row) != 2 {
+			t.Fatalf("projected width %d", len(row))
+		}
+	})
+	if avg > 0.1 {
+		t.Fatalf("Project.Next averages %.3f allocs/row, want amortized < 0.1", avg)
+	}
+}
+
+// TestRowAllocRetention: carved rows stay valid and independent after
+// arbitrarily many further carves — chunks are never recycled, so
+// operators may retain emitted rows (hash builds, sort runs).
+func TestRowAllocRetention(t *testing.T) {
+	var al rowAlloc
+	const n = 10000
+	kept := make([]Row, n)
+	for i := 0; i < n; i++ {
+		r := al.carve(3)
+		r[0], r[1], r[2] = int64(i), int64(i+1), int64(i+2)
+		kept[i] = r
+	}
+	for i, r := range kept {
+		if r[0] != int64(i) || r[1] != int64(i+1) || r[2] != int64(i+2) {
+			t.Fatalf("row %d corrupted: %v", i, r)
+		}
+	}
+	// Rows never alias: writing one must not touch its neighbors.
+	kept[0][0] = -1
+	if kept[1][0] != 1 {
+		t.Fatal("adjacent carved rows alias")
+	}
+}
+
+// TestScanNextDoesNotAllocate: the row path's base scan yields
+// references into the backing rows — zero allocations per row.
+func TestScanNextDoesNotAllocate(t *testing.T) {
+	rows := make([]Row, 128)
+	for i := range rows {
+		rows[i] = Row{int64(i)}
+	}
+	s := NewScan(rows)
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if _, ok, _ := s.Next(); !ok {
+			s.pos = 0
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Scan.Next averages %.3f allocs/row, want 0", avg)
+	}
+}

@@ -1,0 +1,782 @@
+package exec
+
+import (
+	"time"
+
+	"orderopt/internal/query"
+)
+
+// Vector-at-a-time execution. The row operators in exec.go interpret
+// one tuple per Next call; for scan/filter/probe/group-heavy pipelines
+// the interpretation overhead (virtual calls, per-row branches, row
+// materialization) dominates the actual work. The batch path amortizes
+// it: operators exchange Batch values — column vectors plus an optional
+// selection vector — via NextBatch, touching each column in a tight
+// loop over up to DefaultBatchSize rows per call. The covered operator
+// set is deliberately small (columnar scans with constant-predicate
+// selection, single-key hash-join probes, hash grouping on narrow
+// keys); everything else stays on the row path, joined to a vectorized
+// subtree through the vecRows adapter. Plans compile identically either
+// way — vectorization changes how a pipeline runs, never what it
+// returns.
+
+// DefaultBatchSize is the vector width when the runner doesn't set one:
+// large enough to amortize per-batch overhead, small enough that one
+// batch of a few columns stays in L1/L2.
+const DefaultBatchSize = 1024
+
+// Batch is one unit of vectorized data flow. Cols holds one vector per
+// output column; when Sel is non-nil only the row positions it lists
+// (in order) are live, otherwise rows 0..N-1 are. A batch is a pure
+// descriptor: the producing operator owns the underlying vectors, and
+// they stay valid only until its next NextBatch call. N == 0 with
+// ok=true is legal (a fully filtered window); consumers must keep
+// pulling.
+type Batch struct {
+	Cols [][]int64
+	Sel  []int32
+	N    int
+}
+
+// Row resolves the i-th live row (0 ≤ i < N) to its position in the
+// column vectors.
+func (b *Batch) Row(i int) int {
+	if b.Sel != nil {
+		return int(b.Sel[i])
+	}
+	return i
+}
+
+// VecIterator is the batch-at-a-time Volcano contract: same lifecycle
+// as Iterator, but NextBatch fills the caller-supplied descriptor with
+// the operator's own vectors instead of handing out one row.
+type VecIterator interface {
+	Open() error
+	// NextBatch points b at the next batch, returning ok=false at end
+	// of stream (b's contents are then undefined).
+	NextBatch(b *Batch) (ok bool, err error)
+	Close() error
+}
+
+// vecScan streams a columnar table in base or index-permutation order,
+// folding the relation's constant predicates into the scan: in base
+// order an unfiltered window is a zero-copy slice of the table's
+// columns, a filtered one adds a selection vector over it; under a
+// permutation live rows are gathered densely into the scan's own
+// buffers. Each call consumes exactly one window of size input
+// positions, so per-call work stays bounded.
+type vecScan struct {
+	cols  [][]int64
+	total int
+	perm  []int32 // nil: base order
+	preds []query.ConstPred
+	size  int
+
+	pos  int
+	sel  []int32   // selection buffer (base order, filtered)
+	live []int32   // surviving base positions (permuted order)
+	buf  [][]int64 // gather buffers (permuted order)
+	out  []int64   // backing storage of buf, one slab
+}
+
+func (s *vecScan) Open() error {
+	s.pos = 0
+	if s.perm != nil && s.buf == nil {
+		w := len(s.cols)
+		s.out = make([]int64, w*s.size)
+		s.buf = make([][]int64, w)
+		for c := range s.buf {
+			s.buf[c] = s.out[c*s.size : (c+1)*s.size : (c+1)*s.size]
+		}
+	}
+	return nil
+}
+
+func (s *vecScan) match(pos int32) bool {
+	for _, p := range s.preds {
+		if !p.Matches(s.cols[p.Col.Col][pos]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *vecScan) NextBatch(b *Batch) (bool, error) {
+	if s.pos >= s.total {
+		return false, nil
+	}
+	n := s.size
+	if rest := s.total - s.pos; rest < n {
+		n = rest
+	}
+	if s.perm == nil {
+		// Base order: the batch is a window of the table itself.
+		if b.Cols == nil || len(b.Cols) != len(s.cols) {
+			b.Cols = make([][]int64, len(s.cols))
+		}
+		for c, col := range s.cols {
+			b.Cols[c] = col[s.pos : s.pos+n]
+		}
+		b.Sel, b.N = nil, n
+		if len(s.preds) > 0 {
+			sel := s.sel[:0]
+			for i := 0; i < n; i++ {
+				if s.match(int32(s.pos + i)) {
+					sel = append(sel, int32(i))
+				}
+			}
+			s.sel = sel
+			if len(sel) < n {
+				b.Sel, b.N = sel, len(sel)
+			}
+		}
+		s.pos += n
+		return true, nil
+	}
+	// Index order: gather the window's survivors densely.
+	live := s.live[:0]
+	for _, bp := range s.perm[s.pos : s.pos+n] {
+		if s.match(bp) {
+			live = append(live, bp)
+		}
+	}
+	s.live = live
+	s.pos += n
+	for c, col := range s.cols {
+		dst := s.buf[c][:len(live)]
+		for i, bp := range live {
+			dst[i] = col[bp]
+		}
+		s.buf[c] = dst[:s.size]
+	}
+	if b.Cols == nil || len(b.Cols) != len(s.cols) {
+		b.Cols = make([][]int64, len(s.cols))
+	}
+	for c := range s.buf {
+		b.Cols[c] = s.buf[c][:len(live)]
+	}
+	b.Sel, b.N = nil, len(live)
+	return true, nil
+}
+
+func (s *vecScan) Close() error { return nil }
+
+// vecHashJoin probes a hash table batch-at-a-time. The build side is a
+// row-compiled subtree drained at Open into columnar storage plus an
+// int32-bucket table (with the same packed-domain direct-address
+// accelerator the parallel tier's hashView uses); the probe side is
+// vectorized. Output preserves probe order with bucket matches in build
+// stream order — exactly the row HashJoin's emission sequence — and a
+// match cursor carries a partially emitted bucket across output
+// batches, so wide fan-outs never overflow the vector width.
+type vecHashJoin struct {
+	left   VecIterator
+	build  Iterator
+	vbuild VecIterator // build's vectorized core, when it has one
+	lkey   int         // key column in the probe batch
+	rkey   int         // key column in the build schema
+	lw, rw int
+	life   *Life
+	size   int
+
+	rcard int // planner estimate of build rows, for presizing
+
+	bcols [][]int64
+	table map[int64][]int32
+	dense [][]int32
+	flat  []int32 // unique packed keys: build row + 1 per slot, 0 empty
+	min   int64
+
+	in          Batch
+	inPos       int // next live ordinal of in to probe
+	inDone      bool
+	matches     []int32 // current probe row's bucket
+	mPos        int
+	curRow      int     // current probe row's position in in.Cols
+	lsrc        []int32 // match list: probe positions in in.Cols
+	bsrc        []int32 // match list: build row numbers
+	buf         [][]int64
+	out         []int64
+	buildClosed bool
+}
+
+func (j *vecHashJoin) Open() error {
+	j.in, j.inPos, j.inDone = Batch{}, 0, false
+	j.matches, j.mPos = nil, 0
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.build.Open(); err != nil {
+		return err
+	}
+	j.bcols = make([][]int64, j.rw)
+	if j.rcard > 0 {
+		for c := range j.bcols {
+			j.bcols[c] = make([]int64, 0, j.rcard)
+		}
+	}
+	if err := j.drainBuild(); err != nil {
+		return err
+	}
+	if err := j.build.Close(); err != nil {
+		return err
+	}
+	j.buildClosed = true
+	j.buildTable()
+	if j.lsrc == nil {
+		j.lsrc = make([]int32, 0, j.size)
+		j.bsrc = make([]int32, 0, j.size)
+	}
+	return nil
+}
+
+// drainBuild materializes the build side into bcols. A vectorized
+// build streams whole column windows (one budget charge and w appends
+// per batch); a row build pays the usual per-row toll.
+func (j *vecHashJoin) drainBuild() error {
+	if j.vbuild != nil {
+		var vb Batch
+		for {
+			ok, err := j.vbuild.NextBatch(&vb)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if vb.N == 0 {
+				continue
+			}
+			if err := j.life.hold(int64(vb.N), int64(vb.N)*(int64(j.rw)*8+rowOverheadBytes)); err != nil {
+				return err
+			}
+			if vb.Sel == nil {
+				for c := 0; c < j.rw; c++ {
+					j.bcols[c] = append(j.bcols[c], vb.Cols[c][:vb.N]...)
+				}
+			} else {
+				for c := 0; c < j.rw; c++ {
+					dst, src := j.bcols[c], vb.Cols[c]
+					for _, li := range vb.Sel[:vb.N] {
+						dst = append(dst, src[li])
+					}
+					j.bcols[c] = dst
+				}
+			}
+		}
+	}
+	for {
+		row, ok, err := j.build.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := j.life.holdRow(row); err != nil {
+			return err
+		}
+		for c := 0; c < j.rw; c++ {
+			j.bcols[c] = append(j.bcols[c], row[c])
+		}
+	}
+}
+
+// buildTable indexes the drained build keys. Packed key domains get
+// direct addressing instead of a map (same span rule as
+// buildHashView); when every key is also unique — the key/foreign-key
+// shape — the bucket table collapses further, to a flat row-number
+// array: one int32 load per probe. Only an unpacked domain pays for
+// map construction at all.
+func (j *vecHashJoin) buildTable() {
+	j.table, j.dense, j.flat, j.min = nil, nil, nil, 0
+	keys := j.bcols[j.rkey]
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	min, max := keys[0], keys[0]
+	for _, k := range keys {
+		if k < min {
+			min = k
+		}
+		if k > max {
+			max = k
+		}
+	}
+	if span := max - min + 1; span > 0 && span <= int64(4*n+16) {
+		j.min = min
+		// Slots hold build row + 1 so the zero value a fresh slice
+		// comes with already means "empty" — no initialization pass.
+		flat := make([]int32, span)
+		unique := true
+		for i, k := range keys {
+			if flat[k-min] != 0 {
+				unique = false
+				break
+			}
+			flat[k-min] = int32(i) + 1
+		}
+		if unique {
+			j.flat = flat
+			return
+		}
+		j.dense = make([][]int32, span)
+		for i, k := range keys {
+			j.dense[k-min] = append(j.dense[k-min], int32(i))
+		}
+		return
+	}
+	j.table = make(map[int64][]int32, n)
+	for i, k := range keys {
+		j.table[k] = append(j.table[k], int32(i))
+	}
+}
+
+func (j *vecHashJoin) lookup(k int64) []int32 {
+	if j.dense != nil {
+		if d := k - j.min; d >= 0 && d < int64(len(j.dense)) {
+			return j.dense[d]
+		}
+		return nil
+	}
+	return j.table[k]
+}
+
+// fillMatches runs the probe's first phase: the match list — (probe
+// position, build row) pairs in j.lsrc/j.bsrc — is collected with no
+// data movement. The list never outlives the input batch it indexes
+// (the loop flushes before pulling the next input), so the emission
+// sequence is exactly the row HashJoin's. Returns the list length, 0
+// at end of stream.
+func (j *vecHashJoin) fillMatches() (int, error) {
+	lsrc, bsrc := j.lsrc[:0], j.bsrc[:0]
+	for len(lsrc) < j.size {
+		if j.mPos < len(j.matches) {
+			li := int32(j.curRow)
+			lim := j.mPos + (j.size - len(lsrc))
+			if lim > len(j.matches) {
+				lim = len(j.matches)
+			}
+			for _, bi := range j.matches[j.mPos:lim] {
+				lsrc = append(lsrc, li)
+				bsrc = append(bsrc, bi)
+			}
+			j.mPos = lim
+			continue
+		}
+		if j.inPos >= j.in.N {
+			if len(lsrc) > 0 {
+				// The match list indexes the current input batch, which
+				// the next NextBatch call would invalidate: flush now.
+				break
+			}
+			if j.inDone {
+				break
+			}
+			ok, err := j.left.NextBatch(&j.in)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				j.inDone = true
+				j.in.N, j.inPos = 0, 0
+				break
+			}
+			j.inPos = 0
+			continue
+		}
+		if j.flat != nil {
+			// Unique packed keys: the whole window probes in one tight
+			// loop. The unsigned compare folds both domain bounds into a
+			// single (well-predicted) test; the miss/hit decision itself
+			// is branchless — matches are stored unconditionally and the
+			// cursor advances by the comparison bit, so random miss
+			// patterns cost no mispredictions.
+			keys, flat, min := j.in.Cols[j.lkey], j.flat, j.min
+			lim := j.in.N
+			if room := j.inPos + (j.size - len(lsrc)); room < lim {
+				lim = room
+			}
+			k := len(lsrc)
+			ls, bs := lsrc[:cap(lsrc)], bsrc[:cap(bsrc)]
+			if j.in.Sel == nil {
+				for li := j.inPos; li < lim; li++ {
+					if d := keys[li] - min; uint64(d) < uint64(len(flat)) {
+						bi := flat[d]
+						ls[k] = int32(li)
+						bs[k] = bi - 1
+						k += int(uint32(-bi) >> 31)
+					}
+				}
+			} else {
+				for _, li := range j.in.Sel[j.inPos:lim] {
+					if d := keys[li] - min; uint64(d) < uint64(len(flat)) {
+						bi := flat[d]
+						ls[k] = li
+						bs[k] = bi - 1
+						k += int(uint32(-bi) >> 31)
+					}
+				}
+			}
+			lsrc, bsrc = ls[:k], bs[:k]
+			j.inPos = lim
+			continue
+		}
+		i := j.inPos
+		j.inPos++
+		li := i
+		if j.in.Sel != nil {
+			li = int(j.in.Sel[i])
+		}
+		j.matches = j.lookup(j.in.Cols[j.lkey][li])
+		j.mPos, j.curRow = 0, li
+	}
+	j.lsrc, j.bsrc = lsrc, bsrc
+	return len(lsrc), nil
+}
+
+// NextBatch materializes the current match list column-at-a-time: one
+// tight gather loop per output column. Dense output (no selection
+// vector) measured faster than emitting Sel=lsrc with zero-copy probe
+// columns: the reused buffer stays cache-resident across batches, and
+// dense gathers beat the scattered stores a Sel-aligned layout needs.
+func (j *vecHashJoin) NextBatch(b *Batch) (bool, error) {
+	n, err := j.fillMatches()
+	if err != nil || n == 0 {
+		return false, err
+	}
+	w := j.lw + j.rw
+	if j.buf == nil {
+		j.out = make([]int64, w*j.size)
+		j.buf = make([][]int64, w)
+		for c := range j.buf {
+			j.buf[c] = j.out[c*j.size : (c+1)*j.size : (c+1)*j.size]
+		}
+	}
+	if b.Cols == nil || len(b.Cols) != w {
+		b.Cols = make([][]int64, w)
+	}
+	for c := 0; c < j.lw; c++ {
+		src, dst := j.in.Cols[c], j.buf[c][:n]
+		for i, s := range j.lsrc {
+			dst[i] = src[s]
+		}
+	}
+	for c := 0; c < j.rw; c++ {
+		src, dst := j.bcols[c], j.buf[j.lw+c][:n]
+		for i, s := range j.bsrc {
+			dst[i] = src[s]
+		}
+	}
+	for c := range j.buf {
+		b.Cols[c] = j.buf[c][:n]
+	}
+	b.Sel, b.N = nil, n
+	return true, nil
+}
+
+func (j *vecHashJoin) Close() error {
+	err := j.left.Close()
+	if !j.buildClosed {
+		if cerr := j.build.Close(); err == nil {
+			err = cerr
+		}
+		j.buildClosed = true
+	}
+	return err
+}
+
+// vecGroupHash is hash grouping over a vectorized input: the child is
+// drained at the first NextBatch into per-group key columns and
+// accumulator columns keyed by a packed tupleKey (vecable caps key
+// width at tupleKeyWidth), then groups are emitted batch-at-a-time in
+// insertion order — the same order and aggregate semantics (shared
+// count, AVG as truncating integer division) as the row GroupHash.
+type vecGroupHash struct {
+	in    VecIterator
+	keys  []int
+	specs []AggSpec
+	life  *Life
+	size  int
+	width int // input width: the row operator holds one full row per group
+
+	groups  map[tupleKey]int32
+	keyCols [][]int64
+	counts  []int64
+	accs    [][]int64
+	drained bool
+	pos     int
+	b       Batch
+	buf     [][]int64
+	out     []int64
+}
+
+func (g *vecGroupHash) Open() error {
+	g.drained, g.pos = false, 0
+	g.groups = make(map[tupleKey]int32)
+	g.keyCols = make([][]int64, len(g.keys))
+	g.counts = nil
+	g.accs = make([][]int64, len(g.specs))
+	return g.in.Open()
+}
+
+func (g *vecGroupHash) drain() error {
+	for {
+		ok, err := g.in.NextBatch(&g.b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		b := &g.b
+		for i := 0; i < b.N; i++ {
+			li := b.Row(i)
+			var k tupleKey
+			k.n = uint8(len(g.keys))
+			for ki, c := range g.keys {
+				k.v[ki] = b.Cols[c][li]
+			}
+			gi, seen := g.groups[k]
+			if !seen {
+				if err := g.life.hold(1, int64(g.width)*8+rowOverheadBytes); err != nil {
+					return err
+				}
+				gi = int32(len(g.counts))
+				g.groups[k] = gi
+				for ki := range g.keys {
+					g.keyCols[ki] = append(g.keyCols[ki], k.v[ki])
+				}
+				g.counts = append(g.counts, 1)
+				for si, s := range g.specs {
+					v := int64(0)
+					if s.Fn != AggCount {
+						v = b.Cols[s.Col][li]
+					}
+					g.accs[si] = append(g.accs[si], v)
+				}
+				continue
+			}
+			g.counts[gi]++
+			for si, s := range g.specs {
+				switch s.Fn {
+				case AggSum, AggAvg:
+					g.accs[si][gi] += b.Cols[s.Col][li]
+				case AggMin:
+					if v := b.Cols[s.Col][li]; v < g.accs[si][gi] {
+						g.accs[si][gi] = v
+					}
+				case AggMax:
+					if v := b.Cols[s.Col][li]; v > g.accs[si][gi] {
+						g.accs[si][gi] = v
+					}
+				}
+			}
+		}
+	}
+}
+
+func (g *vecGroupHash) NextBatch(b *Batch) (bool, error) {
+	if !g.drained {
+		if err := g.drain(); err != nil {
+			return false, err
+		}
+		g.drained = true
+		if g.buf == nil {
+			w := len(g.keys) + len(g.specs)
+			g.out = make([]int64, w*g.size)
+			g.buf = make([][]int64, w)
+			for c := range g.buf {
+				g.buf[c] = g.out[c*g.size : (c+1)*g.size : (c+1)*g.size]
+			}
+		}
+	}
+	n := len(g.counts) - g.pos
+	if n <= 0 {
+		return false, nil
+	}
+	if n > g.size {
+		n = g.size
+	}
+	lo := g.pos
+	for ki := range g.keys {
+		copy(g.buf[ki][:n], g.keyCols[ki][lo:lo+n])
+	}
+	for si, s := range g.specs {
+		dst := g.buf[len(g.keys)+si][:n]
+		switch s.Fn {
+		case AggCount:
+			copy(dst, g.counts[lo:lo+n])
+		case AggAvg:
+			for i := 0; i < n; i++ {
+				dst[i] = g.accs[si][lo+i] / g.counts[lo+i]
+			}
+		default:
+			copy(dst, g.accs[si][lo:lo+n])
+		}
+	}
+	g.pos += n
+	if b.Cols == nil || len(b.Cols) != len(g.buf) {
+		b.Cols = make([][]int64, len(g.buf))
+	}
+	for c := range g.buf {
+		b.Cols[c] = g.buf[c][:n]
+	}
+	b.Sel, b.N = nil, n
+	return true, nil
+}
+
+func (g *vecGroupHash) Close() error { return g.in.Close() }
+
+// vecStats counts (and optionally times) one vectorized operator: one
+// counter update and one deferred cancellation poll per batch — the
+// previous batch's rows tick the shared counter on the next call, so
+// the poll rate matches the row path's once per CancelCheckInterval
+// rows without per-row atomics.
+type vecStats struct {
+	in      VecIterator
+	st      *OpStats
+	life    *Life
+	timing  bool
+	pending int64
+}
+
+func (s *vecStats) Open() error {
+	s.pending = 0
+	if !s.timing {
+		return s.in.Open()
+	}
+	begin := time.Now()
+	err := s.in.Open()
+	s.st.TimeNs += time.Since(begin).Nanoseconds()
+	return err
+}
+
+func (s *vecStats) NextBatch(b *Batch) (bool, error) {
+	if err := s.life.stepN(s.pending + 1); err != nil {
+		return false, err
+	}
+	var begin time.Time
+	if s.timing {
+		begin = time.Now()
+	}
+	ok, err := s.in.NextBatch(b)
+	if s.timing {
+		s.st.TimeNs += time.Since(begin).Nanoseconds()
+	}
+	if !ok || err != nil {
+		s.pending = 0
+		return ok, err
+	}
+	s.st.Rows += int64(b.N)
+	s.st.Batches++
+	s.pending = int64(b.N)
+	return true, nil
+}
+
+func (s *vecStats) Close() error { return s.in.Close() }
+
+// vecRows adapts a vectorized subtree back to the row world: Next
+// carves one row per call from the pooled chunk allocator (rows outlive
+// the adapter, as the Iterator contract requires), and NextBatch hands
+// the current batch's live rows out wholesale so Collect and the
+// exchange operators keep their batch fast path.
+type vecRows struct {
+	in   VecIterator
+	w    int
+	hint int // planner cardinality estimate, for Collect presizing
+	b    Batch
+	i    int // next live ordinal of b
+	done bool
+
+	alloc rowAlloc
+	rows  []Row // NextBatch surface, reused per call
+}
+
+// SizeHint lets Collect presize its result buffer from the planner's
+// cardinality estimate.
+func (v *vecRows) SizeHint() int { return v.hint }
+
+func (v *vecRows) Open() error {
+	v.b, v.i, v.done = Batch{}, 0, false
+	return v.in.Open()
+}
+
+func (v *vecRows) fill() error {
+	for v.i >= v.b.N && !v.done {
+		ok, err := v.in.NextBatch(&v.b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			v.done = true
+			v.b.N = 0
+		}
+		v.i = 0
+	}
+	return nil
+}
+
+func (v *vecRows) row(i int) Row {
+	li := v.b.Row(i)
+	row := v.alloc.carve(v.w)
+	for c := 0; c < v.w; c++ {
+		row[c] = v.b.Cols[c][li]
+	}
+	return row
+}
+
+func (v *vecRows) Next() (Row, bool, error) {
+	if err := v.fill(); err != nil {
+		return nil, false, err
+	}
+	if v.i >= v.b.N {
+		return nil, false, nil
+	}
+	row := v.row(v.i)
+	v.i++
+	return row, true, nil
+}
+
+// NextBatch implements batchIterator: the remaining live rows of the
+// current vector batch, materialized. Valid until the next call. The
+// whole batch is carved as one slab — one allocator round-trip — and
+// a dense batch transposes without the per-row Sel resolution.
+func (v *vecRows) NextBatch() ([]Row, bool, error) {
+	if err := v.fill(); err != nil {
+		return nil, false, err
+	}
+	if v.i >= v.b.N {
+		return nil, false, nil
+	}
+	n := v.b.N - v.i
+	slab := v.alloc.carve(n * v.w)
+	out := v.rows[:0]
+	if v.b.Sel == nil {
+		base := v.i
+		for c := 0; c < v.w; c++ {
+			src := v.b.Cols[c][base : base+n]
+			for i, x := range src {
+				slab[i*v.w+c] = x
+			}
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, slab[i*v.w:(i+1)*v.w:(i+1)*v.w])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			li := int(v.b.Sel[v.i+i])
+			row := slab[i*v.w : (i+1)*v.w : (i+1)*v.w]
+			for c := 0; c < v.w; c++ {
+				row[c] = v.b.Cols[c][li]
+			}
+			out = append(out, row)
+		}
+	}
+	v.i = v.b.N
+	v.rows = out
+	return out, true, nil
+}
+
+func (v *vecRows) Close() error { return v.in.Close() }

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+)
+
+// ColTable is one table in struct-of-arrays layout: one []int64 per
+// column, all of length N. It is the primary storage of a Dataset —
+// the vectorized operators slice column vectors straight out of it —
+// while the row-at-a-time operators read it through a lazily
+// materialized (and cached) row view. A ColTable must not be mutated
+// after construction; the serving layer executes concurrent requests
+// against it.
+type ColTable struct {
+	// Cols holds the column vectors, aligned with the catalog's column
+	// order.
+	Cols [][]int64
+	// N is the row count (the length of every column).
+	N int
+
+	rowsOnce sync.Once
+	rows     []Row
+}
+
+// NewColTable transposes row-major rows (width columns) into columnar
+// layout. The input rows are not retained.
+func NewColTable(rows [][]int64, width int) *ColTable {
+	if len(rows) > 0 && width < len(rows[0]) {
+		width = len(rows[0])
+	}
+	t := &ColTable{N: len(rows), Cols: make([][]int64, width)}
+	// One slab for all columns: column c occupies slab[c*N : (c+1)*N].
+	slab := make([]int64, width*len(rows))
+	for c := 0; c < width; c++ {
+		col := slab[c*len(rows) : (c+1)*len(rows) : (c+1)*len(rows)]
+		for i, r := range rows {
+			col[i] = r[c]
+		}
+		t.Cols[c] = col
+	}
+	return t
+}
+
+// Width returns the column count.
+func (t *ColTable) Width() int { return len(t.Cols) }
+
+// RowView returns the table's rows in row-major layout, materialized
+// on first use and cached (the view is shared; callers must not
+// mutate it). Row operators — scans, brute-force validation — read
+// the table through this view.
+func (t *ColTable) RowView() []Row {
+	t.rowsOnce.Do(func() {
+		t.rows = t.materialize(nil)
+	})
+	return t.rows
+}
+
+// materialize builds row-major rows, in permutation order when perm
+// is non-nil.
+func (t *ColTable) materialize(perm []int32) []Row {
+	w := len(t.Cols)
+	n := t.N
+	if perm != nil {
+		n = len(perm)
+	}
+	rows := make([]Row, n)
+	slab := make([]int64, n*w)
+	for i := 0; i < n; i++ {
+		row := slab[i*w : (i+1)*w : (i+1)*w]
+		src := i
+		if perm != nil {
+			src = int(perm[i])
+		}
+		for c := 0; c < w; c++ {
+			row[c] = t.Cols[c][src]
+		}
+		rows[i] = Row(row)
+	}
+	return rows
+}
+
+// IndexView is one presorted view of a ColTable: a permutation vector
+// into the base table such that reading rows in perm order yields the
+// index ordering. Keeping a permutation instead of copied rows is what
+// makes index views cheap at millions of rows — 4 bytes per row
+// instead of a full row copy per index.
+type IndexView struct {
+	// Perm maps view position to base-table row number.
+	Perm []int32
+	// Keys are the index's key column positions (catalog order).
+	Keys []int
+	// Identity reports that Perm is the identity permutation — the base
+	// table already lies in index order (common for generation-ordered
+	// keys). Scans use it to skip the gather and read the table's
+	// columns zero-copy.
+	Identity bool
+
+	table    *ColTable
+	rowsOnce sync.Once
+	rows     []Row
+}
+
+// RowView returns the view's rows (base rows in index order),
+// materialized on first use and cached.
+func (v *IndexView) RowView() []Row {
+	v.rowsOnce.Do(func() {
+		v.rows = v.table.materialize(v.Perm)
+	})
+	return v.rows
+}
+
+// buildIndexView sorts a permutation of t stably by the key columns.
+func buildIndexView(t *ColTable, keys []int) *IndexView {
+	perm := make([]int32, t.N)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	stableSortPerm(perm, t.Cols, keys)
+	identity := true
+	for i, p := range perm {
+		if int(p) != i {
+			identity = false
+			break
+		}
+	}
+	return &IndexView{Perm: perm, Keys: keys, Identity: identity, table: t}
+}
+
+// stableSortPerm sorts perm so that the referenced rows are
+// non-decreasing lexicographically on the key columns; ties keep base
+// order (the stability BuildIndexes guaranteed when it copied rows).
+func stableSortPerm(perm []int32, cols [][]int64, keys []int) {
+	sort.Slice(perm, func(i, j int) bool {
+		a, b := perm[i], perm[j]
+		for _, k := range keys {
+			col := cols[k]
+			if col[a] != col[b] {
+				return col[a] < col[b]
+			}
+		}
+		return a < b // base position breaks ties: stable and deterministic
+	})
+}

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"orderopt/internal/catalog"
@@ -12,46 +11,57 @@ import (
 )
 
 // Dataset is one named, immutable in-memory database the executor can
-// run plans over: base rows per table plus presorted views per index
-// (so index scans stream in index order instead of sorting at Open).
-// Datasets must not be mutated after registration — the serving layer
-// executes concurrent requests against them.
+// run plans over. Storage is columnar (struct-of-arrays, one []int64
+// per column — see ColTable): the vectorized operators slice column
+// vectors straight out of it, the row operators read lazily cached row
+// views, and index orderings are kept as permutation vectors instead
+// of copied row sets. Datasets must not be mutated after registration —
+// the serving layer executes concurrent requests against them.
 type Dataset struct {
 	Name string
 	// Desc is a one-line description shown by the serving layer.
 	Desc string
-	// Rows maps table names to rows aligned with the catalog's column
-	// order.
-	Rows map[string][][]int64
-	// Indexed maps table name → index name → rows presorted in index
-	// order (built by BuildIndexes).
-	Indexed map[string]map[string][][]int64
+	// Tables maps table names to their columnar storage (columns aligned
+	// with the catalog's column order).
+	Tables map[string]*ColTable
+	// Views maps table name → index name → presorted permutation view
+	// (built by BuildIndexes).
+	Views map[string]map[string]*IndexView
 }
 
-// BuildIndexes materializes the presorted per-index views for every
-// table the catalog defines indexes on. Call it once, before the
-// dataset is shared.
+// NewDataset converts row-major generated data into a columnar
+// dataset. The input rows are transposed, not retained.
+func NewDataset(name, desc string, rows map[string][][]int64) *Dataset {
+	d := &Dataset{
+		Name:   name,
+		Desc:   desc,
+		Tables: make(map[string]*ColTable, len(rows)),
+	}
+	for table, raw := range rows {
+		d.Tables[table] = NewColTable(raw, 0)
+	}
+	return d
+}
+
+// BuildIndexes builds the presorted permutation views for every table
+// the catalog defines indexes on. Call it once, before the dataset is
+// shared.
 func (d *Dataset) BuildIndexes(cat *catalog.Catalog) {
-	d.Indexed = make(map[string]map[string][][]int64)
-	for name, rows := range d.Rows {
+	d.Views = make(map[string]map[string]*IndexView)
+	for name, ct := range d.Tables {
 		t, ok := cat.Table(name)
 		if !ok || len(t.Indexes) == 0 {
 			continue
 		}
-		byIndex := make(map[string][][]int64, len(t.Indexes))
+		byIndex := make(map[string]*IndexView, len(t.Indexes))
 		for _, ix := range t.Indexes {
 			keys := make([]int, len(ix.Columns))
 			for i, col := range ix.Columns {
 				keys[i] = t.ColumnIndex(col)
 			}
-			sorted := make([][]int64, len(rows))
-			copy(sorted, rows)
-			sort.SliceStable(sorted, func(i, j int) bool {
-				return lessByKeys(Row(sorted[i]), Row(sorted[j]), keys)
-			})
-			byIndex[ix.Name] = sorted
+			byIndex[ix.Name] = buildIndexView(ct, keys)
 		}
-		d.Indexed[name] = byIndex
+		d.Views[name] = byIndex
 	}
 }
 
@@ -71,16 +81,18 @@ func (d *Dataset) ApplyStats(g *query.Graph) {
 			continue
 		}
 		seen[t] = true
-		rows, ok := d.Rows[t.Name]
+		ct, ok := d.Tables[t.Name]
 		if !ok {
 			continue
 		}
-		t.Rows = int64(len(rows))
-		distinct := make(map[int64]struct{}, len(rows))
+		t.Rows = int64(ct.N)
+		distinct := make(map[int64]struct{}, ct.N)
 		for c := range t.Columns {
 			clear(distinct)
-			for _, r := range rows {
-				distinct[r[c]] = struct{}{}
+			if c < len(ct.Cols) {
+				for _, v := range ct.Cols[c] {
+					distinct[v] = struct{}{}
+				}
 			}
 			n := int64(len(distinct))
 			if n < 1 {
@@ -94,15 +106,41 @@ func (d *Dataset) ApplyStats(g *query.Graph) {
 // TotalRows sums the base-table row counts.
 func (d *Dataset) TotalRows() int64 {
 	var n int64
-	for _, rows := range d.Rows {
-		n += int64(len(rows))
+	for _, ct := range d.Tables {
+		n += int64(ct.N)
 	}
 	return n
 }
 
+// TableRows returns the row-major view of one table (nil when the
+// table does not exist) — the brute-force reference evaluator and
+// tests read datasets through it.
+func (d *Dataset) TableRows(name string) []Row {
+	ct, ok := d.Tables[name]
+	if !ok {
+		return nil
+	}
+	return ct.RowView()
+}
+
+// RawRows returns the dataset in the row-major map layout the
+// brute-force evaluator consumes.
+func (d *Dataset) RawRows() map[string][][]int64 {
+	out := make(map[string][][]int64, len(d.Tables))
+	for name, ct := range d.Tables {
+		rows := ct.RowView()
+		raw := make([][]int64, len(rows))
+		for i, r := range rows {
+			raw[i] = r
+		}
+		out[name] = raw
+	}
+	return out
+}
+
 // Runner returns a Runner executing plans for a over this dataset.
 func (d *Dataset) Runner(a *query.Analysis) *Runner {
-	return &Runner{A: a, Data: d.Rows, Indexed: d.Indexed}
+	return &Runner{A: a, Dataset: d}
 }
 
 // Registry is a named set of datasets; the first registered one is the
@@ -154,7 +192,9 @@ func (r *Registry) Names() []string {
 // TPCRRegistry builds the standard TPC-R dataset registry: three
 // consistent synthetic databases (every foreign key resolves) at
 // increasing generator sizes, with all schema indexes presorted. The
-// default (first) dataset is the small one.
+// default (first) dataset is the small one. The million-row tpcr-xl
+// tier is deliberately not registered here — tier-1 tests iterate this
+// registry, and generating it takes seconds (see TPCRXL).
 func TPCRRegistry() *Registry {
 	cat := tpcr.Schema()
 	reg := NewRegistry()
@@ -166,26 +206,45 @@ func TPCRRegistry() *Registry {
 		{"tpcr-mid", tpcr.GenSpec{Parts: 800, Suppliers: 150, Customers: 500, Orders: 1200, LineItems: 8000, Seed: 2}},
 		{"tpcr-large", tpcr.GenSpec{Parts: 3000, Suppliers: 500, Customers: 2000, Orders: 6000, LineItems: 40000, Seed: 3}},
 	} {
-		d := &Dataset{
-			Name: size.name,
-			Desc: fmt.Sprintf("synthetic TPC-R: %d orders, %d lineitems", size.spec.Orders, size.spec.LineItems),
-			Rows: tpcr.Generate(size.spec),
-		}
+		d := NewDataset(size.name,
+			fmt.Sprintf("synthetic TPC-R: %d orders, %d lineitems", size.spec.Orders, size.spec.LineItems),
+			tpcr.Generate(size.spec))
 		d.BuildIndexes(cat)
 		reg.Register(d)
 	}
 	return reg
 }
 
+var (
+	tpcrXLOnce sync.Once
+	tpcrXL     *Dataset
+)
+
+// TPCRXL builds (once; generation and index presorting take seconds at
+// this scale) and returns the tpcr-xl dataset: ≥1M lineitems, the
+// scale where vectorization and spilling dominate (see
+// tpcr.XLGenSpec). Benchmarks and experiments opt into it explicitly;
+// it is excluded from TPCRRegistry so the default test registry stays
+// fast.
+func TPCRXL() *Dataset {
+	tpcrXLOnce.Do(func() {
+		spec := tpcr.XLGenSpec()
+		d := NewDataset("tpcr-xl",
+			fmt.Sprintf("synthetic TPC-R: %d orders, %d lineitems", spec.Orders, spec.LineItems),
+			tpcr.Generate(spec))
+		d.BuildIndexes(tpcr.Schema())
+		tpcrXL = d
+	})
+	return tpcrXL
+}
+
 // QuerygenDataset generates seeded synthetic data for a querygen
 // graph's schema (uniform small-domain values — see
 // querygen.GenerateData) and presorts its index views.
 func QuerygenDataset(name string, cat *catalog.Catalog, g *query.Graph, rowsPerTable int, seed int64) *Dataset {
-	d := &Dataset{
-		Name: name,
-		Desc: fmt.Sprintf("querygen synthetic: %d tables × %d rows, seed %d", len(g.Relations), rowsPerTable, seed),
-		Rows: querygen.GenerateData(g, rowsPerTable, seed),
-	}
+	d := NewDataset(name,
+		fmt.Sprintf("querygen synthetic: %d tables × %d rows, seed %d", len(g.Relations), rowsPerTable, seed),
+		querygen.GenerateData(g, rowsPerTable, seed))
 	d.BuildIndexes(cat)
 	return d
 }

@@ -29,27 +29,36 @@ func TestTPCRRegistry(t *testing.T) {
 		if ds.TotalRows() == 0 {
 			t.Fatalf("%s is empty", name)
 		}
-		// Every index view exists, holds all rows, and is sorted on the
-		// index columns.
-		for table, byIndex := range ds.Indexed {
+		// Every index view exists, holds all rows (as a permutation of
+		// the base table), and is sorted on the index columns.
+		for table, byIndex := range ds.Views {
 			ct, ok := cat.Table(table)
 			if !ok {
 				t.Fatalf("%s: indexed view for unknown table %s", name, table)
 			}
+			base := ds.Tables[table]
 			for _, ix := range ct.Indexes {
-				sorted, ok := byIndex[ix.Name]
+				view, ok := byIndex[ix.Name]
 				if !ok {
 					t.Fatalf("%s: missing index view %s.%s", name, table, ix.Name)
 				}
-				if len(sorted) != len(ds.Rows[table]) {
+				if len(view.Perm) != base.N {
 					t.Fatalf("%s: index view %s.%s has %d rows, table %d",
-						name, table, ix.Name, len(sorted), len(ds.Rows[table]))
+						name, table, ix.Name, len(view.Perm), base.N)
+				}
+				seen := make(map[int32]bool, len(view.Perm))
+				for _, p := range view.Perm {
+					if p < 0 || int(p) >= base.N || seen[p] {
+						t.Fatalf("%s: index view %s.%s is not a permutation", name, table, ix.Name)
+					}
+					seen[p] = true
 				}
 				keys := make([]int, len(ix.Columns))
 				for i, col := range ix.Columns {
 					keys[i] = ct.ColumnIndex(col)
 				}
-				if !SatisfiesOrdering(asRows(sorted), keys) {
+				rows := view.RowView()
+				if len(rows) != base.N || !SatisfiesOrdering(rows, keys) {
 					t.Fatalf("%s: index view %s.%s not sorted", name, table, ix.Name)
 				}
 			}
@@ -74,12 +83,72 @@ func TestApplyStats(t *testing.T) {
 	if lineitem == nil {
 		t.Fatal("no lineitem relation")
 	}
-	if got := lineitem.Table.Rows; got != int64(len(ds.Rows["lineitem"])) {
-		t.Fatalf("lineitem rows = %d, want %d", got, len(ds.Rows["lineitem"]))
+	if got := lineitem.Table.Rows; got != int64(ds.Tables["lineitem"].N) {
+		t.Fatalf("lineitem rows = %d, want %d", got, ds.Tables["lineitem"].N)
 	}
 	for _, c := range lineitem.Table.Columns {
 		if c.Distinct < 1 || c.Distinct > lineitem.Table.Rows {
 			t.Fatalf("restated distinct out of range: %+v", c)
 		}
+	}
+}
+
+// TestColTableRoundTrip pins the columnar transposition: row-major in,
+// struct-of-arrays storage, identical row-major view back out — and
+// RawRows reproduces the generator's map exactly.
+func TestColTableRoundTrip(t *testing.T) {
+	raw := [][]int64{{1, 10, 100}, {2, 20, 200}, {3, 30, 300}}
+	ct := NewColTable(raw, 0)
+	if ct.N != 3 || ct.Width() != 3 {
+		t.Fatalf("shape = %dx%d", ct.N, ct.Width())
+	}
+	if ct.Cols[1][2] != 30 {
+		t.Fatalf("cols[1][2] = %d", ct.Cols[1][2])
+	}
+	view := ct.RowView()
+	for i, r := range raw {
+		for c, v := range r {
+			if view[i][c] != v {
+				t.Fatalf("view[%d][%d] = %d, want %d", i, c, view[i][c], v)
+			}
+		}
+	}
+	ds := NewDataset("rt", "round trip", map[string][][]int64{"t": raw})
+	got := ds.RawRows()["t"]
+	if len(got) != len(raw) {
+		t.Fatalf("raw rows = %d", len(got))
+	}
+	for i := range raw {
+		for c := range raw[i] {
+			if got[i][c] != raw[i][c] {
+				t.Fatalf("raw[%d][%d] = %d, want %d", i, c, got[i][c], raw[i][c])
+			}
+		}
+	}
+	if rows := ds.TableRows("t"); len(rows) != 3 || rows[2][0] != 3 {
+		t.Fatalf("TableRows = %v", rows)
+	}
+	if ds.TableRows("missing") != nil {
+		t.Fatal("missing table must return nil")
+	}
+	// Empty tables keep a well-defined width-0 shape.
+	empty := NewColTable(nil, 0)
+	if empty.N != 0 || len(empty.RowView()) != 0 {
+		t.Fatalf("empty table: N=%d", empty.N)
+	}
+}
+
+// TestGenSpecScale pins the scale-factor knob and the XL spec floor.
+func TestGenSpecScale(t *testing.T) {
+	s := tpcr.DefaultGenSpec().Scale(2)
+	if s.LineItems != 400 || s.Orders != 120 {
+		t.Fatalf("scaled spec = %+v", s)
+	}
+	tiny := tpcr.DefaultGenSpec().Scale(0.001)
+	if tiny.Parts < 1 || tiny.LineItems < 1 {
+		t.Fatalf("scale floor violated: %+v", tiny)
+	}
+	if xl := tpcr.XLGenSpec(); xl.LineItems < 1000000 {
+		t.Fatalf("tpcr-xl must have ≥1M lineitems, got %d", xl.LineItems)
 	}
 }

@@ -1,0 +1,243 @@
+package exec
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orderopt/internal/optimizer"
+	"orderopt/internal/query"
+	"orderopt/internal/tpcr"
+)
+
+// extsortInput builds a shuffled input with duplicate keys and
+// distinct payloads, so stability is observable: equal-key rows must
+// come out in input order.
+func extsortInput(n int) []Row {
+	rng := rand.New(rand.NewSource(11))
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{int64(rng.Intn(n / 8)), int64(i)}
+	}
+	return rows
+}
+
+func countSpillFiles(t *testing.T, dir string) int {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "extsort-*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(names)
+}
+
+// TestExtSortSpillsAndMatchesSort pins the external sort against the
+// in-memory Sort on the same input: identical output (both are stable,
+// so duplicate keys pin the merge's run-order tie-break), multiple
+// runs actually spilled, and every spill file removed on Close.
+func TestExtSortSpillsAndMatchesSort(t *testing.T) {
+	rows := extsortInput(2000)
+	want, err := Collect(&Sort{In: NewScan(rows), Keys: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st := &OpStats{}
+	es := &ExtSort{In: NewScan(rows), Keys: []int{0},
+		MaxRunBytes: 4096, Dir: dir, St: st}
+	got, err := Collect(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsEqual(got, want) {
+		t.Fatalf("external sort (%d rows) differs from Sort (%d rows)", len(got), len(want))
+	}
+	if st.SpillRuns < 2 {
+		t.Fatalf("spill runs = %d, want several at a 4KiB run bound", st.SpillRuns)
+	}
+	if st.SpilledBytes <= 0 {
+		t.Fatalf("spilled bytes = %d", st.SpilledBytes)
+	}
+	if n := countSpillFiles(t, dir); n != 0 {
+		t.Fatalf("%d spill files left after Close", n)
+	}
+}
+
+// TestExtSortNoSpill: input under the run bound stays in memory — no
+// files, no spill counters, same output.
+func TestExtSortNoSpill(t *testing.T) {
+	rows := extsortInput(64)
+	want, err := Collect(&Sort{In: NewScan(rows), Keys: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st := &OpStats{}
+	got, err := Collect(&ExtSort{In: NewScan(rows), Keys: []int{0},
+		MaxRunBytes: 1 << 20, Dir: dir, St: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsEqual(got, want) {
+		t.Fatal("in-memory external sort differs from Sort")
+	}
+	if st.SpillRuns != 0 || st.SpilledBytes != 0 {
+		t.Fatalf("unexpected spill: runs=%d bytes=%d", st.SpillRuns, st.SpilledBytes)
+	}
+}
+
+// TestExtSortBudgetDrivenFlush: no run-size bound, a byte budget that
+// cannot hold the whole input — the budget's push-back must trigger
+// the flushes, and the sort must complete where the in-memory Sort
+// would have failed.
+func TestExtSortBudgetDrivenFlush(t *testing.T) {
+	rows := extsortInput(2000)
+	budget := Budget{MaxBytes: 1 << 13} // ~8KiB: a fraction of the input
+	p := &Pipeline{Life: &Life{budget: budget}}
+	if _, err := Collect(&Sort{In: NewScan(rows), Keys: []int{0}, Life: p.Life}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("in-memory sort under the same budget: %v, want budget exceeded", err)
+	}
+	p = &Pipeline{Life: &Life{budget: budget}}
+	dir := t.TempDir()
+	st := &OpStats{}
+	got, err := Collect(&ExtSort{In: NewScan(rows), Keys: []int{0},
+		Life: p.Life, Dir: dir, St: st})
+	if err != nil {
+		t.Fatalf("external sort under budget: %v", err)
+	}
+	want, _ := Collect(&Sort{In: NewScan(rows), Keys: []int{0}})
+	if !rowsEqual(got, want) {
+		t.Fatal("budget-flushed external sort differs from Sort")
+	}
+	if st.SpillRuns == 0 {
+		t.Fatal("budget never pushed back — no spill happened")
+	}
+	if n := countSpillFiles(t, dir); n != 0 {
+		t.Fatalf("%d spill files left after Close", n)
+	}
+}
+
+// TestExtSortBudgetTooSmall: when not even one row fits the budget,
+// the sort must fail with ErrBudgetExceeded — there is nothing to
+// flush.
+func TestExtSortBudgetTooSmall(t *testing.T) {
+	p := &Pipeline{Life: &Life{budget: Budget{MaxBytes: 8}}}
+	dir := t.TempDir()
+	_, err := Collect(&ExtSort{In: NewScan(extsortInput(64)), Keys: []int{0},
+		Life: p.Life, Dir: dir})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want budget exceeded", err)
+	}
+	if n := countSpillFiles(t, dir); n != 0 {
+		t.Fatalf("%d spill files left after failed open", n)
+	}
+}
+
+// TestExtSortDuplicateKeysAcrossRuns forces every run to hold copies
+// of the same keys, so the k-way merge's tie-break (run generation
+// order) carries the whole ordering.
+func TestExtSortDuplicateKeysAcrossRuns(t *testing.T) {
+	var rows []Row
+	for rep := 0; rep < 50; rep++ {
+		for k := int64(0); k < 10; k++ {
+			rows = append(rows, Row{k, int64(len(rows))})
+		}
+	}
+	st := &OpStats{}
+	dir := t.TempDir()
+	got, err := Collect(&ExtSort{In: NewScan(rows), Keys: []int{0},
+		MaxRunBytes: 1024, Dir: dir, St: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpillRuns < 2 {
+		t.Fatalf("spill runs = %d, want several", st.SpillRuns)
+	}
+	// Stable: within one key, payloads (insertion positions) ascend.
+	var prevKey, prevPos int64 = -1, -1
+	for _, r := range got {
+		if r[0] < prevKey {
+			t.Fatalf("unsorted output at %v", r)
+		}
+		if r[0] != prevKey {
+			prevKey, prevPos = r[0], -1
+		}
+		if r[1] <= prevPos {
+			t.Fatalf("stability violated: key %d pos %d after %d", r[0], r[1], prevPos)
+		}
+		prevPos = r[1]
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+}
+
+// TestRunnerCompilesExtSort: SpillBytes on the runner turns every Sort
+// in a compiled plan into an external sort; the plan result is
+// unchanged, the sort's OpStats reports the runs, RowsSorted still
+// counts the sorted stream, and the spill dir drains on Close.
+func TestRunnerCompilesExtSort(t *testing.T) {
+	reg := TPCRRegistry()
+	ds, _ := reg.Get("tpcr-small")
+	// Plan order-obliviously (no index orders, no merge joins): the
+	// hash-everything plan must carry a top Sort — the shape that
+	// spills at scale.
+	_, g, err := tpcr.OrderStreamGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.ApplyStats(g)
+	a, err := query.Analyze(g, query.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := optimizer.DefaultConfig(optimizer.ModeDFSM)
+	cfg.DisableMergeJoin = true
+	res, err := optimizer.Optimize(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	row := ds.Runner(a)
+	want, _, err := row.Run(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	spill := ds.Runner(a)
+	spill.SpillBytes, spill.SpillDir = 2048, dir
+	p, err := spill.Compile(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsEqual(got, want) {
+		t.Fatal("spilling plan differs from in-memory plan")
+	}
+	runs, bytes := p.SpillStats()
+	if runs == 0 || bytes == 0 {
+		t.Fatalf("spill stats = %d runs / %d bytes, want spills at a 2KiB bound", runs, bytes)
+	}
+	if p.RowsSorted() == 0 {
+		t.Fatal("external sort no longer counts as a Sort in rows-sorted accounting")
+	}
+	if n := countSpillFiles(t, dir); n != 0 {
+		t.Fatalf("%d spill files left after execution", n)
+	}
+}
+
+// TestExtSortEmptyInput: zero rows, zero runs, zero output.
+func TestExtSortEmptyInput(t *testing.T) {
+	got, err := Collect(&ExtSort{In: NewScan(nil), Keys: []int{0}, MaxRunBytes: 1})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: rows=%d err=%v", len(got), err)
+	}
+	if _, err := os.Stat(os.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,14 +23,19 @@ var AggColumn = query.ColumnRef{Rel: -1, Col: 0}
 // backend behind the serving layer's /execute endpoint.
 type Runner struct {
 	A *query.Analysis
-	// Data maps table names to rows (values aligned with the catalog's
-	// column order).
+	// Dataset, when set, is the columnar data source (the normal case —
+	// Dataset.Runner sets it): row operators read its cached row views,
+	// vectorized operators slice its column vectors directly.
+	Dataset *Dataset
+	// Data maps table names to row-major rows (values aligned with the
+	// catalog's column order) — the hand-rolled-fixture alternative to
+	// Dataset, used by tests that construct runners directly.
 	Data map[string][][]int64
 	// Indexed optionally maps table name → index name → rows presorted
-	// in index order (see Dataset). When present, index scans stream the
-	// presorted rows instead of sorting at Open — the executor-level
-	// equivalent of an index existing — which is what makes runtime sort
-	// avoidance measurable.
+	// in index order (pairs with Data). When a presorted view exists —
+	// here or on the Dataset — index scans stream it instead of sorting
+	// at Open: the executor-level equivalent of an index existing, which
+	// is what makes runtime sort avoidance measurable.
 	Indexed map[string]map[string][][]int64
 	// DisableTiming turns off per-operator wall-clock accounting (row
 	// counters remain). The benchmark harness disables it so operator
@@ -51,6 +56,22 @@ type Runner struct {
 	// in a compiled plan below what the optimizer planned — the
 	// per-request maxDOP clamp of the serving layer.
 	MaxDOP int
+	// Vectorize compiles batch-at-a-time (vector) pipelines for the plan
+	// subtrees the vectorized operators cover (see batch.go); everything
+	// else falls back to the row path through an adapter. Off by
+	// default; incompatible with Hook (fault injection needs the per-row
+	// seam), which silently wins.
+	Vectorize bool
+	// BatchSize is the vector width of the batch path (0 means
+	// DefaultBatchSize).
+	BatchSize int
+	// SpillBytes, when > 0, compiles every Sort as a spilling external
+	// sort (see ExtSort): in-memory runs are bounded by this many bytes
+	// (and by the query budget), spilled to disk and k-way merged.
+	SpillBytes int64
+	// SpillDir is where external sorts place their run files ("" means
+	// the OS temp directory).
+	SpillDir string
 
 	equiv map[query.ColumnRef]int // lazily built column equivalence classes
 
@@ -70,6 +91,9 @@ type Runner struct {
 	// contents follow the scan's stream order, so fused probes emit the
 	// exact serial match sequence.
 	hashViews map[string]*hashView
+	// colTables caches columnar transpositions of the row-major Data
+	// fixture (runners over a Dataset use its tables directly).
+	colTables map[string]*ColTable
 }
 
 // hashView is one cached build table. table is always populated (the
@@ -137,8 +161,17 @@ func (r *Runner) sortedIndexView(table, index string, raw []Row, keys []int) []R
 	return rows
 }
 
-// dataRows returns the cached []Row view of a table's raw rows.
+// dataRows returns the []Row view of a table's rows: the dataset's
+// cached view, or a per-runner cached conversion of the row-major Data
+// fixture.
 func (r *Runner) dataRows(name string) ([]Row, bool) {
+	if r.Dataset != nil {
+		ct, ok := r.Dataset.Tables[name]
+		if !ok {
+			return nil, false
+		}
+		return ct.RowView(), true
+	}
 	if rows, ok := r.rowViews[name]; ok {
 		return rows, true
 	}
@@ -154,9 +187,16 @@ func (r *Runner) dataRows(name string) ([]Row, bool) {
 	return rows, true
 }
 
-// indexRows returns the cached []Row view of a maintained index's
-// presorted rows, when the dataset maintains one.
+// indexRows returns the []Row view of a maintained index's presorted
+// rows, when the dataset maintains one.
 func (r *Runner) indexRows(table, index string) ([]Row, bool) {
+	if r.Dataset != nil {
+		v := r.Dataset.Views[table][index]
+		if v == nil {
+			return nil, false
+		}
+		return v.RowView(), true
+	}
 	if rows, ok := r.idxViews[table][index]; ok {
 		return rows, true
 	}
@@ -175,6 +215,41 @@ func (r *Runner) indexRows(table, index string) ([]Row, bool) {
 	rows := asRows(sorted)
 	m[index] = rows
 	return rows, true
+}
+
+// colTable returns the columnar storage of a table: the dataset's, or
+// a per-runner cached transposition of the Data fixture (so vectorized
+// execution also works over hand-rolled test data).
+func (r *Runner) colTable(name string) (*ColTable, bool) {
+	if r.Dataset != nil {
+		ct, ok := r.Dataset.Tables[name]
+		return ct, ok
+	}
+	if ct, ok := r.colTables[name]; ok {
+		return ct, true
+	}
+	raw, ok := r.Data[name]
+	if !ok {
+		return nil, false
+	}
+	if r.colTables == nil {
+		r.colTables = make(map[string]*ColTable)
+	}
+	ct := NewColTable(raw, 0)
+	r.colTables[name] = ct
+	return ct, true
+}
+
+// indexView returns the maintained permutation view of an index, when
+// the dataset keeps one (the vectorized index-scan source). Fixture
+// runners (Data/Indexed) have no permutation vectors; their index
+// scans stay on the row path.
+func (r *Runner) indexView(table, index string) (*IndexView, bool) {
+	if r.Dataset == nil {
+		return nil, false
+	}
+	v := r.Dataset.Views[table][index]
+	return v, v != nil
 }
 
 // IterHook rewrites one compiled operator. op and detail match the
@@ -210,6 +285,14 @@ type OpStats struct {
 	// legitimately stop far short of it once the limit quiesces the
 	// pipeline. Without the marker that gap reads as a misestimate.
 	Limited bool `json:"limited,omitempty"`
+	// Batches counts the vector batches a vectorized operator emitted
+	// (0 for row operators).
+	Batches int64 `json:"batches,omitempty"`
+	// SpillRuns/SpilledBytes report an external sort's disk activity:
+	// how many sorted runs it flushed and their total size (0 when the
+	// sort stayed in memory or the operator isn't a sort).
+	SpillRuns    int64 `json:"spillRuns,omitempty"`
+	SpilledBytes int64 `json:"spilledBytes,omitempty"`
 }
 
 // Pipeline is a compiled plan: the operator tree plus its output schema
@@ -262,6 +345,17 @@ func (p *Pipeline) RowsSorted() int64 {
 		}
 	}
 	return n
+}
+
+// SpillStats sums the external sorts' disk activity across the
+// pipeline: spilled runs and spilled bytes (0/0 when every sort stayed
+// in memory).
+func (p *Pipeline) SpillStats() (runs, bytes int64) {
+	for _, op := range p.Ops {
+		runs += op.SpillRuns
+		bytes += op.SpilledBytes
+	}
+	return runs, bytes
 }
 
 // statsIter counts (and optionally times) one operator, and is where
@@ -363,13 +457,209 @@ func (r *Runner) Run(n *plan.Node) ([]Row, []query.ColumnRef, error) {
 // only carries as an equated twin (or grouping by one) works.
 func (r *Runner) Compile(n *plan.Node) (*Pipeline, error) {
 	p := &Pipeline{Life: &Life{budget: r.Budget, acct: r.Accountant}}
-	it, schema, err := r.build(n, p)
+	it, schema, ok, err := r.tryVec(n, p, true)
 	if err != nil {
 		return nil, err
+	}
+	if !ok {
+		it, schema, err = r.build(n, p)
+		if err != nil {
+			return nil, err
+		}
 	}
 	p.Root = it
 	p.Schema = schema
 	return p, nil
+}
+
+// tryVec compiles the subtree at n vectorized (behind a vecRows
+// adapter) when the runner vectorizes, the batch operators cover the
+// subtree, and batching pays for the adapter copy at the seam: a hash
+// probe or hash grouping anywhere in the subtree, or — at the pipeline
+// root only — a scan with constant predicates to fold into a selection
+// vector. Fault hooks need the per-row seam, so a hooked runner never
+// vectorizes.
+func (r *Runner) tryVec(n *plan.Node, p *Pipeline, root bool) (Iterator, []query.ColumnRef, bool, error) {
+	if !r.Vectorize || r.Hook != nil || !r.vecWins(n, root) || !r.vecable(n) {
+		return nil, nil, false, nil
+	}
+	v, schema, err := r.buildVec(n, p)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return &vecRows{in: v, w: len(schema), hint: int(n.Card)}, schema, true, nil
+}
+
+// vecWins reports whether vectorizing the subtree at n beats the row
+// path. Bare scans lose: the row path hands out zero-copy row views
+// while the adapter copies every value, so a scan only pays at the
+// root and only when constant predicates ride the vector path.
+func (r *Runner) vecWins(n *plan.Node, root bool) bool {
+	switch n.Op {
+	case plan.HashJoin, plan.GroupHash:
+		return true
+	case plan.TableScan, plan.IndexScan:
+		return root && len(r.A.Graph.Relations[n.Rel].ConstPreds) > 0
+	}
+	return false
+}
+
+// vecable reports whether the vectorized operator set covers the
+// subtree rooted at n (see batch.go).
+func (r *Runner) vecable(n *plan.Node) bool {
+	g := r.A.Graph
+	switch n.Op {
+	case plan.TableScan:
+		_, ok := r.colTable(g.Relations[n.Rel].Table.Name)
+		return ok
+	case plan.IndexScan:
+		// Only a maintained permutation view qualifies: fixture runners
+		// without one sort at Open on the row path, and that sort must
+		// keep showing up in rows-sorted accounting.
+		rel := &g.Relations[n.Rel]
+		_, ok := r.indexView(rel.Table.Name, rel.Table.Indexes[n.Index].Name)
+		return ok
+	case plan.HashJoin:
+		// The vectorized probe evaluates exactly one equality predicate
+		// and compiles no residual filter; multi-predicate joins stay on
+		// the row path.
+		return r.crossingPreds(n) == 1 && r.vecable(n.Left)
+	case plan.GroupHash:
+		return len(g.GroupBy) <= tupleKeyWidth && r.vecable(n.Left)
+	}
+	return false
+}
+
+// crossingPreds counts the equality predicates between a join's two
+// sides — the number resolveJoinPreds will resolve.
+func (r *Runner) crossingPreds(n *plan.Node) int {
+	g := r.A.Graph
+	cnt := 0
+	for _, e := range g.EdgesBetween(planRels(n.Left), planRels(n.Right)) {
+		cnt += len(g.Edges[e].Preds)
+	}
+	return cnt
+}
+
+// planRels is the relation bitmask of the scan leaves under n.
+func planRels(n *plan.Node) uint64 {
+	if n == nil {
+		return 0
+	}
+	var m uint64
+	if n.Op == plan.TableScan || n.Op == plan.IndexScan {
+		m |= 1 << uint(n.Rel)
+	}
+	return m | planRels(n.Left) | planRels(n.Right)
+}
+
+func (r *Runner) batchSize() int {
+	if r.BatchSize > 0 {
+		return r.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// wrapVec attaches the vectorized counter wrapper. No hook seam: a
+// hooked runner never reaches the batch path (tryVec guards).
+func (r *Runner) wrapVec(v VecIterator, st *OpStats, p *Pipeline) VecIterator {
+	return &vecStats{in: v, st: st, life: p.Life, timing: !r.DisableTiming}
+}
+
+// buildVec compiles a vecable subtree into batch operators, reporting
+// under the same OpStats preorder (and operator names) as the row
+// compiler, so EXPLAIN ANALYZE output keeps its shape either way.
+func (r *Runner) buildVec(n *plan.Node, p *Pipeline) (VecIterator, []query.ColumnRef, error) {
+	g := r.A.Graph
+	st := &OpStats{Op: n.Op.String(), EstRows: n.Card}
+	p.Ops = append(p.Ops, st)
+	size := r.batchSize()
+	switch n.Op {
+	case plan.TableScan, plan.IndexScan:
+		rel := &g.Relations[n.Rel]
+		st.Detail = rel.Alias
+		ct, ok := r.colTable(rel.Table.Name)
+		if !ok {
+			return nil, nil, fmt.Errorf("exec: no data for table %s", rel.Table.Name)
+		}
+		var perm []int32
+		if n.Op == plan.IndexScan {
+			ix := rel.Table.Indexes[n.Index]
+			st.Detail = rel.Alias + "/" + ix.Name
+			v, ok := r.indexView(rel.Table.Name, ix.Name)
+			if !ok {
+				return nil, nil, fmt.Errorf("exec: no maintained view for %s.%s", rel.Table.Name, ix.Name)
+			}
+			if !v.Identity {
+				// An identity view (base order == index order) scans the
+				// table's columns zero-copy; only a real permutation
+				// pays the gather.
+				perm = v.Perm
+			}
+		}
+		schema := make([]query.ColumnRef, len(rel.Table.Columns))
+		for c := range schema {
+			schema[c] = query.ColumnRef{Rel: n.Rel, Col: c}
+		}
+		sc := &vecScan{cols: ct.Cols, total: ct.N, perm: perm, preds: rel.ConstPreds, size: size}
+		return r.wrapVec(sc, st, p), schema, nil
+
+	case plan.HashJoin:
+		left, ls, err := r.buildVec(n.Left, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		var right Iterator
+		var rs []query.ColumnRef
+		if r.vecable(n.Right) {
+			// A bare scan loses behind the row adapter (vecWins), but as
+			// a build side it drains batch-at-a-time below — compile any
+			// vecable build vectorized regardless.
+			v, vrs, verr := r.buildVec(n.Right, p)
+			if verr != nil {
+				return nil, nil, verr
+			}
+			right, rs = &vecRows{in: v, w: len(vrs), hint: int(n.Right.Card)}, vrs
+		} else if right, rs, err = r.build(n.Right, p); err != nil {
+			return nil, nil, err
+		}
+		eqs, primary, detail, err := r.resolveJoinPreds(n, ls, rs)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Detail = detail
+		schema := append(append([]query.ColumnRef{}, ls...), rs...)
+		j := &vecHashJoin{
+			left: left, build: right,
+			lkey: eqs[primary].l, rkey: eqs[primary].r - len(ls),
+			lw: len(ls), rw: len(rs),
+			life: p.Life, size: size,
+			rcard: int(n.Right.Card),
+		}
+		// A build side that is itself a vectorized subtree behind the
+		// row adapter drains batch-at-a-time, skipping the adapter's
+		// per-row materialization.
+		if vr, ok := right.(*vecRows); ok {
+			j.vbuild = vr.in
+		}
+		return r.wrapVec(j, st, p), schema, nil
+
+	case plan.GroupHash:
+		in, schema, err := r.buildVec(n.Left, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys, aggs, outSchema, err := r.resolveGroup(schema, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		gh := &vecGroupHash{
+			in: in, keys: keys, specs: normalizeAggs(aggs, AggCount, 0),
+			life: p.Life, size: size, width: len(schema),
+		}
+		return r.wrapVec(gh, st, p), outSchema, nil
+	}
+	return nil, nil, fmt.Errorf("exec: operator %v not vectorized", n.Op)
 }
 
 // wrap attaches counters for node n around it and registers them on the
@@ -389,6 +679,13 @@ func (r *Runner) wrap(it Iterator, st *OpStats, p *Pipeline) Iterator {
 }
 
 func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, error) {
+	// A hash-heavy subtree under a row operator (sort, merge join,
+	// exchange, limit) still runs vectorized behind the adapter.
+	if it, schema, ok, err := r.tryVec(n, p, false); err != nil {
+		return nil, nil, err
+	} else if ok {
+		return it, schema, nil
+	}
 	g := r.A.Graph
 	st := &OpStats{Op: n.Op.String(), EstRows: n.Card}
 	p.Ops = append(p.Ops, st)
@@ -447,6 +744,11 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 			return nil, nil, err
 		}
 		st.Detail = detail
+		if r.SpillBytes > 0 {
+			es := &ExtSort{In: in, Keys: keys, Life: p.Life,
+				MaxRunBytes: r.SpillBytes, Dir: r.SpillDir, St: st}
+			return r.wrap(es, st, p), schema, nil
+		}
 		return r.wrap(&Sort{In: in, Keys: keys, Life: p.Life}, st, p), schema, nil
 
 	case plan.MergeJoin, plan.HashJoin, plan.NestedLoopJoin:
@@ -474,54 +776,9 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 		if err != nil {
 			return nil, nil, err
 		}
-		keys := make([]int, 0, len(g.GroupBy))
-		outSchema := make([]query.ColumnRef, 0, len(g.GroupBy)+1)
-		for _, c := range g.GroupBy {
-			pos := r.colPosEquiv(schema, c)
-			if pos < 0 {
-				return nil, nil, fmt.Errorf("exec: group column %s not in schema", g.ColumnName(c))
-			}
-			keys = append(keys, pos)
-			outSchema = append(outSchema, c)
-			if st.Detail != "" {
-				st.Detail += ", "
-			}
-			st.Detail += g.ColumnName(c)
-		}
-		// Bound aggregate select list, when the query declares one;
-		// otherwise the executor's default single count(*). Aggregate
-		// output columns get Rel -1 / select-list position, which the
-		// serving layer renders back through Graph.AggregateName.
-		var aggs []AggSpec
-		for i, a := range g.Aggregates {
-			spec := AggSpec{}
-			switch a.Fn {
-			case query.AggCount:
-				spec.Fn = AggCount
-			case query.AggSum:
-				spec.Fn = AggSum
-			case query.AggAvg:
-				spec.Fn = AggAvg
-			case query.AggMin:
-				spec.Fn = AggMin
-			case query.AggMax:
-				spec.Fn = AggMax
-			default:
-				return nil, nil, fmt.Errorf("exec: unsupported aggregate function %v", a.Fn)
-			}
-			if a.Fn != query.AggCount {
-				pos := r.colPosEquiv(schema, a.Col)
-				if pos < 0 {
-					return nil, nil, fmt.Errorf("exec: aggregate column %s not in schema", g.ColumnName(a.Col))
-				}
-				spec.Col = pos
-			}
-			aggs = append(aggs, spec)
-			outSchema = append(outSchema, query.ColumnRef{Rel: -1, Col: i})
-			st.Detail += ", " + g.AggregateName(a)
-		}
-		if len(aggs) == 0 {
-			outSchema = append(outSchema, AggColumn)
+		keys, aggs, outSchema, err := r.resolveGroup(schema, st)
+		if err != nil {
+			return nil, nil, err
 		}
 		var it Iterator
 		switch n.Op {
@@ -535,6 +792,63 @@ func (r *Runner) build(n *plan.Node, p *Pipeline) (Iterator, []query.ColumnRef, 
 		return r.wrap(it, st, p), outSchema, nil
 	}
 	return nil, nil, fmt.Errorf("exec: unsupported plan operator %v", n.Op)
+}
+
+// resolveGroup resolves the query's GROUP BY columns and aggregate
+// select list against a group operator's input schema: key positions,
+// aggregate specs and the group output schema, appending the display
+// detail to st. Aggregate output columns get Rel -1 / select-list
+// position, which the serving layer renders back through
+// Graph.AggregateName; a query binding no aggregates gets the
+// executor's default single count(*) (AggColumn).
+func (r *Runner) resolveGroup(schema []query.ColumnRef, st *OpStats) ([]int, []AggSpec, []query.ColumnRef, error) {
+	g := r.A.Graph
+	keys := make([]int, 0, len(g.GroupBy))
+	outSchema := make([]query.ColumnRef, 0, len(g.GroupBy)+1)
+	for _, c := range g.GroupBy {
+		pos := r.colPosEquiv(schema, c)
+		if pos < 0 {
+			return nil, nil, nil, fmt.Errorf("exec: group column %s not in schema", g.ColumnName(c))
+		}
+		keys = append(keys, pos)
+		outSchema = append(outSchema, c)
+		if st.Detail != "" {
+			st.Detail += ", "
+		}
+		st.Detail += g.ColumnName(c)
+	}
+	var aggs []AggSpec
+	for i, a := range g.Aggregates {
+		spec := AggSpec{}
+		switch a.Fn {
+		case query.AggCount:
+			spec.Fn = AggCount
+		case query.AggSum:
+			spec.Fn = AggSum
+		case query.AggAvg:
+			spec.Fn = AggAvg
+		case query.AggMin:
+			spec.Fn = AggMin
+		case query.AggMax:
+			spec.Fn = AggMax
+		default:
+			return nil, nil, nil, fmt.Errorf("exec: unsupported aggregate function %v", a.Fn)
+		}
+		if a.Fn != query.AggCount {
+			pos := r.colPosEquiv(schema, a.Col)
+			if pos < 0 {
+				return nil, nil, nil, fmt.Errorf("exec: aggregate column %s not in schema", g.ColumnName(a.Col))
+			}
+			spec.Col = pos
+		}
+		aggs = append(aggs, spec)
+		outSchema = append(outSchema, query.ColumnRef{Rel: -1, Col: i})
+		st.Detail += ", " + g.AggregateName(a)
+	}
+	if len(aggs) == 0 {
+		outSchema = append(outSchema, AggColumn)
+	}
+	return keys, aggs, outSchema, nil
 }
 
 func asRows(raw [][]int64) []Row {

@@ -399,7 +399,7 @@ func TestRunnerIndexedData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain := &Runner{A: a, Data: ds.Rows} // no Indexed: falls back to sorting
+	plain := &Runner{A: a, Data: ds.RawRows()} // no Indexed: falls back to sorting
 	rows2, _, err := plain.Run(p)
 	if err != nil {
 		t.Fatal(err)

@@ -112,7 +112,7 @@ func Abort(spec AbortSpec) ([]AbortRow, error) {
 	// so data volume is irrelevant in the faulted phase and only sets
 	// the healthy phase's execute cost.
 	cat := tpcr.Schema()
-	ds := &exec.Dataset{Name: "tpcr-small", Rows: tpcr.Generate(tpcr.DefaultGenSpec())}
+	ds := exec.NewDataset("tpcr-small", "abort experiment fixture", tpcr.Generate(tpcr.DefaultGenSpec()))
 	ds.BuildIndexes(cat)
 
 	var rows []AbortRow

@@ -1,0 +1,335 @@
+// The vectorized-execution experiment: what batch-at-a-time execution
+// buys over the row-at-a-time interpreter on the same plans, and what
+// sort avoidance buys once sorts no longer fit in memory. The first
+// table runs each workload twice — the row path and the vector path —
+// and reports the speedup; the second plans the order-flow query both
+// ways (DFSM sort-free vs order-oblivious with a top sort) under a
+// spill budget, where the oblivious plan's external sort goes to disk
+// while the DFSM plan never sorts at all. Both tables cross-verify
+// result checksums: vectorization and spilling change how a pipeline
+// runs, never what it returns.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"orderopt/internal/exec"
+	"orderopt/internal/optimizer"
+	"orderopt/internal/query"
+	"orderopt/internal/tpcr"
+)
+
+// VectorSpec parameterizes the vectorized-execution experiment.
+type VectorSpec struct {
+	// Datasets names the TPC-R datasets (default tpcr-large and
+	// tpcr-xl; "tpcr-xl" resolves outside the standard registry).
+	Datasets []string
+	// Runs is the number of timed executions per measurement; the
+	// minimum is reported (default 5).
+	Runs int
+	// BatchSize overrides the vector width (0 means
+	// exec.DefaultBatchSize).
+	BatchSize int
+	// SpillBytes is the external-sort budget for the spill-contrast
+	// table (default 256 KiB — small enough that the oblivious plan's
+	// top sort spills on every dataset the experiment runs).
+	SpillBytes int64
+}
+
+func (s *VectorSpec) defaults() {
+	if len(s.Datasets) == 0 {
+		s.Datasets = []string{"tpcr-large", "tpcr-xl"}
+	}
+	if s.Runs == 0 {
+		s.Runs = 5
+	}
+	if s.SpillBytes == 0 {
+		s.SpillBytes = 256 << 10
+	}
+}
+
+// VectorRow is one (workload, mode) measurement of the row-vs-vector
+// table.
+type VectorRow struct {
+	Workload string
+	Mode     string // "row" or "vec"
+
+	// ExecTime is the minimum pipeline wall time over the spec's runs.
+	ExecTime time.Duration
+	// Rows is the result cardinality (identical across modes of one
+	// workload; verified together with a value checksum).
+	Rows int64
+	// Batches counts the vector batches the pipeline's operators
+	// emitted (0 in row mode).
+	Batches int64
+	// Speedup is row ExecTime over this mode's ExecTime (1 for the row
+	// baseline itself).
+	Speedup float64
+}
+
+// VectorSpillRow is one (workload, variant) measurement of the
+// spill-contrast table: the same ordered query planned sort-free (dfsm)
+// and order-obliviously (hash joins + one top sort), both executed
+// under the same external-sort budget.
+type VectorSpillRow struct {
+	Workload string
+	Variant  string // "dfsm" or "oblivious"
+
+	ExecTime time.Duration
+	Rows     int64
+	// Sorts counts Sort operators in the plan (0 for the sort-avoiding
+	// plan — which is why its SpillRuns stay 0 at any scale).
+	Sorts int
+	// SpillRuns / SpilledBytes report the external sorts' disk
+	// activity under the spec's budget.
+	SpillRuns    int64
+	SpilledBytes int64
+}
+
+// vectorDataset resolves a dataset name: the standard registry first,
+// then the million-row tpcr-xl tier, which stays out of the registry
+// so tier-1 tests don't pay its generation time.
+func vectorDataset(name string) (*exec.Dataset, error) {
+	if ds, ok := exec.TPCRRegistry().Get(name); ok {
+		return ds, nil
+	}
+	if name == "tpcr-xl" {
+		return exec.TPCRXL(), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+}
+
+// vectorWorkloads builds the experiment's workloads: the order-flow
+// query and Q8 per dataset, statistics restated to the dataset.
+func vectorWorkloads(spec VectorSpec) ([]ExecWorkload, error) {
+	var out []ExecWorkload
+	for _, name := range spec.Datasets {
+		ds, err := vectorDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		_, og, err := tpcr.OrderStreamGraph()
+		if err != nil {
+			return nil, err
+		}
+		ds.ApplyStats(og)
+		out = append(out, ExecWorkload{Name: "orders/" + name, Graph: og, Dataset: ds})
+
+		_, g8, err := tpcr.Query8Graph()
+		if err != nil {
+			return nil, err
+		}
+		ds.ApplyStats(g8)
+		out = append(out, ExecWorkload{Name: "q8/" + name, Graph: g8, Dataset: ds})
+	}
+	return out, nil
+}
+
+// Vector runs the vectorized-execution experiment: every workload in
+// row and vector mode (first table), plus the spill-contrast runs of
+// the order-flow query (second table). Modes and variants of one
+// workload must return identical results; a checksum mismatch is an
+// error, not a table entry.
+func Vector(spec VectorSpec) ([]VectorRow, []VectorSpillRow, error) {
+	spec.defaults()
+	workloads, err := vectorWorkloads(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []VectorRow
+	for _, w := range workloads {
+		var ref VectorRow
+		var refSum int64
+		for _, vec := range []bool{false, true} {
+			row, sum, err := VectorOne(w, vec, spec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("vector %s/%s: %w", w.Name, row.Mode, err)
+			}
+			if !vec {
+				ref, refSum = row, sum
+				row.Speedup = 1
+			} else {
+				if row.Rows != ref.Rows || sum != refSum {
+					return nil, nil, fmt.Errorf("vector %s: vec result (%d rows, checksum %d) differs from row (%d rows, checksum %d)",
+						w.Name, row.Rows, sum, ref.Rows, refSum)
+				}
+				row.Speedup = float64(ref.ExecTime) / float64(row.ExecTime)
+			}
+			rows = append(rows, row)
+		}
+	}
+	spills, err := vectorSpills(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, spills, nil
+}
+
+// VectorOne plans w's graph with the mode's cost model and executes it
+// spec.Runs times in that mode, returning the measurement and a result
+// checksum.
+func VectorOne(w ExecWorkload, vec bool, spec VectorSpec) (VectorRow, int64, error) {
+	row := VectorRow{Workload: w.Name, Mode: "row"}
+	if vec {
+		row.Mode = "vec"
+	}
+	a, err := query.Analyze(w.Graph, query.AnalyzeOptions{UseIndexes: true, TrackGroupings: true})
+	if err != nil {
+		return row, 0, err
+	}
+	cfg := optimizer.DefaultConfig(optimizer.ModeDFSM)
+	cfg.Vectorized = vec
+	res, err := optimizer.Optimize(a, cfg)
+	if err != nil {
+		return row, 0, err
+	}
+	runner := w.Dataset.Runner(a)
+	runner.DisableTiming = true
+	runner.Vectorize = vec
+	runner.BatchSize = spec.BatchSize
+	var sum int64
+	for i := 0; i < spec.Runs; i++ {
+		p, err := runner.Compile(res.Best)
+		if err != nil {
+			return row, 0, err
+		}
+		begin := time.Now()
+		out, err := p.Execute()
+		elapsed := time.Since(begin)
+		if err != nil {
+			return row, 0, err
+		}
+		if i == 0 {
+			row.ExecTime = elapsed
+			row.Rows = int64(len(out))
+			for _, op := range p.Ops {
+				row.Batches += op.Batches
+			}
+			if len(w.Graph.GroupBy) == 0 {
+				// The two cost models may pick different join trees, so
+				// ungrouped results can carry different column orders:
+				// canonicalize before checksumming.
+				out = exec.Canonicalize(out, p.Schema, w.Graph)
+			}
+			sum = exec.ChecksumRows(out)
+		} else if elapsed < row.ExecTime {
+			row.ExecTime = elapsed
+		}
+	}
+	return row, sum, nil
+}
+
+// vectorSpills measures the spill contrast: the order-flow query per
+// dataset, planned sort-free and order-obliviously, both under the
+// spec's external-sort budget.
+func vectorSpills(spec VectorSpec) ([]VectorSpillRow, error) {
+	variants := []ExecVariant{
+		{
+			Name:    "dfsm",
+			Analyze: query.AnalyzeOptions{UseIndexes: true, TrackGroupings: true},
+			Config:  optimizer.DefaultConfig(optimizer.ModeDFSM),
+		},
+	}
+	oblivious := optimizer.DefaultConfig(optimizer.ModeDFSM)
+	oblivious.DisableMergeJoin = true
+	oblivious.DisableOrderedGrouping = true
+	variants = append(variants, ExecVariant{Name: "oblivious", Analyze: query.AnalyzeOptions{}, Config: oblivious})
+
+	var out []VectorSpillRow
+	for _, name := range spec.Datasets {
+		ds, err := vectorDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		_, g, err := tpcr.OrderStreamGraph()
+		if err != nil {
+			return nil, err
+		}
+		ds.ApplyStats(g)
+		var refRows, refSum int64
+		for vi, v := range variants {
+			row, sum, err := VectorSpillOne("orders/"+name, g, ds, v, spec)
+			if err != nil {
+				return nil, fmt.Errorf("vector spill %s/%s: %w", name, v.Name, err)
+			}
+			if vi == 0 {
+				refRows, refSum = row.Rows, sum
+			} else if row.Rows != refRows || sum != refSum {
+				return nil, fmt.Errorf("vector spill %s: %s result (%d rows, checksum %d) differs from %s (%d rows, checksum %d)",
+					name, v.Name, row.Rows, sum, variants[0].Name, refRows, refSum)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// VectorSpillOne executes the graph under one planning variant with
+// every Sort compiled as a budgeted external sort, reporting its disk
+// activity alongside the runtime.
+func VectorSpillOne(name string, g *query.Graph, ds *exec.Dataset, v ExecVariant, spec VectorSpec) (VectorSpillRow, int64, error) {
+	row := VectorSpillRow{Workload: name, Variant: v.Name}
+	a, err := query.Analyze(g, v.Analyze)
+	if err != nil {
+		return row, 0, err
+	}
+	res, err := optimizer.Optimize(a, v.Config)
+	if err != nil {
+		return row, 0, err
+	}
+	runner := ds.Runner(a)
+	runner.DisableTiming = true
+	runner.SpillBytes = spec.SpillBytes
+	var sum int64
+	for i := 0; i < spec.Runs; i++ {
+		p, err := runner.Compile(res.Best)
+		if err != nil {
+			return row, 0, err
+		}
+		begin := time.Now()
+		out, err := p.Execute()
+		elapsed := time.Since(begin)
+		if err != nil {
+			return row, 0, err
+		}
+		if i == 0 {
+			row.ExecTime = elapsed
+			row.Rows = int64(len(out))
+			row.SpillRuns, row.SpilledBytes = p.SpillStats()
+			for _, op := range p.Ops {
+				if op.Op == "Sort" {
+					row.Sorts++
+				}
+			}
+			sum = exec.ChecksumRows(exec.Canonicalize(out, p.Schema, g))
+		} else if elapsed < row.ExecTime {
+			row.ExecTime = elapsed
+		}
+	}
+	return row, sum, nil
+}
+
+// FormatVector renders both tables: row-vs-vector runtimes with the
+// vector speedup, then the spill contrast with the sort-avoiding
+// margin.
+func FormatVector(rows []VectorRow, spills []VectorSpillRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-4s | %9s %9s %9s | %8s\n",
+		"workload", "mode", "exec(ms)", "rows", "batches", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-4s | %9.2f %9d %9d | %7.2fx\n",
+			r.Workload, r.Mode, float64(r.ExecTime)/1e6, r.Rows, r.Batches, r.Speedup)
+	}
+	if len(spills) > 0 {
+		fmt.Fprintf(&b, "\nexternal-sort contrast (budget-bounded sorts; dfsm avoids the sort entirely):\n")
+		fmt.Fprintf(&b, "%-18s %-10s | %9s %6s %6s %12s\n",
+			"workload", "variant", "exec(ms)", "sorts", "spills", "spilled(KiB)")
+		for _, r := range spills {
+			fmt.Fprintf(&b, "%-18s %-10s | %9.2f %6d %6d %12.1f\n",
+				r.Workload, r.Variant, float64(r.ExecTime)/1e6, r.Sorts, r.SpillRuns, float64(r.SpilledBytes)/1024)
+		}
+	}
+	return b.String()
+}

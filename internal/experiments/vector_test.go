@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVectorSmall runs the vectorized-execution experiment end to end
+// at test sizes. The harness itself cross-verifies row-vs-vector and
+// dfsm-vs-oblivious result checksums; here we additionally check the
+// table's shape, that vector pipelines actually ran batches, and that
+// the spill contrast shows what it exists to show: under the same
+// budget the oblivious plan's external sort goes to disk while the
+// sort-free plan never spills.
+func TestVectorSmall(t *testing.T) {
+	rows, spills, err := Vector(VectorSpec{
+		Datasets: []string{"tpcr-mid"},
+		Runs:     1,
+		// Small enough that even tpcr-mid's top sort (a few hundred
+		// KiB of order-flow output) exceeds it.
+		SpillBytes: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 workloads × 2 modes
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byKey := map[string]VectorRow{}
+	for _, r := range rows {
+		byKey[r.Workload+"/"+r.Mode] = r
+		if r.Rows == 0 {
+			t.Errorf("%s/%s: zero result rows", r.Workload, r.Mode)
+		}
+		switch r.Mode {
+		case "row":
+			if r.Batches != 0 {
+				t.Errorf("%s/row: batches = %d, want 0", r.Workload, r.Batches)
+			}
+			if r.Speedup != 1 {
+				t.Errorf("%s/row: speedup = %v, want 1", r.Workload, r.Speedup)
+			}
+		case "vec":
+			if r.Batches == 0 {
+				t.Errorf("%s/vec: no vector batches ran", r.Workload)
+			}
+			if r.Speedup <= 0 {
+				t.Errorf("%s/vec: speedup = %v, want > 0", r.Workload, r.Speedup)
+			}
+		default:
+			t.Errorf("unexpected mode %q", r.Mode)
+		}
+	}
+	row, vec := byKey["orders/tpcr-mid/row"], byKey["orders/tpcr-mid/vec"]
+	if row.Rows != vec.Rows {
+		t.Errorf("orders cardinality differs: row %d vs vec %d", row.Rows, vec.Rows)
+	}
+
+	if len(spills) != 2 { // 1 dataset × 2 variants
+		t.Fatalf("spill rows = %d, want 2", len(spills))
+	}
+	for _, s := range spills {
+		switch s.Variant {
+		case "dfsm":
+			if s.Sorts != 0 || s.SpillRuns != 0 || s.SpilledBytes != 0 {
+				t.Errorf("dfsm: sorts=%d spills=%d bytes=%d, want all 0 (sort-free plan)",
+					s.Sorts, s.SpillRuns, s.SpilledBytes)
+			}
+		case "oblivious":
+			if s.Sorts == 0 {
+				t.Errorf("oblivious: no Sort in plan")
+			}
+			if s.SpillRuns == 0 || s.SpilledBytes == 0 {
+				t.Errorf("oblivious: spills=%d bytes=%d, want > 0 under a %d-byte budget",
+					s.SpillRuns, s.SpilledBytes, 16<<10)
+			}
+		default:
+			t.Errorf("unexpected variant %q", s.Variant)
+		}
+	}
+
+	out := FormatVector(rows, spills)
+	for _, want := range []string{"orders/tpcr-mid", "q8/tpcr-mid", "speedup", "oblivious", "spilled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatVector output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVectorUnknownDataset: name resolution covers the registry plus
+// the out-of-registry xl tier, and nothing else.
+func TestVectorUnknownDataset(t *testing.T) {
+	if _, _, err := Vector(VectorSpec{Datasets: []string{"tpcr-nope"}, Runs: 1}); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}

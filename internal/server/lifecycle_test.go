@@ -22,7 +22,7 @@ const joinSQL = "select * from orders, lineitem where o_orderkey = l_orderkey or
 // smallRegistry builds a one-dataset registry (tpcr-small only) so
 // lifecycle tests don't pay for the mid and large generators.
 var smallRegistry = sync.OnceValue(func() *exec.Registry {
-	ds := &exec.Dataset{Name: "tpcr-small", Rows: tpcr.Generate(tpcr.DefaultGenSpec())}
+	ds := exec.NewDataset("tpcr-small", "lifecycle test fixture", tpcr.Generate(tpcr.DefaultGenSpec()))
 	ds.BuildIndexes(tpcr.Schema())
 	reg := exec.NewRegistry()
 	reg.Register(ds)

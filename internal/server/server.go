@@ -605,6 +605,7 @@ func (s *Server) executeResponse(ctx context.Context, req ExecuteRequest, ds *ex
 	if req.MaxDOP > 0 && req.MaxDOP < runner.MaxDOP {
 		runner.MaxDOP = req.MaxDOP
 	}
+	runner.Vectorize = req.Vectorized
 	if hasExchange(pd.Best) {
 		s.executeMetrics.parallel.Add(1)
 	}

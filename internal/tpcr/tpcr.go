@@ -8,6 +8,7 @@ package tpcr
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"orderopt/internal/catalog"
 	"orderopt/internal/query"
@@ -268,6 +269,34 @@ func DefaultGenSpec() GenSpec {
 	return GenSpec{Parts: 50, Suppliers: 20, Customers: 30, Orders: 60, LineItems: 200, Seed: 1}
 }
 
+// Scale multiplies every table cardinality by f (minimum 1 row per
+// table) — the scale-factor knob for generating the same shape of
+// database at different sizes.
+func (s GenSpec) Scale(f float64) GenSpec {
+	mul := func(n int) int {
+		v := int(float64(n) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	s.Parts = mul(s.Parts)
+	s.Suppliers = mul(s.Suppliers)
+	s.Customers = mul(s.Customers)
+	s.Orders = mul(s.Orders)
+	s.LineItems = mul(s.LineItems)
+	return s
+}
+
+// XLGenSpec is the tpcr-xl generator spec: one million lineitems, the
+// scale where cache behavior and spilling make the sort-vs-avoid
+// trade-off dramatic rather than microbenchmark-sized. Generating and
+// index-presorting it takes seconds, so it stays out of the default
+// test registry (exec.TPCRRegistry) and is built on demand.
+func XLGenSpec() GenSpec {
+	return GenSpec{Parts: 20000, Suppliers: 2000, Customers: 50000, Orders: 150000, LineItems: 1000000, Seed: 4}
+}
+
 // Data holds generated rows keyed by table name; each row is a slice of
 // int64 values aligned with the schema's column order (strings are
 // dictionary-coded small integers, dates are days).
@@ -315,5 +344,13 @@ func Generate(spec GenSpec) Data {
 			rng.Int63n(11),
 		})
 	}
+	// The catalog declares lineitem_orderkey clustered (as TPC-H's dbgen
+	// does: lineitems are emitted grouped under their order), so store
+	// the table in that order. The stable sort keeps generation
+	// deterministic; the row multiset — and every checksum over it — is
+	// unchanged.
+	sort.SliceStable(d["lineitem"], func(i, j int) bool {
+		return d["lineitem"][i][0] < d["lineitem"][j][0]
+	})
 	return d
 }
