@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: check build vet fmt staticcheck test race faults conformance conformance-update cover fuzz-smoke bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke bench-parallel bench-parallel-smoke bench-topk bench-topk-smoke bench-vector bench-vector-smoke examples
+.PHONY: check build vet fmt staticcheck test race faults serve-soak conformance conformance-update cover fuzz-smoke bench bench-large bench-serve bench-smoke bench-exec bench-exec-smoke bench-parallel bench-parallel-smoke bench-topk bench-topk-smoke bench-vector bench-vector-smoke examples
 
 check: build vet fmt staticcheck test conformance
 
@@ -44,10 +44,19 @@ faults:
 	$(GO) test -race ./internal/faultinject/ \
 		-run 'TestScenariosAcrossOperators|TestFault|TestHang|TestDelay|TestTracker|TestMatches|TestExtSortMidSpillAbort'
 	$(GO) test -race ./internal/exec/ \
-		-run 'TestAccountant|TestBudget|TestMergeJoinGroupRelease|TestCancelDuringExecute|TestDeadlineMidMergeJoin|TestExecuteContextDeadPipeline|TestExchange|TestExtSort'
+		-run 'TestAccountant|TestBudget|TestMergeJoinGroupRelease|TestCancelDuringExecute|TestDeadlineMidMergeJoin|TestExecuteContextDeadPipeline|TestExchange|TestExtSort|TestStreamSinkErrorAborts|TestStreamCancelMidStream|TestStreamBlockedSinkBuffersNothing|TestRegistryConcurrentAcquireEvict|TestRegistryPinBlocksEviction|TestRegistrySingleLoad'
 	$(GO) test -race ./internal/server/ \
-		-run 'TestExecuteTimeout|TestExecuteDefaultTimeout|TestTimeoutClamp|TestExecuteBudget|TestGlobalMemBudget|TestExecuteClientCancel|TestDrainAndWait|TestClientRetry|TestRetryBackoff'
+		-run 'TestExecuteTimeout|TestExecuteDefaultTimeout|TestTimeoutClamp|TestExecuteBudget|TestGlobalMemBudget|TestExecuteClientCancel|TestDrainAndWait|TestClientRetry|TestRetryBackoff|TestExecuteStreamClientDisconnect|TestExecuteStreamFirstRowBeforeMaterialization|TestStreamNoRetryMidStream|TestStreamTrailerAbortNotRetried|TestEvictVsExecute|TestMemoryAdmission'
 	$(GO) test -race ./internal/experiments/ -run 'TestAbort'
+
+# serve-soak is the lifecycle endurance run: a minute of mixed
+# plan/execute/stream/disconnect traffic under the race detector, over
+# an on-demand registry being evicted underneath the queries, ending
+# with a leak audit (operators, budget bytes, pins, goroutines). The
+# tier-1 suite runs the same test at 1.5s; this target is the long soak
+# CI runs alongside `faults`.
+serve-soak:
+	$(GO) test -race ./internal/server/ -run 'TestServeSoak' -count=1 -timeout 5m -args -soak=60s
 
 # conformance runs the declarative golden corpus (internal/conformance)
 # under the race detector: every fixture across the full strategy ×

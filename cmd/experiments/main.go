@@ -73,6 +73,7 @@ func main() {
 	serveQPS := flag.Float64("serve-qps", 0, "aggregate QPS target for the serve table (0: unthrottled)")
 	serveQueries := flag.Int("serve-queries", 4, "generated queries in the serve table's mixed workload")
 	serveRelations := flag.Int("serve-relations", 6, "relations per generated serve query")
+	serveMixedRequests := flag.Int("serve-mixed-requests", 240, "requests per registry configuration in the mixed plan+execute table")
 	abortDuration := flag.Duration("abort-duration", time.Second, "per-phase duration of the serve table's saturation/abort workload")
 	abortVictims := flag.Int("abort-victims", 4, "faulted /execute clients in the saturation/abort workload")
 	largeShapes := flag.String("large-shapes", "chain,star,cycle,clique,grid", "join-graph shapes for the large table")
@@ -247,6 +248,14 @@ func main() {
 		})
 		die(err)
 		fmt.Print(experiments.FormatServe(rows))
+		fmt.Println()
+		fmt.Println("=== Mixed plan+execute over a cold dataset registry: pinned vs on-demand ===")
+		mixedRows, err := experiments.ServeMixed(experiments.ServeMixedSpec{
+			Workers:  *serveWorkers,
+			Requests: *serveMixedRequests,
+		})
+		die(err)
+		fmt.Print(experiments.FormatServeMixed(mixedRows))
 		fmt.Println()
 		fmt.Println("=== Saturation/abort: healthy planning QPS while faulted pipelines hang and time out ===")
 		abortRows, err := experiments.Abort(experiments.AbortSpec{

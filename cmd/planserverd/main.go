@@ -9,16 +9,21 @@
 //	planserverd -no-exec             # planning only, no /execute
 //	planserverd -timeout 2s -mem-budget 268435456
 //	                                 # 2s default deadline, 256 MiB global memory budget
+//	planserverd -registry-budget 67108864
+//	                                 # LRU-evict idle datasets past 64 MiB resident
 //
 //	curl -s localhost:7432/plan -d '{"sql": "select * from nation, region where n_regionkey = r_regionkey order by n_name"}'
 //	curl -s 'localhost:7432/explain?q=select * from orders, customer where o_custkey = c_custkey'
 //	curl -s localhost:7432/execute -d '{"sql": "select * from orders, lineitem where o_orderkey = l_orderkey order by o_orderkey", "dataset": "tpcr-mid", "maxRows": 3}'
+//	curl -sN localhost:7432/execute -d '{"sql": "select * from orders, lineitem where o_orderkey = l_orderkey order by o_orderkey", "dataset": "tpcr-mid", "stream": true}'
 //	curl -s localhost:7432/stats
 //	curl -s localhost:7432/healthz
 //
 // /execute runs the chosen plan over a registered synthetic TPC-R
 // dataset (tpcr-small, tpcr-mid, tpcr-large) through the streaming
-// executor and reports result rows plus per-operator counters. Note
+// executor — buffered JSON by default, chunked NDJSON frames with
+// "stream": true. Datasets are generated on first use and LRU-evicted
+// under -registry-budget (-eager-datasets restores pin-at-start). Note
 // the planner costs plans against the schema's scale-factor-1
 // statistics while the datasets are miniatures — /execute demonstrates
 // and validates plans; the runtime experiments (make bench-exec) plan
@@ -65,6 +70,12 @@ func main() {
 		"how long a SIGTERM drain waits for in-flight requests")
 	noExec := flag.Bool("no-exec", false,
 		"disable /execute (skips generating the in-memory TPC-R datasets)")
+	eagerDatasets := flag.Bool("eager-datasets", false,
+		"generate every TPC-R dataset at startup and pin it (the pre-registry behavior); default is on-demand loading with LRU eviction")
+	registryBudget := flag.Int64("registry-budget", 0,
+		"resident bytes the on-demand dataset registry may hold before LRU-evicting idle datasets (0 means unlimited; ignored with -eager-datasets)")
+	queryReserve := flag.Int64("query-reserve", 0,
+		"per-query admission reservation against -mem-budget (0 means the server default, negative disables)")
 	timeout := flag.Duration("timeout", 0,
 		"default per-request deadline for requests without timeoutMs (0 means none)")
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout,
@@ -123,17 +134,23 @@ func main() {
 
 	var datasets *exec.Registry
 	if !*noExec {
-		datasets = exec.TPCRRegistry()
+		if *eagerDatasets {
+			datasets = exec.TPCRRegistry()
+		} else {
+			datasets = exec.TPCRLazyRegistry()
+			datasets.SetBudget(*registryBudget)
+		}
 	}
 	srv := server.New(server.Config{
-		Planner:        planner.New(cfg),
-		MaxInFlight:    *maxInFlight,
-		Datasets:       datasets,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MemLimitBytes:  *memBudget,
-		QueryBudget:    exec.Budget{MaxRows: *queryRowsBudget, MaxBytes: *queryMemBudget},
-		Workers:        nw,
+		Planner:           planner.New(cfg),
+		MaxInFlight:       *maxInFlight,
+		Datasets:          datasets,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MemLimitBytes:     *memBudget,
+		QueryReserveBytes: *queryReserve,
+		QueryBudget:       exec.Budget{MaxRows: *queryRowsBudget, MaxBytes: *queryMemBudget},
+		Workers:           nw,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -163,7 +180,11 @@ func main() {
 
 	execInfo := "disabled"
 	if datasets != nil {
-		execInfo = fmt.Sprintf("datasets %v", datasets.Names())
+		how := "on-demand"
+		if *eagerDatasets {
+			how = "pinned"
+		}
+		execInfo = fmt.Sprintf("datasets %v (%s)", datasets.Names(), how)
 	}
 	log.Printf("planserverd: serving TPC-R planning on %s (mode=%s enumerator=%s strategy=%s max-inflight=%d workers=%d, execute: %s)",
 		*addr, m, enum, strat, *maxInFlight, nw, execInfo)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"orderopt/internal/catalog"
 	"orderopt/internal/exec"
 	"orderopt/internal/querygen"
 	"orderopt/internal/sqlparse"
@@ -50,6 +51,25 @@ func Resolve(f *Fixture) (*exec.Dataset, *sqlparse.BoundQuery, error) {
 	}
 	ds.ApplyStats(q.Graph)
 	return ds, q, nil
+}
+
+// Catalog returns the catalog a fixture's SQL binds against — the
+// TPC-R schema or the generated gen:* schema. It lets a fixture's
+// whole world be served by a real planner+executor server (the
+// streaming conformance test replays the corpus over HTTP).
+func Catalog(f *Fixture) (*catalog.Catalog, error) {
+	if !strings.HasPrefix(f.Dataset, "gen:") {
+		return tpcr.Schema(), nil
+	}
+	spec, _, _, err := parseGenSpec(f.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s: %w", f.Name, err)
+	}
+	cat, _, err := querygen.Generate(spec)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s: %w", f.Name, err)
+	}
+	return cat, nil
 }
 
 // resolveGen handles "gen:<relations>x<rowsPerTable>:<seed>" datasets:

@@ -138,79 +138,80 @@ func (d *Dataset) RawRows() map[string][][]int64 {
 	return out
 }
 
+// MemBytes approximates the dataset's resident memory footprint: the
+// column slabs plus, conservatively, the lazily cached row views of
+// every table and index view (they materialize on first row-path use
+// and stay cached for the dataset's lifetime, so the registry charges
+// them up front — a deterministic worst case rather than a gauge that
+// depends on which access paths have run).
+func (d *Dataset) MemBytes() int64 {
+	var n int64
+	for _, ct := range d.Tables {
+		w, rows := int64(len(ct.Cols)), int64(ct.N)
+		cols := 8 * w * rows
+		rowView := (8*w + 24) * rows // row slab + one slice header per row
+		n += cols + rowView
+	}
+	for _, byIndex := range d.Views {
+		for _, v := range byIndex {
+			w, rows := int64(len(v.table.Cols)), int64(len(v.Perm))
+			n += 4*rows + (8*w+24)*rows // permutation + cached row view
+		}
+	}
+	return n
+}
+
 // Runner returns a Runner executing plans for a over this dataset.
 func (d *Dataset) Runner(a *query.Analysis) *Runner {
 	return &Runner{A: a, Dataset: d}
 }
 
-// Registry is a named set of datasets; the first registered one is the
-// default. It is safe for concurrent use after setup (Register during
-// serving is allowed but unusual).
-type Registry struct {
-	mu     sync.RWMutex
-	byName map[string]*Dataset
-	names  []string
+// tpcrSizes are the generator specs of the standard TPC-R registry
+// tiers, shared by the eager and lazy registry constructors.
+var tpcrSizes = []struct {
+	name string
+	spec tpcr.GenSpec
+}{
+	{"tpcr-small", tpcr.DefaultGenSpec()},
+	{"tpcr-mid", tpcr.GenSpec{Parts: 800, Suppliers: 150, Customers: 500, Orders: 1200, LineItems: 8000, Seed: 2}},
+	{"tpcr-large", tpcr.GenSpec{Parts: 3000, Suppliers: 500, Customers: 2000, Orders: 6000, LineItems: 40000, Seed: 3}},
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*Dataset)}
-}
-
-// Register adds d; a dataset with the same name is replaced.
-func (r *Registry) Register(d *Dataset) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, exists := r.byName[d.Name]; !exists {
-		r.names = append(r.names, d.Name)
-	}
-	r.byName[d.Name] = d
-}
-
-// Get returns the named dataset; the empty name selects the default
-// (first registered).
-func (r *Registry) Get(name string) (*Dataset, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if name == "" {
-		if len(r.names) == 0 {
-			return nil, false
-		}
-		name = r.names[0]
-	}
-	d, ok := r.byName[name]
-	return d, ok
-}
-
-// Names lists the registered dataset names in registration order.
-func (r *Registry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return append([]string(nil), r.names...)
+func buildTPCRDataset(name string, spec tpcr.GenSpec) *Dataset {
+	d := NewDataset(name,
+		fmt.Sprintf("synthetic TPC-R: %d orders, %d lineitems", spec.Orders, spec.LineItems),
+		tpcr.Generate(spec))
+	d.BuildIndexes(tpcr.Schema())
+	return d
 }
 
 // TPCRRegistry builds the standard TPC-R dataset registry: three
 // consistent synthetic databases (every foreign key resolves) at
-// increasing generator sizes, with all schema indexes presorted. The
-// default (first) dataset is the small one. The million-row tpcr-xl
-// tier is deliberately not registered here — tier-1 tests iterate this
-// registry, and generating it takes seconds (see TPCRXL).
+// increasing generator sizes, with all schema indexes presorted,
+// loaded eagerly and pinned for the registry's lifetime. The default
+// (first) dataset is the small one. The million-row tpcr-xl tier is
+// deliberately not registered here — tier-1 tests iterate this
+// registry, and generating it takes seconds (see TPCRXL). Serving
+// processes that want bounded memory should prefer TPCRLazyRegistry.
 func TPCRRegistry() *Registry {
-	cat := tpcr.Schema()
 	reg := NewRegistry()
-	for _, size := range []struct {
-		name string
-		spec tpcr.GenSpec
-	}{
-		{"tpcr-small", tpcr.DefaultGenSpec()},
-		{"tpcr-mid", tpcr.GenSpec{Parts: 800, Suppliers: 150, Customers: 500, Orders: 1200, LineItems: 8000, Seed: 2}},
-		{"tpcr-large", tpcr.GenSpec{Parts: 3000, Suppliers: 500, Customers: 2000, Orders: 6000, LineItems: 40000, Seed: 3}},
-	} {
-		d := NewDataset(size.name,
+	for _, size := range tpcrSizes {
+		reg.Register(buildTPCRDataset(size.name, size.spec))
+	}
+	return reg
+}
+
+// TPCRLazyRegistry builds the same three-tier TPC-R registry with
+// on-demand loaders: nothing is generated until a query first asks for
+// a tier, and loaded tiers are LRU-evicted under the registry's byte
+// budget (SetBudget). This is the serving-tier registry — a cold
+// process holds no dataset memory.
+func TPCRLazyRegistry() *Registry {
+	reg := NewRegistry()
+	for _, size := range tpcrSizes {
+		reg.RegisterLazy(size.name,
 			fmt.Sprintf("synthetic TPC-R: %d orders, %d lineitems", size.spec.Orders, size.spec.LineItems),
-			tpcr.Generate(size.spec))
-		d.BuildIndexes(cat)
-		reg.Register(d)
+			func() (*Dataset, error) { return buildTPCRDataset(size.name, size.spec), nil })
 	}
 	return reg
 }

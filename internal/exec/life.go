@@ -88,6 +88,17 @@ func (a *Accountant) Used() int64 {
 	return a.used.Load()
 }
 
+// Reserve attempts to reserve n bytes against the limit, failing
+// without reserving when it would be exceeded. The serving layer uses
+// it for admission: a fixed per-query reservation is charged before
+// the pipeline runs, so concurrent admissions are bounded by the same
+// gauge the pipelines themselves charge. Pair every successful Reserve
+// with exactly one Release.
+func (a *Accountant) Reserve(n int64) bool { return a.tryReserve(n) }
+
+// Release returns n bytes taken with Reserve.
+func (a *Accountant) Release(n int64) { a.release(n) }
+
 // tryReserve attempts to reserve n bytes, failing without reserving
 // when the limit would be exceeded.
 func (a *Accountant) tryReserve(n int64) bool {

@@ -1,0 +1,361 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the dataset lifecycle layer: a thread-safe registry
+// whose datasets are loaded on first use, pinned (refcounted) while
+// queries run over them, and LRU-evicted under a resident-byte budget.
+// The serving layer acquires a pin per request, so eviction can never
+// free storage a pipeline is still scanning; an evicted dataset is
+// simply rebuilt by its loader on the next acquire. Eagerly Registered
+// datasets have no loader and are therefore never evicted (there would
+// be no way back).
+
+// ErrUnknownDataset is wrapped by Acquire/Get failures for names that
+// were never registered; the serving layer maps it to 400.
+var ErrUnknownDataset = errors.New("exec: unknown dataset")
+
+// DatasetLoader builds a dataset on demand. Loaders run outside the
+// registry lock (loads can take seconds at scale) and must return a
+// fully built dataset — indexes presorted — ready for concurrent use.
+type DatasetLoader func() (*Dataset, error)
+
+// regEntry is one registered dataset's lifecycle state. All fields are
+// guarded by Registry.mu except the dataset's own immutable content.
+type regEntry struct {
+	name string
+	desc string
+	load DatasetLoader // nil for sticky (eagerly registered) entries
+
+	ds      *Dataset // non-nil while resident
+	bytes   int64    // MemBytes() of ds while resident
+	pins    int      // acquires not yet released; blocks eviction
+	lastUse int64    // registry clock at last acquire (LRU order)
+
+	// loading is non-nil while one goroutine runs the loader; other
+	// acquirers wait on it instead of loading twice.
+	loading chan struct{}
+}
+
+// Registry is a named set of datasets; the first registered one is the
+// default. It is safe for concurrent use: datasets may be registered
+// eagerly (Register — resident for the registry's lifetime) or lazily
+// (RegisterLazy — built by a loader on first Acquire and evictable).
+// With a budget set, loading a dataset evicts least-recently-used
+// unpinned lazy datasets until the newcomer fits; when everything
+// resident is pinned or sticky the load fails with an error wrapping
+// ErrBudgetExceeded, which the serving layer sheds as 429.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*regEntry
+	names   []string
+	budget  int64 // resident-byte budget; 0 = unlimited
+	clock   int64 // LRU clock, incremented per acquire
+
+	resident  atomic.Int64 // bytes resident now (gauge)
+	highWater atomic.Int64 // max resident bytes ever observed
+	loads     atomic.Int64 // loader invocations that went resident
+	evictions atomic.Int64 // datasets dropped for space (incl. Evict)
+}
+
+// NewRegistry returns an empty registry with no byte budget.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*regEntry)}
+}
+
+// SetBudget bounds the resident bytes of loaded datasets; 0 removes
+// the bound. Lowering the budget evicts LRU unpinned datasets
+// immediately (best effort — pinned and sticky datasets stay).
+func (r *Registry) SetBudget(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.budget = bytes
+	if bytes > 0 {
+		r.evictLRULocked(0)
+	}
+}
+
+// Budget returns the resident-byte budget (0 = unlimited).
+func (r *Registry) Budget() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.budget
+}
+
+// Register adds d eagerly: resident immediately and for the registry's
+// lifetime (no loader, so never evicted). A dataset with the same name
+// is replaced.
+func (r *Registry) Register(d *Dataset) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entryLocked(d.Name)
+	if e.ds != nil {
+		r.residentAdd(-e.bytes)
+	}
+	e.desc = d.Desc
+	e.load = nil
+	e.ds = d
+	e.bytes = d.MemBytes()
+	r.residentAdd(e.bytes)
+}
+
+// RegisterLazy adds a dataset that load builds on first Acquire. The
+// name joins the registry order immediately (Names lists it, and it
+// can be the default) but no memory is held until a query asks for it.
+// Registering over an existing name replaces it; a resident dataset
+// under the old registration is dropped.
+func (r *Registry) RegisterLazy(name, desc string, load DatasetLoader) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entryLocked(name)
+	if e.ds != nil {
+		r.residentAdd(-e.bytes)
+	}
+	e.desc = desc
+	e.load = load
+	e.ds = nil
+	e.bytes = 0
+}
+
+// entryLocked returns the entry for name, creating and ordering it if
+// new. Caller holds r.mu.
+func (r *Registry) entryLocked(name string) *regEntry {
+	e, ok := r.entries[name]
+	if !ok {
+		e = &regEntry{name: name}
+		r.entries[name] = e
+		r.names = append(r.names, name)
+	}
+	return e
+}
+
+func (r *Registry) residentAdd(delta int64) {
+	n := r.resident.Add(delta)
+	for {
+		hw := r.highWater.Load()
+		if n <= hw || r.highWater.CompareAndSwap(hw, n) {
+			return
+		}
+	}
+}
+
+// Acquire returns the named dataset pinned against eviction; the empty
+// name selects the default (first registered). Lazy datasets are
+// loaded on first use — concurrent acquirers of a loading dataset wait
+// for the one in-flight load rather than loading twice. The returned
+// release function drops the pin and must be called exactly once, when
+// the query is done reading the dataset. Errors wrap ErrUnknownDataset
+// (no such name) or ErrBudgetExceeded (the load does not fit the
+// registry budget next to what is pinned).
+func (r *Registry) Acquire(name string) (*Dataset, func(), error) {
+	r.mu.Lock()
+	if name == "" {
+		if len(r.names) == 0 {
+			r.mu.Unlock()
+			return nil, nil, fmt.Errorf("%w: registry is empty", ErrUnknownDataset)
+		}
+		name = r.names[0]
+	}
+	for {
+		e, ok := r.entries[name]
+		if !ok {
+			r.mu.Unlock()
+			return nil, nil, fmt.Errorf("%w %q", ErrUnknownDataset, name)
+		}
+		if e.ds != nil {
+			e.pins++
+			r.clock++
+			e.lastUse = r.clock
+			ds := e.ds
+			r.mu.Unlock()
+			return ds, r.releaseFunc(e), nil
+		}
+		if e.loading != nil {
+			// Another goroutine is running the loader; wait for it and
+			// re-examine (it may have failed, been evicted, or succeeded).
+			ch := e.loading
+			r.mu.Unlock()
+			<-ch
+			r.mu.Lock()
+			continue
+		}
+		if e.load == nil {
+			// A sticky entry with no dataset cannot happen via the public
+			// API; treat it as unknown rather than panic.
+			r.mu.Unlock()
+			return nil, nil, fmt.Errorf("%w %q", ErrUnknownDataset, name)
+		}
+		ch := make(chan struct{})
+		e.loading = ch
+		load := e.load
+		r.mu.Unlock()
+
+		ds, err := load()
+
+		r.mu.Lock()
+		e.loading = nil
+		if err == nil && ds == nil {
+			err = fmt.Errorf("exec: loader for dataset %q returned nil", name)
+		}
+		if err == nil {
+			bytes := ds.MemBytes()
+			if ferr := r.fitLocked(bytes); ferr != nil {
+				err = ferr // drop the freshly built dataset; nothing was charged
+			} else {
+				e.ds, e.bytes = ds, bytes
+				r.residentAdd(bytes)
+				r.loads.Add(1)
+			}
+		}
+		close(ch)
+		if err != nil {
+			r.mu.Unlock()
+			return nil, nil, err
+		}
+		// Loop back to the resident branch to take the pin.
+	}
+}
+
+// releaseFunc returns the once-guarded pin release for e.
+func (r *Registry) releaseFunc(e *regEntry) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			e.pins--
+			r.mu.Unlock()
+		})
+	}
+}
+
+// fitLocked makes room for need bytes under the budget, evicting LRU
+// unpinned lazy datasets. Caller holds r.mu.
+func (r *Registry) fitLocked(need int64) error {
+	if r.budget <= 0 {
+		return nil
+	}
+	if err := r.evictLRULocked(need); err != nil {
+		return err
+	}
+	return nil
+}
+
+// evictLRULocked evicts least-recently-used unpinned lazy datasets
+// until resident+need fits the budget, or fails with a budget error
+// when what remains is pinned or sticky. Caller holds r.mu and has
+// checked budget > 0.
+func (r *Registry) evictLRULocked(need int64) error {
+	for r.resident.Load()+need > r.budget {
+		var victim *regEntry
+		for _, e := range r.entries {
+			if e.ds == nil || e.pins > 0 || e.load == nil {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("%w: %d bytes needed, %d of %d resident and pinned or unevictable",
+				ErrBudgetExceeded, need, r.resident.Load(), r.budget)
+		}
+		r.evictLocked(victim)
+	}
+	return nil
+}
+
+// evictLocked drops victim's resident dataset. Caller holds r.mu.
+func (r *Registry) evictLocked(victim *regEntry) {
+	r.residentAdd(-victim.bytes)
+	victim.ds, victim.bytes = nil, 0
+	r.evictions.Add(1)
+}
+
+// Evict drops the named dataset's resident copy if it is loaded,
+// unpinned and reloadable, reporting whether anything was evicted.
+// In-flight queries that acquired the dataset before the call keep
+// their (still valid) reference; the next Acquire reloads.
+func (r *Registry) Evict(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok || e.ds == nil || e.pins > 0 || e.load == nil {
+		return false
+	}
+	r.evictLocked(e)
+	return true
+}
+
+// Get returns the named dataset (loading it if lazy and absent); the
+// empty name selects the default (first registered). It takes no pin —
+// callers that execute against the dataset while eviction may run
+// concurrently should use Acquire. Load failures report as not-found.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	ds, release, err := r.Acquire(name)
+	if err != nil {
+		return nil, false
+	}
+	release()
+	return ds, true
+}
+
+// Names lists the registered dataset names in registration order,
+// resident or not.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.names...)
+}
+
+// DatasetInfo describes one registry entry for stats endpoints.
+type DatasetInfo struct {
+	Name      string `json:"name"`
+	Desc      string `json:"desc,omitempty"`
+	Resident  bool   `json:"resident"`
+	Evictable bool   `json:"evictable"`
+	Bytes     int64  `json:"bytes,omitempty"`
+	Rows      int64  `json:"rows,omitempty"`
+	Pins      int    `json:"pins,omitempty"`
+}
+
+// Info snapshots every entry in registration order.
+func (r *Registry) Info() []DatasetInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(r.names))
+	for _, name := range r.names {
+		e := r.entries[name]
+		info := DatasetInfo{
+			Name:      name,
+			Desc:      e.desc,
+			Resident:  e.ds != nil,
+			Evictable: e.load != nil,
+			Bytes:     e.bytes,
+			Pins:      e.pins,
+		}
+		if e.ds != nil {
+			info.Rows = e.ds.TotalRows()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// ResidentBytes reports the bytes currently resident across loaded
+// datasets — the serving layer's admission reads it next to the
+// Accountant's query gauge.
+func (r *Registry) ResidentBytes() int64 { return r.resident.Load() }
+
+// HighWaterBytes reports the maximum resident bytes ever observed.
+func (r *Registry) HighWaterBytes() int64 { return r.highWater.Load() }
+
+// Loads reports how many loader runs went resident.
+func (r *Registry) Loads() int64 { return r.loads.Load() }
+
+// Evictions reports how many resident datasets were dropped.
+func (r *Registry) Evictions() int64 { return r.evictions.Load() }

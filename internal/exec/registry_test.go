@@ -1,0 +1,458 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tinyDataset builds a dataset of a known, nonzero size: one table,
+// two columns, rows rows.
+func tinyDataset(name string, rows int) *Dataset {
+	raw := make([][]int64, rows)
+	for i := range raw {
+		raw[i] = []int64{int64(i), int64(i * 2)}
+	}
+	return NewDataset(name, "registry test fixture", map[string][][]int64{"t": raw})
+}
+
+// countingLoader wraps a dataset build with an invocation counter.
+func countingLoader(name string, rows int, calls *atomic.Int64) DatasetLoader {
+	return func() (*Dataset, error) {
+		calls.Add(1)
+		return tinyDataset(name, rows), nil
+	}
+}
+
+// TestRegistryLazyLoad: a lazy dataset is listed before loading, holds
+// no memory until acquired, loads exactly once across repeated
+// acquires, and the gauges track residency.
+func TestRegistryLazyLoad(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRegistry()
+	r.RegisterLazy("a", "first", countingLoader("a", 16, &calls))
+
+	if got := r.Names(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Names() = %v before load, want [a]", got)
+	}
+	if got := r.ResidentBytes(); got != 0 {
+		t.Fatalf("resident %d bytes before any acquire, want 0", got)
+	}
+	info := r.Info()
+	if len(info) != 1 || info[0].Resident || !info[0].Evictable {
+		t.Fatalf("pre-load info = %+v, want non-resident evictable entry", info)
+	}
+
+	ds, release, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "a" {
+		t.Fatalf("acquired dataset %q, want a", ds.Name)
+	}
+	if got := r.ResidentBytes(); got != ds.MemBytes() {
+		t.Errorf("resident %d bytes, want MemBytes %d", got, ds.MemBytes())
+	}
+	release()
+	release() // second release must be a no-op, not a double-unpin
+
+	if _, release2, err := r.Acquire("a"); err != nil {
+		t.Fatal(err)
+	} else {
+		release2()
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("loader ran %d times across two acquires, want 1", got)
+	}
+	if got := r.Loads(); got != 1 {
+		t.Errorf("Loads() = %d, want 1", got)
+	}
+
+	// The empty name selects the default (first registered).
+	if ds, rel, err := r.Acquire(""); err != nil || ds.Name != "a" {
+		t.Errorf("Acquire(\"\") = %v, %v, want the default dataset", ds, err)
+	} else {
+		rel()
+	}
+}
+
+// TestRegistryUnknown: unknown names and empty registries report
+// ErrUnknownDataset, and Get mirrors that as not-found.
+func TestRegistryUnknown(t *testing.T) {
+	r := NewRegistry()
+	if _, _, err := r.Acquire(""); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("empty registry Acquire: %v, want ErrUnknownDataset", err)
+	}
+	r.Register(tinyDataset("a", 4))
+	if _, _, err := r.Acquire("nope"); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("unknown name Acquire: %v, want ErrUnknownDataset", err)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("Get of an unknown name reported found")
+	}
+}
+
+// TestRegistryLRUEviction: with a budget fit for two of three equal
+// datasets, loading the third evicts the least recently used one, and
+// re-acquiring an evicted dataset reloads it.
+func TestRegistryLRUEviction(t *testing.T) {
+	var loadsA, loadsB, loadsC atomic.Int64
+	r := NewRegistry()
+	r.RegisterLazy("a", "", countingLoader("a", 32, &loadsA))
+	r.RegisterLazy("b", "", countingLoader("b", 32, &loadsB))
+	r.RegisterLazy("c", "", countingLoader("c", 32, &loadsC))
+
+	one := tinyDataset("a", 32).MemBytes()
+	r.SetBudget(2 * one)
+
+	acquire := func(name string) {
+		t.Helper()
+		_, release, err := r.Acquire(name)
+		if err != nil {
+			t.Fatalf("acquire %s: %v", name, err)
+		}
+		release()
+	}
+	resident := func() map[string]bool {
+		out := map[string]bool{}
+		for _, info := range r.Info() {
+			out[info.Name] = info.Resident
+		}
+		return out
+	}
+
+	acquire("a")
+	acquire("b")
+	if got := resident(); !got["a"] || !got["b"] {
+		t.Fatalf("residency after loading a,b: %v", got)
+	}
+
+	// Touch a so b becomes the LRU victim, then load c.
+	acquire("a")
+	acquire("c")
+	got := resident()
+	if got["b"] {
+		t.Errorf("b still resident after c displaced it: %v", got)
+	}
+	if !got["a"] || !got["c"] {
+		t.Errorf("residency after eviction: %v, want a and c", got)
+	}
+	if r.Evictions() != 1 {
+		t.Errorf("Evictions() = %d, want 1", r.Evictions())
+	}
+	if r.ResidentBytes() > 2*one {
+		t.Errorf("resident %d bytes over budget %d", r.ResidentBytes(), 2*one)
+	}
+
+	// Re-acquiring b reloads it (and evicts the new LRU, a).
+	acquire("b")
+	if loadsB.Load() != 2 {
+		t.Errorf("b loaded %d times, want 2 (evicted and reloaded)", loadsB.Load())
+	}
+	if got := resident(); got["a"] {
+		t.Errorf("a survived the reload of b under a two-dataset budget: %v", got)
+	}
+
+	// High water never exceeded the budget: the registry evicts before
+	// charging, not after.
+	if hw := r.HighWaterBytes(); hw > 2*one {
+		t.Errorf("high water %d bytes over budget %d", hw, 2*one)
+	}
+}
+
+// TestRegistryPinBlocksEviction: a pinned dataset cannot be evicted —
+// a load that needs its space fails with a budget error — and the
+// space frees the moment the pin is released.
+func TestRegistryPinBlocksEviction(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRegistry()
+	r.RegisterLazy("a", "", countingLoader("a", 32, &calls))
+	r.RegisterLazy("b", "", countingLoader("b", 32, &calls))
+	r.SetBudget(tinyDataset("a", 32).MemBytes()) // room for exactly one
+
+	dsA, releaseA, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Evict("a") {
+		t.Error("Evict succeeded on a pinned dataset")
+	}
+	if _, _, err := r.Acquire("b"); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("loading b over a pinned registry: %v, want ErrBudgetExceeded", err)
+	}
+	// The pinned dataset stayed intact through the failed load.
+	if dsA.Tables["t"] == nil || dsA.Tables["t"].N == 0 {
+		t.Fatal("pinned dataset lost its storage")
+	}
+
+	releaseA()
+	if _, releaseB, err := r.Acquire("b"); err != nil {
+		t.Fatalf("loading b after the pin released: %v", err)
+	} else {
+		releaseB()
+	}
+}
+
+// TestRegistryStickyNeverEvicted: eagerly Registered datasets have no
+// loader and are never evicted, even under pressure; lazy loads that
+// cannot fit next to them fail with a budget error.
+func TestRegistryStickyNeverEvicted(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRegistry()
+	sticky := tinyDataset("sticky", 32)
+	r.Register(sticky)
+	r.RegisterLazy("lazy", "", countingLoader("lazy", 32, &calls))
+	r.SetBudget(sticky.MemBytes()) // the sticky dataset fills the budget
+
+	if r.Evict("sticky") {
+		t.Error("Evict succeeded on a sticky dataset")
+	}
+	if _, _, err := r.Acquire("lazy"); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("lazy load next to a budget-filling sticky dataset: %v, want ErrBudgetExceeded", err)
+	}
+	if ds, ok := r.Get("sticky"); !ok || ds != sticky {
+		t.Error("sticky dataset not retrievable after the failed lazy load")
+	}
+}
+
+// TestRegistryLoadTooBig: a dataset larger than the whole budget can
+// never fit; the loader's work is dropped and the error is a budget
+// error, not a panic or a partial charge.
+func TestRegistryLoadTooBig(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRegistry()
+	r.RegisterLazy("big", "", countingLoader("big", 64, &calls))
+	r.SetBudget(tinyDataset("big", 64).MemBytes() / 2)
+
+	if _, _, err := r.Acquire("big"); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("oversized load: %v, want ErrBudgetExceeded", err)
+	}
+	if got := r.ResidentBytes(); got != 0 {
+		t.Errorf("resident %d bytes after a failed load, want 0", got)
+	}
+	// The failure is not sticky: raising the budget lets the next
+	// acquire succeed.
+	r.SetBudget(0)
+	if _, release, err := r.Acquire("big"); err != nil {
+		t.Fatalf("acquire after raising the budget: %v", err)
+	} else {
+		release()
+	}
+}
+
+// TestRegistryLoaderError: loader failures propagate to every waiting
+// acquirer and leave the entry loadable again.
+func TestRegistryLoaderError(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("generator exploded")
+	r := NewRegistry()
+	r.RegisterLazy("flaky", "", func() (*Dataset, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return tinyDataset("flaky", 8), nil
+	})
+
+	if _, _, err := r.Acquire("flaky"); !errors.Is(err, boom) {
+		t.Fatalf("first acquire: %v, want the loader's error", err)
+	}
+	if _, release, err := r.Acquire("flaky"); err != nil {
+		t.Fatalf("second acquire after a failed load: %v", err)
+	} else {
+		release()
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("loader ran %d times, want 2", got)
+	}
+}
+
+// TestRegistrySingleLoad: concurrent acquirers of a cold dataset share
+// one loader run — the others wait on the in-flight load instead of
+// building duplicate copies.
+func TestRegistrySingleLoad(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	r := NewRegistry()
+	r.RegisterLazy("slow", "", func() (*Dataset, error) {
+		calls.Add(1)
+		<-gate // hold every waiter on this one load
+		return tinyDataset("slow", 8), nil
+	})
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, release, err := r.Acquire("slow")
+			if err != nil {
+				errs <- err
+				return
+			}
+			release()
+		}()
+	}
+	// Give the goroutines time to stack up behind the load, then open
+	// the gate.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent acquire: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("loader ran %d times for %d concurrent acquirers, want 1", got, n)
+	}
+}
+
+// TestRegistryConcurrentAcquireEvict hammers acquire/release against
+// Evict and SetBudget under -race: the invariant is that a pinned
+// dataset's storage is never freed — every acquirer can read its table
+// through the full pin window — and that pins drain to zero.
+func TestRegistryConcurrentAcquireEvict(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r := NewRegistry()
+	for _, name := range names {
+		var c atomic.Int64
+		r.RegisterLazy(name, "", countingLoader(name, 16, &c))
+	}
+	r.SetBudget(2 * tinyDataset("a", 16).MemBytes())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := names[g%len(names)]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ds, release, err := r.Acquire(name)
+				if err != nil {
+					if errors.Is(err, ErrBudgetExceeded) {
+						continue // two pinned + one loading can exceed 2×budget
+					}
+					t.Errorf("acquire %s: %v", name, err)
+					return
+				}
+				// Read through the pin: a use-after-evict here is a
+				// -race report or a nil dereference.
+				ct := ds.Tables["t"]
+				if ct == nil || ct.N != 16 || ct.Cols[0][ct.N-1] != int64(ct.N-1) {
+					t.Errorf("acquire %s: dataset storage corrupted under concurrent eviction", name)
+					release()
+					return
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Evict(names[i%len(names)])
+			if i%7 == 0 {
+				r.SetBudget(2 * tinyDataset("a", 16).MemBytes())
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// All pins drained: every resident dataset is evictable now.
+	for _, info := range r.Info() {
+		if info.Pins != 0 {
+			t.Errorf("dataset %s still holds %d pins after all goroutines released", info.Name, info.Pins)
+		}
+		if info.Resident && !r.Evict(info.Name) {
+			t.Errorf("dataset %s resident but unevictable with zero pins", info.Name)
+		}
+	}
+	if got := r.ResidentBytes(); got != 0 {
+		t.Errorf("resident %d bytes after evicting everything, want 0", got)
+	}
+}
+
+// TestRegistryReplaceRegistration: re-registering a name (lazy over
+// eager and back) replaces the entry and releases the old residency.
+func TestRegistryReplaceRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Register(tinyDataset("a", 16))
+	before := r.ResidentBytes()
+	if before == 0 {
+		t.Fatal("eager registration holds no bytes")
+	}
+	var calls atomic.Int64
+	r.RegisterLazy("a", "now lazy", countingLoader("a", 8, &calls))
+	if got := r.ResidentBytes(); got != 0 {
+		t.Errorf("resident %d bytes after replacing the eager entry, want 0", got)
+	}
+	ds, release, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if ds.Tables["t"].N != 8 {
+		t.Errorf("acquired the stale dataset: %d rows, want 8", ds.Tables["t"].N)
+	}
+	if got := r.Names(); len(got) != 1 {
+		t.Errorf("Names() = %v after replacement, want one entry", got)
+	}
+}
+
+// TestRegistrySetBudgetEvicts: lowering the budget below the resident
+// set evicts immediately rather than waiting for the next load.
+func TestRegistrySetBudgetEvicts(t *testing.T) {
+	var a, b atomic.Int64
+	r := NewRegistry()
+	r.RegisterLazy("a", "", countingLoader("a", 32, &a))
+	r.RegisterLazy("b", "", countingLoader("b", 32, &b))
+	for _, name := range []string{"a", "b"} {
+		_, release, err := r.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	one := tinyDataset("a", 32).MemBytes()
+	r.SetBudget(one)
+	if got := r.ResidentBytes(); got > one {
+		t.Errorf("resident %d bytes after lowering the budget to %d", got, one)
+	}
+	if r.Evictions() == 0 {
+		t.Error("SetBudget below residency evicted nothing")
+	}
+}
+
+// TestRegistryInfoRows: Info reports row counts for resident datasets
+// so /stats can show them.
+func TestRegistryInfoRows(t *testing.T) {
+	r := NewRegistry()
+	r.Register(tinyDataset("a", 5))
+	info := r.Info()
+	if len(info) != 1 {
+		t.Fatalf("%d info entries, want 1", len(info))
+	}
+	if info[0].Rows != 5 || !info[0].Resident || info[0].Evictable {
+		t.Errorf("info = %+v, want 5 resident unevictable rows", info[0])
+	}
+	if info[0].Bytes != tinyDataset("a", 5).MemBytes() {
+		t.Errorf("info bytes = %d, want MemBytes", info[0].Bytes)
+	}
+}

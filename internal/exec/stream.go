@@ -1,0 +1,109 @@
+package exec
+
+import "context"
+
+// DefaultStreamChunk is the rows-per-sink-call used when the caller
+// does not pick a chunk size: large enough to amortize the per-chunk
+// encode/flush, small enough that the first chunk of a pipelined plan
+// leaves the process long before the pipeline finishes.
+const DefaultStreamChunk = 256
+
+// MaxStreamChunk caps caller-picked chunk sizes; beyond this a chunk
+// is just a buffered response with extra steps.
+const MaxStreamChunk = 8192
+
+// StreamContext runs the pipeline and hands result rows to sink in
+// pipeline order, at most chunk rows per call (chunk <= 0 selects
+// DefaultStreamChunk). This is the streaming counterpart of
+// ExecuteContext: a sort-free plan's first chunk reaches the sink
+// while the rest of the input is still being joined, whereas an
+// order-oblivious plan's top sort must consume everything before the
+// first chunk appears — the paper's payoff, observable at the wire.
+//
+// The rows passed to sink are only valid for the duration of the call
+// for row content ownership purposes; sink must not retain the slice.
+// A sink error (a client that went away, a blocked write) aborts the
+// pipeline via its Life, so producers — including exchange morsel
+// workers — stop within one cancellation poll. Whatever the pipeline
+// charged against its budget is released before return, success or
+// not, exactly like ExecuteContext.
+func (p *Pipeline) StreamContext(ctx context.Context, chunk int, sink func([]Row) error) error {
+	if chunk <= 0 {
+		chunk = DefaultStreamChunk
+	}
+	if chunk > MaxStreamChunk {
+		chunk = MaxStreamChunk
+	}
+	if err := p.Life.bind(ctx); err != nil {
+		return err
+	}
+	defer p.Life.releaseAll()
+	err := p.streamRoot(chunk, sink)
+	if err != nil {
+		// Make producers (exchange workers mid-morsel) observe the
+		// failure even when it originated in the sink rather than the
+		// pipeline itself.
+		p.Life.abort(err)
+	}
+	return err
+}
+
+func (p *Pipeline) streamRoot(chunk int, sink func([]Row) error) error {
+	root := p.Root
+	if err := root.Open(); err != nil {
+		root.Close()
+		return err
+	}
+	defer root.Close()
+
+	buf := make([]Row, 0, chunk)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		err := sink(buf)
+		buf = buf[:0]
+		return err
+	}
+
+	if b, ok := root.(batchIterator); ok {
+		for {
+			batch, ok, err := b.NextBatch()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			// Forward the whole batch (in <= chunk slices) before pulling
+			// the next one: a batch is only valid until the next NextBatch
+			// call, so nothing of it may linger in buf across that call.
+			for len(batch) > 0 {
+				n := min(chunk, len(batch))
+				buf = append(buf[:0], batch[:n]...)
+				batch = batch[n:]
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	for {
+		row, ok, err := root.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, row)
+		if len(buf) == chunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orderopt/internal/exec"
+	"orderopt/internal/planner"
+	"orderopt/internal/server"
+	"orderopt/internal/tpcr"
+)
+
+// The mixed serve experiment measures the serving layer's dataset
+// lifecycle: the same plan + execute traffic is driven against two
+// registry configurations and the contrast is the point.
+//
+//	pinned     every TPC-R tier built eagerly at startup and resident
+//	           for the process lifetime — the simple configuration,
+//	           paying the whole corpus in memory up front
+//	on-demand  the lazy registry starting cold, loading tiers on first
+//	           use under a resident-byte budget sized to hold the mid
+//	           tier plus headroom; the large tier cannot fit, so
+//	           requests against it are shed with 429 instead of
+//	           growing the resident set
+//
+// The row records what each configuration paid: resident-set
+// high-water mark, loader invocations and evictions (the churn from
+// doomed large-tier loads evicting their neighbours), and the shed
+// rate admission control imposed to keep the bound.
+
+// ServeMixedSpec parameterizes the mixed plan+execute experiment.
+type ServeMixedSpec struct {
+	// Workers is the number of closed-loop client goroutines
+	// (default 2×GOMAXPROCS, min 4).
+	Workers int
+	// Requests per registry configuration (default 240).
+	Requests int
+}
+
+func (s *ServeMixedSpec) defaults() {
+	if s.Workers == 0 {
+		s.Workers = 2 * runtime.GOMAXPROCS(0)
+		if s.Workers < 4 {
+			s.Workers = 4
+		}
+	}
+	if s.Requests == 0 {
+		s.Requests = 240
+	}
+}
+
+// ServeMixedRow is one registry configuration's measurement.
+type ServeMixedRow struct {
+	Registry string // pinned or on-demand
+	Workers  int
+	Requests int
+	Planned  int64 // successful plan-only requests
+	Executed int64 // successful execute requests (buffered + streamed)
+	RowsOut  int64 // rows delivered across all executes
+	// Shed counts 429s: requests whose dataset cannot fit the
+	// registry budget alongside what is pinned.
+	Shed     int64
+	ShedRate float64
+	Elapsed  time.Duration
+	QPS      float64 // successful requests/sec
+	// Registry lifecycle gauges at the end of the run.
+	HighWaterBytes int64
+	ResidentBytes  int64
+	Loads          int64
+	Evictions      int64
+}
+
+// serveMixedQueries: one planning shape and two execute shapes that
+// bind against every TPC-R tier.
+const (
+	mixedJoinSQL = "select * from orders, lineitem where o_orderkey = l_orderkey order by o_orderkey"
+	mixedAggSQL  = "select count(*) from orders, lineitem where o_orderkey = l_orderkey group by o_custkey"
+)
+
+// ServeMixed runs the mixed plan+execute workload against the pinned
+// and on-demand registry configurations and returns one row each.
+func ServeMixed(spec ServeMixedSpec) ([]ServeMixedRow, error) {
+	spec.defaults()
+
+	var rows []ServeMixedRow
+
+	// Pinned: the standard eager registry; everything resident, no
+	// budget, nothing ever shed.
+	pinned := exec.TPCRRegistry()
+	row, err := serveMixedOne(spec, "pinned", pinned)
+	if err != nil {
+		return nil, fmt.Errorf("serve-mixed pinned: %w", err)
+	}
+	rows = append(rows, row)
+
+	// On-demand: the lazy registry, cold, under a budget sized from
+	// the mid tier (loaded once to measure, then evicted so the run
+	// starts cold). Mid plus the small tier fit together; the large
+	// tier (~5× mid) never does.
+	lazy := exec.TPCRLazyRegistry()
+	if _, ok := lazy.Get("tpcr-mid"); !ok {
+		return nil, fmt.Errorf("serve-mixed: sizing load of tpcr-mid failed")
+	}
+	midBytes := lazy.ResidentBytes()
+	lazy.Evict("tpcr-mid")
+	lazy.SetBudget(midBytes + midBytes/2)
+	row, err = serveMixedOne(spec, "on-demand", lazy)
+	if err != nil {
+		return nil, fmt.Errorf("serve-mixed on-demand: %w", err)
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+func serveMixedOne(spec ServeMixedSpec, name string, reg *exec.Registry) (ServeMixedRow, error) {
+	loads0, evict0 := reg.Loads(), reg.Evictions()
+
+	srv := server.New(server.Config{
+		Planner:  planner.New(planner.DefaultConfig(tpcr.Schema())),
+		Datasets: reg,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServeMixedRow{}, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	client := &server.Client{
+		BaseURL: "http://" + ln.Addr().String(),
+		HTTPClient: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        spec.Workers,
+			MaxIdleConnsPerHost: spec.Workers,
+		}},
+	}
+
+	var (
+		next     atomic.Int64
+		planned  atomic.Int64
+		executed atomic.Int64
+		rowsOut  atomic.Int64
+		shed     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	errs := make(chan error, spec.Workers)
+	start := time.Now()
+	for g := 0; g < spec.Workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= spec.Requests {
+					return
+				}
+				// The mix is a function of the request index, so both
+				// configurations serve exactly the same traffic: 1/4
+				// planning, 3/4 execution split across the tiers, with
+				// the large tier on 1/4 of all requests — the slice the
+				// on-demand budget deliberately cannot hold.
+				var err error
+				switch i % 8 {
+				case 0, 4:
+					_, err = client.Plan(tpcr.Query8SQL)
+					if err == nil {
+						planned.Add(1)
+						continue
+					}
+				case 1:
+					err = mixedExecute(client, &rowsOut, "tpcr-small", mixedJoinSQL)
+				case 2:
+					err = mixedStream(client, &rowsOut, "tpcr-mid", mixedAggSQL)
+				case 3:
+					err = mixedExecute(client, &rowsOut, "tpcr-mid", mixedJoinSQL)
+				case 5:
+					err = mixedStream(client, &rowsOut, "tpcr-large", mixedAggSQL)
+				case 6:
+					err = mixedStream(client, &rowsOut, "tpcr-small", mixedAggSQL)
+				case 7:
+					err = mixedExecute(client, &rowsOut, "tpcr-large", mixedJoinSQL)
+				}
+				switch {
+				case err == nil:
+					executed.Add(1)
+				case server.IsShed(err):
+					shed.Add(1)
+				default:
+					errs <- fmt.Errorf("request %d: %w", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return ServeMixedRow{}, err
+	}
+
+	ok := planned.Load() + executed.Load()
+	return ServeMixedRow{
+		Registry:       name,
+		Workers:        spec.Workers,
+		Requests:       spec.Requests,
+		Planned:        planned.Load(),
+		Executed:       executed.Load(),
+		RowsOut:        rowsOut.Load(),
+		Shed:           shed.Load(),
+		ShedRate:       float64(shed.Load()) / float64(spec.Requests),
+		Elapsed:        elapsed,
+		QPS:            float64(ok) / elapsed.Seconds(),
+		HighWaterBytes: reg.HighWaterBytes(),
+		ResidentBytes:  reg.ResidentBytes(),
+		Loads:          reg.Loads() - loads0,
+		Evictions:      reg.Evictions() - evict0,
+	}, nil
+}
+
+func mixedExecute(c *server.Client, rowsOut *atomic.Int64, ds, sql string) error {
+	resp, err := c.Execute(server.ExecuteRequest{SQL: sql, Dataset: ds, MaxRows: 50})
+	if err != nil {
+		return err
+	}
+	rowsOut.Add(int64(len(resp.Rows)))
+	return nil
+}
+
+func mixedStream(c *server.Client, rowsOut *atomic.Int64, ds, sql string) error {
+	st, err := c.ExecuteStream(server.ExecuteRequest{SQL: sql, Dataset: ds, ChunkRows: 64})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	rows, err := st.Collect()
+	if err != nil {
+		return err
+	}
+	rowsOut.Add(int64(len(rows)))
+	return nil
+}
+
+// FormatServeMixed renders the registry-lifecycle table and the
+// headline contrast: the on-demand resident high-water as a fraction
+// of the pinned footprint, bought with the recorded shed rate.
+func FormatServeMixed(rows []ServeMixedRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %9s %8s %9s %9s %6s %10s %12s %8s %13s %6s %10s\n",
+		"registry", "workers", "requests", "planned", "executed", "rows-out",
+		"shed", "shed-rate", "elapsed", "qps", "hw-res(MiB)", "loads", "evictions")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %9d %8d %9d %9d %6d %9.1f%% %12s %8.0f %13.1f %6d %10d\n",
+			r.Registry, r.Workers, r.Requests, r.Planned, r.Executed, r.RowsOut,
+			r.Shed, 100*r.ShedRate, r.Elapsed.Round(time.Microsecond), r.QPS,
+			float64(r.HighWaterBytes)/(1<<20), r.Loads, r.Evictions)
+	}
+	var pinned, onDemand *ServeMixedRow
+	for i := range rows {
+		switch rows[i].Registry {
+		case "pinned":
+			pinned = &rows[i]
+		case "on-demand":
+			onDemand = &rows[i]
+		}
+	}
+	if pinned != nil && onDemand != nil && pinned.HighWaterBytes > 0 {
+		fmt.Fprintf(&b, "on-demand high-water = %.1f MiB, %.0f%% of the pinned %.1f MiB footprint, at a %.1f%% shed rate\n",
+			float64(onDemand.HighWaterBytes)/(1<<20),
+			100*float64(onDemand.HighWaterBytes)/float64(pinned.HighWaterBytes),
+			float64(pinned.HighWaterBytes)/(1<<20),
+			100*onDemand.ShedRate)
+	}
+	return b.String()
+}

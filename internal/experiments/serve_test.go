@@ -69,3 +69,46 @@ func TestServePaced(t *testing.T) {
 		}
 	}
 }
+
+// TestServeMixed runs a scaled-down mixed plan+execute workload over
+// both registry configurations and checks the lifecycle story holds:
+// the pinned registry sheds nothing and keeps every tier resident,
+// while the on-demand registry's budget keeps its high-water mark
+// strictly below the pinned footprint by shedding the large tier.
+func TestServeMixed(t *testing.T) {
+	rows, err := ServeMixed(ServeMixedSpec{Workers: 4, Requests: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (pinned, on-demand)", len(rows))
+	}
+	byName := map[string]ServeMixedRow{}
+	for _, r := range rows {
+		byName[r.Registry] = r
+		if r.Planned == 0 || r.Executed == 0 || r.RowsOut == 0 {
+			t.Errorf("%s: empty measurement: %+v", r.Registry, r)
+		}
+		if r.QPS <= 0 {
+			t.Errorf("%s: nonpositive QPS: %+v", r.Registry, r)
+		}
+	}
+	pinned, onDemand := byName["pinned"], byName["on-demand"]
+	if pinned.Shed != 0 {
+		t.Errorf("pinned registry shed %d requests; nothing should be rejected", pinned.Shed)
+	}
+	if onDemand.Shed == 0 {
+		t.Error("on-demand registry shed nothing; the large tier fit the budget and the contrast is vacuous")
+	}
+	if onDemand.HighWaterBytes >= pinned.HighWaterBytes {
+		t.Errorf("on-demand high-water %d not below pinned %d; the budget did not bound the resident set",
+			onDemand.HighWaterBytes, pinned.HighWaterBytes)
+	}
+	if onDemand.Loads == 0 || onDemand.Evictions == 0 {
+		t.Errorf("on-demand registry saw loads=%d evictions=%d; no lifecycle churn",
+			onDemand.Loads, onDemand.Evictions)
+	}
+	if s := FormatServeMixed(rows); s == "" {
+		t.Error("empty table")
+	}
+}

@@ -108,6 +108,16 @@ type ExecuteRequest struct {
 	// plan's operators support it; the result is identical either way.
 	// Per-operator batch counts surface in the response's op stats.
 	Vectorized bool `json:"vectorized,omitempty"`
+	// Stream switches the response to chunked NDJSON frames (header,
+	// rows..., trailer — see docs/api.md): the full result streams in
+	// pipeline order as it is produced, MaxRows is ignored, and errors
+	// after the first frame arrive in the trailer. Use
+	// Client.ExecuteStream rather than setting this by hand.
+	Stream bool `json:"stream,omitempty"`
+	// ChunkRows caps the rows per streamed frame (default
+	// exec.DefaultStreamChunk, ceiling exec.MaxStreamChunk). Ignored
+	// unless Stream is set.
+	ChunkRows int `json:"chunkRows,omitempty"`
 }
 
 // ExecuteResponse is the result of /execute: the plan (as /plan reports
@@ -157,6 +167,10 @@ type EndpointStats struct {
 	Canceled       int64 `json:"canceled"`
 	TimedOut       int64 `json:"timedOut"`
 	BudgetRejected int64 `json:"budgetRejected"`
+	// MemShed counts 429s from the memory-admission gate specifically
+	// (a query or dataset load would have pushed resident + in-use
+	// bytes over the limit); also included in Shed.
+	MemShed int64 `json:"memShed,omitempty"`
 	// Parallel counts requests answered with a parallel plan (one
 	// containing an exchange operator).
 	Parallel      int64   `json:"parallel"`
@@ -177,6 +191,22 @@ type StatsResponse struct {
 	MemLimitBytes int64                    `json:"memLimitBytes"`
 	Planner       planner.Stats            `json:"planner"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// Registry reports the dataset registry's lifecycle gauges (nil
+	// when execution is disabled).
+	Registry *RegistryStats `json:"registry,omitempty"`
+}
+
+// RegistryStats are the dataset registry's lifecycle gauges: what is
+// resident, the high-water mark, the configured budget and the
+// load/eviction counters. Entries lists every registered dataset,
+// resident or not.
+type RegistryStats struct {
+	ResidentBytes  int64              `json:"residentBytes"`
+	HighWaterBytes int64              `json:"highWaterBytes"`
+	BudgetBytes    int64              `json:"budgetBytes,omitempty"`
+	Loads          int64              `json:"loads"`
+	Evictions      int64              `json:"evictions"`
+	Datasets       []exec.DatasetInfo `json:"datasets,omitempty"`
 }
 
 // HealthResponse is the result of /healthz: liveness plus the gauges a
@@ -190,6 +220,10 @@ type HealthResponse struct {
 	MaxInFlight   int     `json:"maxInFlight"`
 	MemUsedBytes  int64   `json:"memUsedBytes"`
 	MemLimitBytes int64   `json:"memLimitBytes"`
+	// RegistryBytes is the dataset registry's resident-set size —
+	// admission sheds when RegistryBytes + MemUsedBytes approaches
+	// MemLimitBytes, so balancers can watch the same sum.
+	RegistryBytes int64 `json:"registryBytes"`
 	// Parallel-execution gauges: the scheduler's processor count, the
 	// configured per-query worker cap, and the morsel workers running
 	// across all in-flight pipelines right now.

@@ -116,8 +116,18 @@ type Config struct {
 	// MemLimitBytes bounds the bytes all concurrently executing
 	// pipelines may materialize together; 0 tracks without enforcing.
 	// Exceeding it fails the query with a typed budget error (429), not
-	// the process with an OOM.
+	// the process with an OOM. With a limit set, /execute admission is
+	// by memory, not request count: a request is shed up front (429,
+	// Retry-After) when resident datasets plus running pipelines plus
+	// its own reservation would exceed the limit.
 	MemLimitBytes int64
+	// QueryReserveBytes is the admission reservation each /execute
+	// request charges against MemLimitBytes for its duration — the
+	// headroom a query is assumed to need before its pipeline has
+	// materialized anything. 0 means DefaultQueryReserveBytes; negative
+	// disables the reservation (admission still checks the gauges).
+	// Ignored when MemLimitBytes is 0.
+	QueryReserveBytes int64
 	// ExecHook, when set, wraps every compiled operator — the
 	// fault-injection seam used by the abort experiment and the fault
 	// harness. Leave nil in production.
@@ -132,6 +142,12 @@ type Config struct {
 // DefaultMaxTimeout clamps client-supplied timeouts when
 // Config.MaxTimeout is 0.
 const DefaultMaxTimeout = 30 * time.Second
+
+// DefaultQueryReserveBytes is the per-query admission reservation when
+// Config.QueryReserveBytes is 0 and a memory limit is set: enough
+// headroom for a modest pipeline's early materialization, small enough
+// not to starve admission under a realistic limit.
+const DefaultQueryReserveBytes = 64 << 10
 
 // Server is the HTTP planning service. It is an http.Handler; all state
 // is safe for concurrent use.
@@ -150,6 +166,7 @@ type Server struct {
 	maxTimeout     time.Duration
 	budget         exec.Budget
 	acct           *exec.Accountant
+	queryReserve   int64
 	execHook       exec.IterHook
 	workers        int
 
@@ -176,6 +193,7 @@ type endpointMetrics struct {
 	canceled atomic.Int64
 	timedOut atomic.Int64
 	budget   atomic.Int64
+	memShed  atomic.Int64
 	parallel atomic.Int64
 	totalNs  atomic.Int64
 	maxNs    atomic.Int64
@@ -225,6 +243,7 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 		Canceled:       m.canceled.Load(),
 		TimedOut:       m.timedOut.Load(),
 		BudgetRejected: m.budget.Load(),
+		MemShed:        m.memShed.Load(),
 		Parallel:       m.parallel.Load(),
 	}
 	if s.Requests > 0 {
@@ -251,6 +270,13 @@ func New(cfg Config) *Server {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	reserve := cfg.QueryReserveBytes
+	switch {
+	case reserve == 0:
+		reserve = DefaultQueryReserveBytes
+	case reserve < 0:
+		reserve = 0
+	}
 	s := &Server{
 		pl:             cfg.Planner,
 		datasets:       cfg.Datasets,
@@ -261,6 +287,7 @@ func New(cfg Config) *Server {
 		maxTimeout:     maxT,
 		budget:         cfg.QueryBudget,
 		acct:           exec.NewAccountant(cfg.MemLimitBytes),
+		queryReserve:   reserve,
 		execHook:       cfg.ExecHook,
 		workers:        workers,
 	}
@@ -537,9 +564,12 @@ func (s *Server) explainResponse(ctx context.Context, sql string) (any, int, err
 }
 
 // handleExecute plans the statement and runs the chosen plan over a
-// registered dataset, reporting result rows (truncated), per-operator
-// counters and the rows-sorted total. It shares the planning
-// endpoints' admission control.
+// registered dataset — buffered by default (result rows truncated to
+// maxRows), streamed as NDJSON frames when the request sets stream. It
+// shares the planning endpoints' admission control, then passes the
+// memory-admission gate, then pins the dataset (loading it on first
+// use) for the duration of the request so eviction cannot race the
+// pipeline.
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	m := &s.executeMetrics
 	reject := func(code int, msg string) {
@@ -559,19 +589,38 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		reject(http.StatusNotFound, "no datasets registered (execution disabled)")
 		return
 	}
-	ds, ok := s.datasets.Get(req.Dataset)
-	if !ok {
-		reject(http.StatusBadRequest,
-			fmt.Sprintf("unknown dataset %q (have %s)", req.Dataset, strings.Join(s.datasets.Names(), ", ")))
-		return
-	}
 	release, ok := s.admit(w, m)
 	if !ok {
 		return
 	}
 	defer release()
+	memRelease, ok := s.admitMemory(w, m)
+	if !ok {
+		return
+	}
+	defer memRelease()
+	ds, unpin, err := s.datasets.Acquire(req.Dataset)
+	if err != nil {
+		if errors.Is(err, exec.ErrBudgetExceeded) {
+			// The dataset load does not fit next to what is resident and
+			// pinned: shed, like any other memory-admission failure.
+			m.shed.Add(1)
+			m.memShed.Add(1)
+			writeErrorCoded(w, http.StatusTooManyRequests, err.Error(), "budget", nil)
+			return
+		}
+		reject(http.StatusBadRequest,
+			fmt.Sprintf("unknown dataset %q (have %s)", req.Dataset, strings.Join(s.datasets.Names(), ", ")))
+		return
+	}
+	defer unpin()
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
+
+	if req.Stream {
+		s.executeStream(ctx, w, req, ds)
+		return
+	}
 
 	begin := time.Now()
 	resp, ops, code, err := s.executeResponse(ctx, req, ds)
@@ -591,10 +640,64 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) executeResponse(ctx context.Context, req ExecuteRequest, ds *exec.Dataset) (*ExecuteResponse, []exec.OpStats, int, error) {
+// admitMemory is the memory-admission gate of /execute: with a memory
+// limit configured, a request is shed (429, Retry-After, "budget")
+// when resident datasets plus bytes held by running pipelines plus
+// this query's reservation would exceed the limit. The reservation
+// stays charged against the shared accountant until the returned
+// release runs, so concurrent admissions see each other. Without a
+// limit the gate is a no-op — the request-count semaphore remains the
+// only admission bound.
+func (s *Server) admitMemory(w http.ResponseWriter, m *endpointMetrics) (release func(), ok bool) {
+	limit := s.acct.Limit()
+	if limit <= 0 {
+		return func() {}, true
+	}
+	shed := func(used int64) {
+		m.shed.Add(1)
+		m.memShed.Add(1)
+		writeErrorCoded(w, http.StatusTooManyRequests,
+			fmt.Sprintf("memory admission: %d bytes resident + in use of %d limit (%d reserve needed)",
+				used, limit, s.queryReserve),
+			"budget", nil)
+	}
+	resident := s.registryBytes()
+	if used := resident + s.acct.Used(); used+s.queryReserve > limit {
+		shed(used)
+		return nil, false
+	}
+	if !s.acct.Reserve(s.queryReserve) {
+		shed(resident + s.acct.Used())
+		return nil, false
+	}
+	reserve := s.queryReserve
+	return func() { s.acct.Release(reserve) }, true
+}
+
+// registryBytes reports the dataset registry's resident bytes (0
+// without a registry).
+func (s *Server) registryBytes() int64 {
+	if s.datasets == nil {
+		return 0
+	}
+	return s.datasets.ResidentBytes()
+}
+
+// compiled is one planned-and-compiled /execute request, shared by the
+// buffered and streaming response paths.
+type compiled struct {
+	pd   planner.Planned
+	org  *planner.PreparedQuery
+	pipe *exec.Pipeline
+}
+
+// compileRequest plans req.SQL and compiles the chosen plan into a
+// pipeline over ds, applying the server's budgets, hook and worker cap
+// plus the request's DOP/vectorization choices.
+func (s *Server) compileRequest(ctx context.Context, req ExecuteRequest, ds *exec.Dataset) (*compiled, int, error) {
 	pd, q, err := s.pl.PlanQueryContext(ctx, req.SQL)
 	if err != nil {
-		return nil, nil, http.StatusBadRequest, err
+		return nil, http.StatusBadRequest, err
 	}
 	org := origin(pd, q)
 	runner := ds.Runner(org.Analysis())
@@ -613,8 +716,46 @@ func (s *Server) executeResponse(ctx context.Context, req ExecuteRequest, ds *ex
 	if err != nil {
 		// The plan is valid but the dataset cannot serve it (e.g. a
 		// table without data): the client picked the wrong dataset.
-		return nil, nil, http.StatusBadRequest, err
+		return nil, http.StatusBadRequest, err
 	}
+	return &compiled{pd: pd, org: org, pipe: pipe}, 0, nil
+}
+
+// columnNames resolves the pipeline's output schema to wire column
+// names through the prepared query that produced the plan.
+func (c *compiled) columnNames() []string {
+	g := c.org.Prepared().Graph()
+	out := make([]string, 0, len(c.pipe.Schema))
+	for _, cr := range c.pipe.Schema {
+		switch {
+		case cr.Rel >= 0:
+			out = append(out, g.ColumnName(cr))
+		case cr.Col >= 0 && cr.Col < len(g.Aggregates):
+			// Rel -1 marks aggregate output columns, numbered by
+			// select-list position.
+			out = append(out, g.AggregateName(g.Aggregates[cr.Col]))
+		default:
+			out = append(out, "count(*)")
+		}
+	}
+	return out
+}
+
+// opsSnapshot copies the pipeline's per-operator counters.
+func (c *compiled) opsSnapshot() []exec.OpStats {
+	ops := make([]exec.OpStats, len(c.pipe.Ops))
+	for i, op := range c.pipe.Ops {
+		ops[i] = *op
+	}
+	return ops
+}
+
+func (s *Server) executeResponse(ctx context.Context, req ExecuteRequest, ds *exec.Dataset) (*ExecuteResponse, []exec.OpStats, int, error) {
+	c, code, err := s.compileRequest(ctx, req, ds)
+	if err != nil {
+		return nil, nil, code, err
+	}
+	pipe := c.pipe
 	execBegin := time.Now()
 	rows, err := pipe.ExecuteContext(ctx)
 	if err != nil {
@@ -622,11 +763,7 @@ func (s *Server) executeResponse(ctx context.Context, req ExecuteRequest, ds *ex
 		// whether this was a lifecycle cut (timeout/cancel/budget) or a
 		// guard-rail failure (unsorted merge input, reopened group —
 		// the planner emitted an unsound plan, a server bug).
-		ops := make([]exec.OpStats, len(pipe.Ops))
-		for i, op := range pipe.Ops {
-			ops[i] = *op
-		}
-		return nil, ops, http.StatusInternalServerError, fmt.Errorf("executing plan: %w", err)
+		return nil, c.opsSnapshot(), http.StatusInternalServerError, fmt.Errorf("executing plan: %w", err)
 	}
 	execNs := time.Since(execBegin).Nanoseconds()
 
@@ -640,28 +777,16 @@ func (s *Server) executeResponse(ctx context.Context, req ExecuteRequest, ds *ex
 	resp := &ExecuteResponse{
 		SQL:      req.SQL,
 		Dataset:  ds.Name,
-		Source:   pd.Source.String(),
-		Strategy: org.Prepared().Strategy().String(),
-		Cost:     pd.Cost,
-		Plan:     planJSON(pd.Best, org),
+		Source:   c.pd.Source.String(),
+		Strategy: c.org.Prepared().Strategy().String(),
+		Cost:     c.pd.Cost,
+		Plan:     planJSON(c.pd.Best, c.org),
+		Columns:  c.columnNames(),
 		RowCount: int64(len(rows)),
 		ExecNs:   execNs,
 	}
-	if pd.Result != nil {
-		resp.PlanNs = pd.Result.PlanTime.Nanoseconds()
-	}
-	g := org.Prepared().Graph()
-	for _, c := range pipe.Schema {
-		switch {
-		case c.Rel >= 0:
-			resp.Columns = append(resp.Columns, g.ColumnName(c))
-		case c.Col >= 0 && c.Col < len(g.Aggregates):
-			// Rel -1 marks aggregate output columns, numbered by
-			// select-list position.
-			resp.Columns = append(resp.Columns, g.AggregateName(g.Aggregates[c.Col]))
-		default:
-			resp.Columns = append(resp.Columns, "count(*)")
-		}
+	if c.pd.Result != nil {
+		resp.PlanNs = c.pd.Result.PlanTime.Nanoseconds()
 	}
 	out := rows
 	if len(out) > maxRows {
@@ -673,15 +798,12 @@ func (s *Server) executeResponse(ctx context.Context, req ExecuteRequest, ds *ex
 		resp.Rows[i] = row
 	}
 	resp.RowsSorted = pipe.RowsSorted()
-	resp.Operators = make([]exec.OpStats, len(pipe.Ops))
-	for i, op := range pipe.Ops {
-		resp.Operators[i] = *op
-	}
+	resp.Operators = c.opsSnapshot()
 	return resp, nil, 0, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, &StatsResponse{
+	resp := &StatsResponse{
 		UptimeSec:     time.Since(s.start).Seconds(),
 		InFlight:      s.inFlight.Load(),
 		MaxInFlight:   s.maxInFlight,
@@ -694,7 +816,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"explain": s.explainMetrics.snapshot(),
 			"execute": s.executeMetrics.snapshot(),
 		},
-	})
+	}
+	if s.datasets != nil {
+		resp.Registry = &RegistryStats{
+			ResidentBytes:  s.datasets.ResidentBytes(),
+			HighWaterBytes: s.datasets.HighWaterBytes(),
+			BudgetBytes:    s.datasets.Budget(),
+			Loads:          s.datasets.Loads(),
+			Evictions:      s.datasets.Evictions(),
+			Datasets:       s.datasets.Info(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -705,6 +838,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight:   s.maxInFlight,
 		MemUsedBytes:  s.acct.Used(),
 		MemLimitBytes: s.acct.Limit(),
+		RegistryBytes: s.registryBytes(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		Workers:       s.workers,
 		ActiveWorkers: exec.ActiveWorkers(),
